@@ -1,0 +1,121 @@
+"""Ablation bench: every SS5 mechanism's contribution, measured.
+
+For each mechanism, build a package population with that single mechanism
+disabled and count how many DetTrace builds stop being reproducible —
+showing each design choice in DESIGN.md is load-bearing.  Also quantifies
+the seccomp-bpf optimization (SS5.11) and the scheduler variants.
+"""
+import dataclasses
+
+from repro.analysis import format_table
+from repro.core import ContainerConfig, ablated
+from repro.repro_tools import first_build_host, reprotest_dettrace
+from repro.workloads.debian import PackageSpec, build_dettrace, build_native, generate_population
+
+from .conftest import scaled
+
+SAMPLE = scaled(12)
+
+MECHANISMS = [
+    "virtualize_time", "patch_vdso", "deterministic_randomness",
+    "virtualize_inodes", "sort_getdents", "deterministic_pids",
+    "disable_aslr", "canonical_env", "mask_machine", "trap_rdtsc",
+]
+
+
+def population():
+    return [s for s in generate_population(SAMPLE * 4, seed=37)
+            if not s.expect_dt_unsupported and not s.syscall_storm][:SAMPLE]
+
+
+def measure_ablations():
+    specs = population()
+    broken = {}
+    for mechanism in MECHANISMS:
+        cfg = ablated(mechanism)
+        broken[mechanism] = sum(
+            1 for spec in specs
+            if reprotest_dettrace(spec, config=cfg).verdict != "reproducible")
+    full = sum(1 for spec in specs
+               if reprotest_dettrace(spec).verdict != "reproducible")
+    return len(specs), full, broken
+
+
+def measure_seccomp_and_scheduler():
+    spec = PackageSpec(name="perf", n_sources=6, parallel_jobs=2,
+                       include_probes=30, embeds_timestamp=True)
+    base = build_native(spec, host=first_build_host()).result.wall_time
+    out = {}
+    for label, cfg in (
+            ("seccomp on (default)", ContainerConfig()),
+            ("seccomp off (plain ptrace)", ablated("use_seccomp")),
+            ("old kernel (<4.8 double stops)", ContainerConfig())):
+        host = first_build_host()
+        if "old kernel" in label:
+            from repro.cpu.machine import OLD_KERNEL_SKYLAKE
+            host = first_build_host(machine=OLD_KERNEL_SKYLAKE)
+        rec = build_dettrace(spec, config=cfg, host=host, timeout=30.0)
+        out[label] = rec.result.wall_time / base
+
+    # The strict Figure-3 queues only let the *front* of the Parallel
+    # queue transition, so a compute-heavy front gates everyone else's
+    # syscalls: visible on a fork-join of long pure-compute workers.
+    from repro.core import DetTrace, Image
+    from repro.cpu.machine import HASWELL_XEON, HostEnvironment
+
+    def worker(sys):
+        yield from sys.compute(0.05)   # long compute, zero syscalls
+        yield from sys.write_file("done", b"1")
+        return 0
+
+    def driver(sys):
+        for _ in range(8):
+            yield from sys.spawn("/bin/worker")
+        for _ in range(8):
+            yield from sys.waitpid(-1)
+        return 0
+
+    img = Image()
+    img.add_binary("/bin/worker", worker)
+    img.add_binary("/bin/driver", driver)
+    host = HostEnvironment(machine=HASWELL_XEON, entropy_seed=3)
+    logical = DetTrace(ContainerConfig()).run(
+        img, "/bin/driver", host=host).wall_time
+    strict = DetTrace(ContainerConfig(scheduler="strict", timeout=600.0)).run(
+        img, "/bin/driver", host=host).wall_time
+    out["fork-join@8: logical scheduler wall (s)"] = logical
+    out["fork-join@8: strict Figure-3 wall (s)"] = strict
+    return out
+
+
+def test_mechanism_ablations(benchmark, capsys):
+    total, full, broken = benchmark.pedantic(measure_ablations,
+                                             rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        rows = [["(full DetTrace)", "%d/%d" % (full, total)]]
+        rows += [[m, "%d/%d" % (b, total)] for m, b in sorted(
+            broken.items(), key=lambda kv: -kv[1])]
+        print(format_table(["mechanism disabled", "irreproducible builds"],
+                           rows, title="Ablations over %d packages" % total))
+    assert full == 0
+    # At least the big-ticket mechanisms must visibly matter.
+    assert broken["virtualize_time"] > 0
+    assert broken["virtualize_inodes"] > 0
+    assert sum(broken.values()) >= 5
+
+
+def test_seccomp_and_scheduler_overheads(benchmark, capsys):
+    out = benchmark.pedantic(measure_seccomp_and_scheduler,
+                             rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        rows = [[label, "%.2f" % v] for label, v in out.items()]
+        print(format_table(["configuration", "slowdown / wall (s)"], rows,
+                           title="SS5.11 seccomp optimization / SS5.6 "
+                                 "scheduler variants"))
+    assert out["seccomp off (plain ptrace)"] >= out["seccomp on (default)"]
+    assert out["old kernel (<4.8 double stops)"] >= out["seccomp on (default)"]
+    # The literal Figure-3 queues serialize process-parallel compute.
+    assert (out["fork-join@8: strict Figure-3 wall (s)"]
+            > 1.5 * out["fork-join@8: logical scheduler wall (s)"])

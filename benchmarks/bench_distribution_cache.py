@@ -1,0 +1,80 @@
+"""§2's motivation, quantified: reproducible builds enable artifact
+caching across a dependency DAG.
+
+Google's cited problem: "spurious changes due to irreproducibility
+causing massive additional downstream rebuilds".  We build a 12-package
+dependency chain twice (simulating two nodes of a build farm) and count
+how many artifacts compare bitwise-equal — i.e., how many downstream
+rebuilds a content-addressed cache would avoid.  Natively: zero cache
+hits.  Under DetTrace: everything hits; and after a real one-line source
+change in one mid-chain package, only that package and its dependents
+rebuild.
+"""
+
+import hashlib
+
+from repro.analysis import format_table
+from repro.repro_tools import first_build_host, second_build_host
+from repro.workloads.debian import PackageSpec, build_chain
+
+
+def make_dag():
+    """A layered DAG: 3 base libs, 5 mid libs, 4 apps."""
+    base = [PackageSpec(name="base%d" % i, n_sources=2,
+                        embeds_timestamp=(i == 0),
+                        embeds_random_symbols=(i == 1))
+            for i in range(3)]
+    mid = [PackageSpec(name="mid%d" % i, n_sources=2,
+                       build_depends=("base%d" % (i % 3),))
+           for i in range(5)]
+    apps = [PackageSpec(name="app%d" % i, n_sources=2,
+                        build_depends=("mid%d" % (i % 5), "base0"))
+            for i in range(4)]
+    return base + mid + apps
+
+
+def measure_cache_hits():
+    dag = make_dag()
+    results = {}
+    for mode, dettrace in (("native", False), ("dettrace", True)):
+        first = build_chain(dag, dettrace=dettrace,
+                            host_for=lambda i: first_build_host(seed=i))
+        second = build_chain(dag, dettrace=dettrace,
+                             host_for=lambda i: second_build_host(seed=i))
+        hits = sum(1 for name in first if first[name] == second[name])
+        results[mode] = (hits, len(dag))
+    # Incremental scenario: change one mid-chain package's source.
+    changed = [p if p.name != "mid0"
+               else PackageSpec(name="mid0", n_sources=2, loc_per_source=250,
+                                build_depends=("base0",))
+               for p in dag]
+    baseline = build_chain(dag, dettrace=True,
+                           host_for=lambda i: first_build_host(seed=i))
+    after = build_chain(changed, dettrace=True,
+                        host_for=lambda i: second_build_host(seed=i))
+    rebuilt = [name for name in baseline if baseline[name] != after[name]]
+    return results, rebuilt, [p.name for p in dag]
+
+
+def test_distribution_cache(benchmark, capsys):
+    results, rebuilt, names = benchmark.pedantic(measure_cache_hits,
+                                                 rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        rows = [[mode, "%d/%d" % hits] for mode, hits in results.items()]
+        print(format_table(["build mode", "bitwise cache hits across farm nodes"],
+                           rows, title="§2: artifact-cache effectiveness "
+                                       "over a 12-package DAG"))
+        print()
+        print("after changing mid0's sources, rebuilt artifacts: %s"
+              % ", ".join(sorted(rebuilt)))
+
+    native_hits, total = results["native"]
+    dt_hits, _ = results["dettrace"]
+    assert native_hits < total * 0.5      # native: cache mostly useless
+    assert dt_hits == total               # DetTrace: full hit rate
+    # Only mid0 and its transitive dependents changed.
+    assert "mid0" in rebuilt
+    assert "base0" not in rebuilt and "base1" not in rebuilt
+    for name in rebuilt:
+        assert name == "mid0" or name.startswith("app"), name

@@ -1,0 +1,55 @@
+"""Figure 5: DetTrace slowdown vs syscall rate, plus the SS7.4 aggregate
+3.49x claim (shape: positive correlation, threaded packages slower)."""
+import numpy as np
+
+from repro.analysis import PAPER_BUILD_AGGREGATE, format_scatter
+from repro.repro_tools import first_build_host
+from repro.workloads.debian import build_dettrace, build_native, generate_population
+
+from .conftest import scaled
+
+SAMPLE = scaled(40)
+
+
+def measure_overheads():
+    specs = [s for s in generate_population(SAMPLE * 2, seed=13)
+             if not s.expect_dt_unsupported and not s.syscall_storm][:SAMPLE]
+    points = []
+    for spec in specs:
+        base = build_native(spec, host=first_build_host())
+        det = build_dettrace(spec, host=first_build_host())
+        if base.status != "built" or det.status != "built":
+            continue
+        rate = base.result.syscall_count / base.result.wall_time
+        slowdown = det.result.wall_time / base.result.wall_time
+        points.append((rate, slowdown, base.result.wall_time,
+                       spec.uses_threads))
+    return points
+
+
+def test_fig5(benchmark, capsys):
+    points = benchmark.pedantic(measure_overheads, rounds=1, iterations=1)
+    rates = np.array([p[0] for p in points])
+    slows = np.array([p[1] for p in points])
+    walls = np.array([p[2] for p in points])
+    threaded = np.array([p[3] for p in points])
+    corr = float(np.corrcoef(rates, slows)[0, 1])
+    aggregate = float((slows * walls).sum() / walls.sum())
+
+    with capsys.disabled():
+        print()
+        print(format_scatter([(r, s) for r, s, _, _ in points],
+                             title="Figure 5: DetTrace slowdown vs "
+                                   "syscalls/sec (%d packages)" % len(points)))
+        print("rate/slowdown correlation: %.2f (paper: 'positive correlation')"
+              % corr)
+        print("aggregate slowdown: %.2fx (paper: %.2fx)"
+              % (aggregate, PAPER_BUILD_AGGREGATE))
+        if threaded.any() and (~threaded).any():
+            print("threaded mean %.2fx vs non-threaded %.2fx "
+                  "(paper: threaded packages slower)"
+                  % (slows[threaded].mean(), slows[~threaded].mean()))
+
+    assert corr > 0.6
+    assert 1.5 < aggregate < 6.0
+    assert slows.min() >= 1.0

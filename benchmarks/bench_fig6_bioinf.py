@@ -1,0 +1,43 @@
+"""Figure 6: bioinformatics speedups at 1/4/16 processes, native vs
+DetTrace, normalized to sequential native."""
+from repro.analysis import PAPER_FIG6, format_fig6
+from repro.cpu.machine import HASWELL_XEON, HostEnvironment
+from repro.workloads.bioinf import ALL_TOOLS, run_dettrace, run_native, tool_image
+
+
+def measure_speedups():
+    speedups = {}
+    for tool, spec in ALL_TOOLS.items():
+        img = tool_image(spec)
+        seq = None
+        speedups[tool] = {"native": [], "dettrace": []}
+        for mode, runner in (("native", run_native), ("dettrace", run_dettrace)):
+            for nprocs in (1, 4, 16):
+                host = HostEnvironment(machine=HASWELL_XEON,
+                                       entropy_seed=nprocs * 7)
+                result = runner(img, tool, nprocs, host=host)
+                assert result.succeeded, (tool, mode, result.error)
+                if mode == "native" and nprocs == 1:
+                    seq = result.wall_time
+                speedups[tool][mode].append(seq / result.wall_time)
+    return speedups
+
+
+def test_fig6(benchmark, capsys):
+    speedups = benchmark.pedantic(measure_speedups, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_fig6(speedups))
+
+    # Shape assertions from SS7.5.
+    clustal, hmmer, raxml = (speedups[t] for t in ("clustal", "hmmer", "raxml"))
+    # clustal is compute-bound: DetTrace nearly free at 16 procs.
+    assert clustal["dettrace"][2] > 0.75 * clustal["native"][2]
+    # raxml is syscall-bound: big sequential hit, recovers with procs.
+    assert raxml["dettrace"][0] < 0.5
+    assert raxml["dettrace"][2] > raxml["dettrace"][0] * 2
+    # hmmer sits between.
+    assert clustal["dettrace"][0] > hmmer["dettrace"][0] > raxml["dettrace"][0]
+    # native scaling is monotone for all three.
+    for tool in speedups.values():
+        assert tool["native"][0] < tool["native"][1] < tool["native"][2]

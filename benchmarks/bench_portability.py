@@ -1,0 +1,46 @@
+"""SS7.3: cross-machine bitwise reproducibility, including the
+directory-size extension ablation."""
+from repro.analysis import format_table
+from repro.core import ablated
+from repro.cpu.machine import BROADWELL_XEON, SKYLAKE_CLOUDLAB
+from repro.repro_tools import reprotest_portability
+from repro.workloads.debian import generate_population
+
+from .conftest import scaled
+
+SAMPLE = scaled(20)
+
+
+def measure_portability():
+    specs = [s for s in generate_population(SAMPLE * 3, seed=31)
+             if not s.expect_dt_unsupported and not s.syscall_storm][:SAMPLE]
+    identical = 0
+    broken_without_extension = 0
+    for spec in specs:
+        result = reprotest_portability(spec, SKYLAKE_CLOUDLAB, BROADWELL_XEON)
+        if result.verdict == "reproducible":
+            identical += 1
+        ablated_result = reprotest_portability(
+            spec, SKYLAKE_CLOUDLAB, BROADWELL_XEON,
+            config=ablated("deterministic_dir_sizes"))
+        if ablated_result.verdict != "reproducible":
+            broken_without_extension += 1
+    return len(specs), identical, broken_without_extension
+
+
+def test_portability(benchmark, capsys):
+    total, identical, broken = benchmark.pedantic(
+        measure_portability, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        rows = [
+            ["bitwise identical across machines", "%d/%d" % (identical, total),
+             "1,000/1,000"],
+            ["broken without the dir-size extension", "%d/%d" % (broken, total),
+             "'one extension required'"],
+        ]
+        print(format_table(["metric", "measured", "paper"], rows,
+                           title="SS7.3: Skylake/Ubuntu-18.04 vs "
+                                 "Broadwell/Ubuntu-18.10 package builds"))
+    assert identical == total
+    assert broken >= 1  # the extension is load-bearing for some packages

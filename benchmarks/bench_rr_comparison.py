@@ -1,0 +1,66 @@
+"""SS7.1.3: the record-and-replay baseline — crash rate on exotic ioctls,
+runtime overhead, trace storage, and replay fidelity."""
+import numpy as np
+
+from repro.analysis import PAPER_RR, format_table
+from repro.repro_tools import first_build_host
+from repro.rnr import record, replay
+from repro.workloads.debian import (
+    TOOLS,
+    build_native,
+    generate_population,
+    package_image,
+)
+
+from .conftest import scaled
+
+SAMPLE = scaled(25)
+
+
+def measure_rr():
+    specs = [s for s in generate_population(SAMPLE * 3, seed=29)
+             if not s.syscall_storm and not s.busy_waits
+             and not s.uses_threads and s.language != "java"][:SAMPLE]
+    crashes, overheads, sizes, replays_ok = 0, [], [], 0
+    for spec in specs:
+        base = build_native(spec, host=first_build_host())
+        if base.status != "built":
+            continue
+        rec = record(package_image(spec), TOOLS["driver"],
+                     argv=["dpkg-buildpackage", spec.name],
+                     host=first_build_host())
+        if rec.status == "crash":
+            crashes += 1
+            continue
+        overheads.append(rec.wall_time / base.result.wall_time)
+        sizes.append(rec.recording.storage_size())
+        if replay(package_image(spec), TOOLS["driver"], rec.recording,
+                  argv=["dpkg-buildpackage", spec.name],
+                  host=first_build_host(seed=999)):
+            replays_ok += 1
+    return len(specs), crashes, np.array(overheads), sizes, replays_ok
+
+
+def test_rr_comparison(benchmark, capsys):
+    total, crashes, overheads, sizes, replays_ok = benchmark.pedantic(
+        measure_rr, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        rows = [
+            ["crash fraction", "%.0f%%" % (100 * crashes / total),
+             "%.0f%% (46/81)" % (100 * PAPER_RR["crash_fraction"])],
+            ["mean overhead", "%.2fx" % overheads.mean(),
+             "%.1fx" % PAPER_RR["mean_overhead"]],
+            ["overhead range", "%.1f-%.1fx" % (overheads.min(), overheads.max()),
+             "%.1f-%.1fx" % (PAPER_RR["min_overhead"], PAPER_RR["max_overhead"])],
+            ["replays completed", "%d/%d" % (replays_ok, len(overheads)), "n/a"],
+            ["mean trace size", "%.0f KB" % (np.mean(sizes) / 1024),
+             "'much more than source'"],
+        ]
+        print(format_table(["metric", "measured", "paper"], rows,
+                           title="SS7.1.3: Mozilla rr baseline"))
+
+    assert 0.3 < crashes / total < 0.85
+    assert overheads.mean() > 2.0          # slower than DetTrace's builds
+    assert replays_ok == len(overheads)    # replay is faithful
+    assert min(sizes) > 0

@@ -1,0 +1,62 @@
+"""Table 1: build-status transitions from baseline to DetTrace, plus the
+SS6.1 baseline numbers (0% without the tar workaround) and the SS7.1.1
+unsupported-cause breakdown."""
+from collections import Counter
+
+from repro.analysis import PAPER_TABLE1_TOP, format_table, format_table1
+from repro.repro_tools import reprotest_dettrace, reprotest_native
+from repro.workloads.debian import generate_population
+
+from .conftest import scaled
+
+POPULATION = scaled(80)
+
+
+def classify_population():
+    specs = generate_population(POPULATION, seed=42)
+    matrix = Counter()
+    causes = Counter()
+    stock_reproducible = 0
+    for spec in specs:
+        bl = reprotest_native(spec)
+        dt = reprotest_dettrace(spec)
+        matrix[(bl.verdict, dt.verdict)] += 1
+        if dt.verdict == "unsupported":
+            causes[tuple(spec.unsupported_causes)] += 1
+        stock = reprotest_native(spec, apply_tar_workaround=False)
+        if stock.verdict == "reproducible":
+            stock_reproducible += 1
+    return specs, matrix, causes, stock_reproducible
+
+
+def test_table1(benchmark, capsys):
+    specs, matrix, causes, stock = benchmark.pedantic(
+        classify_population, rounds=1, iterations=1)
+
+    with capsys.disabled():
+        print()
+        print(format_table1(matrix))
+
+        total = len(specs)
+        bl_irr = sum(v for (b, _), v in matrix.items() if b == "irreproducible")
+        dt_rep = sum(v for (_, d), v in matrix.items() if d == "reproducible")
+        rendered = matrix.get(("irreproducible", "reproducible"), 0)
+        print()
+        print("SS6.1 stock system (no tar-mtime workaround): "
+              "%d/%d reproducible (paper: 0%%)" % (stock, total))
+        print("SS6.1 with workaround: %.1f%% BL-reproducible (paper: 24.1%%)"
+              % (100 * (total - bl_irr) / total))
+        print("DetTrace renders %.1f%% of BL-irreproducible packages "
+              "reproducible (paper: 72.65%%)" % (100 * rendered / max(1, bl_irr)))
+        print()
+        rows = [[("+".join(k) or "?"), v] for k, v in causes.most_common()]
+        print(format_table(["unsupported cause", "count"], rows,
+                           title="SS7.1.1 unsupported breakdown "
+                                 "(paper: busy-wait 45.8%, sockets 15.8%, "
+                                 "signals 4%, misc tail)"))
+
+    # Shape assertions: the paper's headline claims.
+    assert stock == 0
+    assert matrix.get(("reproducible", "irreproducible"), 0) == 0
+    assert matrix.get(("irreproducible", "irreproducible"), 0) == 0
+    assert rendered / max(1, bl_irr) > 0.6

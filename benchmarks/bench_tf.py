@@ -1,0 +1,56 @@
+"""SS7.6: TensorFlow slowdowns (DetTrace vs parallel / serialized native)
+and loss-curve reproducibility."""
+from repro.analysis import PAPER_TF, format_table
+from repro.cpu.machine import HASWELL_XEON, HostEnvironment
+from repro.workloads.ml import (
+    ALEXNET,
+    CIFAR10,
+    losses_of,
+    run_dettrace,
+    run_parallel_native,
+    run_serial_native,
+)
+
+
+def host(seed, boot=0.0):
+    return HostEnvironment(machine=HASWELL_XEON, entropy_seed=seed,
+                           boot_epoch=1.7e9 + boot)
+
+
+def measure_tf():
+    rows = {}
+    for cfg in (ALEXNET, CIFAR10):
+        par = run_parallel_native(cfg, host=host(1))
+        ser = run_serial_native(cfg, host=host(2))
+        det = run_dettrace(cfg, host=host(3))
+        det2 = run_dettrace(cfg, host=host(4, boot=500.0))
+        par2 = run_parallel_native(cfg, host=host(5, boot=900.0))
+        rows[cfg.name] = {
+            "vs_parallel": det.wall_time / par.wall_time,
+            "vs_serial": det.wall_time / ser.wall_time,
+            "dt_reproducible": losses_of(det) == losses_of(det2),
+            "native_reproducible": losses_of(par) == losses_of(par2),
+        }
+    return rows
+
+
+def test_tensorflow(benchmark, capsys):
+    rows = benchmark.pedantic(measure_tf, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        table = [[name,
+                  "%.2fx" % r["vs_parallel"], "%.2fx" % PAPER_TF[name]["vs_parallel"],
+                  "%.2fx" % r["vs_serial"], "%.2fx" % PAPER_TF[name]["vs_serial"],
+                  r["dt_reproducible"], r["native_reproducible"]]
+                 for name, r in rows.items()]
+        print(format_table(
+            ["model", "DT/par", "paper", "DT/serial", "paper",
+             "DT losses repro", "native repro"],
+            table, title="SS7.6: TensorFlow slowdowns and reproducibility"))
+
+    for name, r in rows.items():
+        assert r["dt_reproducible"], name
+        assert not r["native_reproducible"], name
+        assert r["vs_parallel"] > 6.0
+        assert r["vs_serial"] < 2.5
+    assert rows["alexnet"]["vs_parallel"] > rows["cifar10"]["vs_parallel"]

@@ -1,0 +1,23 @@
+"""Benchmark harness configuration.
+
+Population sizes are scaled for laptop runtimes; set REPRO_BENCH_SCALE=2
+(or more) for larger samples.  Every bench prints the paper-style table
+next to the paper's own numbers — the claim being reproduced is the
+*shape* (who wins, by what factor), not the absolute values, since the
+substrate is a simulator with scaled-down package sizes (see DESIGN.md).
+"""
+
+import os
+
+import pytest
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+
+def scaled(n: int) -> int:
+    return max(4, int(n * SCALE))
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return SCALE

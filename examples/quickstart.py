@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Quickstart: the same program, natively irreproducible, bitwise
+reproducible inside a DetTrace container.
+
+The guest below touches every classic irreproducibility vector the paper
+catalogues — wall-clock time, OS entropy, the cycle counter, PIDs, host
+identity, directory order, inode numbers — and writes them into a build
+artifact.  Run it twice natively and the artifact differs; run it twice
+under DetTrace (even on two different "machines") and it is identical.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DetTrace, Image, NativeRunner
+from repro.cpu.machine import BROADWELL_XEON, SKYLAKE_CLOUDLAB, HostEnvironment
+from repro.repro_tools import tree_digest
+
+
+def buildish_program(sys):
+    """A miniature 'build': deterministic inputs, tainted outputs."""
+    t = yield from sys.time()
+    rand = yield from sys.urandom(8)
+    tsc = yield from sys.rdtsc()
+    pid = yield from sys.getpid()
+    un = yield from sys.uname()
+
+    yield from sys.mkdir_p("out")
+    for name in ("gamma", "alpha", "beta"):
+        yield from sys.write_file("out/" + name, name.upper().encode())
+    listing = yield from sys.listdir("out")        # raw readdir order!
+    st = yield from sys.stat("out/alpha")          # raw inode number!
+
+    artifact = (
+        "built-at: %d\n"
+        "rand-seed: %s\n"
+        "tsc: %d\n"
+        "builder-pid: %d\n"
+        "host: %s %s\n"
+        "link-order: %s\n"
+        "alpha-inode: %d\n"
+    ) % (t, rand.hex(), tsc, pid, un.nodename, un.release,
+         ",".join(listing), st.st_ino)
+    yield from sys.write_file("artifact.txt", artifact)
+    yield from sys.println("artifact built")
+    return 0
+
+
+def boot(seed, machine=SKYLAKE_CLOUDLAB):
+    """A fresh 'machine boot': new entropy, clock, pid space, fs salt."""
+    return HostEnvironment(machine=machine, entropy_seed=seed,
+                           boot_epoch=1.6e9 + seed * 1000.0,
+                           pid_start=1000 + seed * 17,
+                           inode_start=100_000 + seed * 999,
+                           dirent_hash_salt=seed)
+
+
+def main():
+    image = Image()
+    image.add_binary("/bin/build", buildish_program)
+
+    print("== native: two runs on two boots of the same machine ==")
+    for seed in (1, 2):
+        result = NativeRunner().run(image, "/bin/build", host=boot(seed))
+        print("run %d digest: %s" % (seed, tree_digest(result.output_tree)[:16]))
+        if seed == 1:
+            print(result.output_tree["artifact.txt"].decode())
+
+    print("== DetTrace: same two boots, plus a different machine ==")
+    digests = []
+    for seed, machine in ((1, SKYLAKE_CLOUDLAB), (2, SKYLAKE_CLOUDLAB),
+                          (3, BROADWELL_XEON)):
+        result = DetTrace().run(image, "/bin/build",
+                                host=boot(seed, machine))
+        digest = tree_digest(result.output_tree)
+        digests.append(digest)
+        print("run %d (%s) digest: %s" % (seed, machine.microarch, digest[:16]))
+    print()
+    print(result.output_tree["artifact.txt"].decode())
+    assert len(set(digests)) == 1, "DetTrace runs must be bitwise identical"
+    print("all DetTrace runs bitwise identical — a pure function of the image.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Cost-model calibration report.
+
+Prints how the virtual-time constants in ``repro.kernel.costs`` map onto
+the paper's measured overheads, by sweeping the two main knobs and
+showing where the current configuration sits.  Useful when retuning after
+substrate changes:
+
+    python scripts/calibrate.py            # report current fit
+    python scripts/calibrate.py --sweep    # sensitivity sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+
+def current_fit():
+    """Where the current constants land vs the paper targets."""
+    from repro.analysis import PAPER_FIG6
+    from repro.cpu.machine import HASWELL_XEON, HostEnvironment
+    from repro.repro_tools import first_build_host
+    from repro.workloads.bioinf import ALL_TOOLS, run_dettrace, run_native, tool_image
+    from repro.workloads.debian import build_dettrace, build_native, generate_population
+
+    print("== Figure 6 fit (speedups at 1/4/16 procs) ==")
+    for tool, spec in ALL_TOOLS.items():
+        img = tool_image(spec)
+        seq = None
+        for mode, runner in (("native", run_native), ("dettrace", run_dettrace)):
+            vals = []
+            for nprocs in (1, 4, 16):
+                host = HostEnvironment(machine=HASWELL_XEON, entropy_seed=nprocs)
+                r = runner(img, tool, nprocs, host=host)
+                if mode == "native" and nprocs == 1:
+                    seq = r.wall_time
+                vals.append(seq / r.wall_time)
+            paper = PAPER_FIG6[tool][mode]
+            err = max(abs(a - b) / max(b, 0.1) for a, b in zip(vals, paper))
+            print("  %-8s %-9s ours %s  paper %s  (max rel err %.0f%%)" % (
+                tool, mode, ["%.2f" % v for v in vals],
+                ["%.2f" % v for v in paper], 100 * err))
+
+    print()
+    print("== Figure 5 fit (build slowdowns) ==")
+    specs = [s for s in generate_population(60, seed=13)
+             if not s.expect_dt_unsupported and not s.syscall_storm][:30]
+    rates, slows, walls = [], [], []
+    for spec in specs:
+        base = build_native(spec, host=first_build_host())
+        det = build_dettrace(spec, host=first_build_host())
+        if base.status != "built" or det.status != "built":
+            continue
+        rates.append(base.result.syscall_count / base.result.wall_time)
+        slows.append(det.result.wall_time / base.result.wall_time)
+        walls.append(base.result.wall_time)
+    rates, slows, walls = map(np.array, (rates, slows, walls))
+    print("  correlation %.2f (target: positive)"
+          % np.corrcoef(rates, slows)[0, 1])
+    print("  aggregate %.2fx (paper 3.49x)"
+          % ((slows * walls).sum() / walls.sum()))
+    print("  per-syscall effective overhead: %.0f us (median)"
+          % np.median((slows - 1) * walls / (rates * walls) * 1e6))
+
+
+def sweep():
+    """Sensitivity of the headline numbers to the two big constants."""
+    import repro.kernel.costs as costs
+    from repro.cpu.machine import HASWELL_XEON, HostEnvironment
+    from repro.workloads.bioinf import RAXML, run_dettrace, run_native, tool_image
+
+    img = tool_image(RAXML)
+    host = HostEnvironment(machine=HASWELL_XEON, entropy_seed=1)
+    seq = run_native(img, "raxml", 1, host=host).wall_time
+
+    original = costs.TRACEE_WAKEUP_LATENCY
+    print("== raxml DT@1 speedup vs TRACEE_WAKEUP_LATENCY "
+          "(paper: 0.29) ==")
+    try:
+        for latency_us in (20, 40, 65, 90, 120):
+            costs.TRACEE_WAKEUP_LATENCY = latency_us * 1e-6
+            # the tracer module binds the constant at import; reload its copy
+            import repro.core.tracer as tracer_mod
+            tracer_mod.TRACEE_WAKEUP_LATENCY = costs.TRACEE_WAKEUP_LATENCY
+            dt = run_dettrace(img, "raxml", 1, host=host).wall_time
+            print("  latency %3d us -> speedup %.2f" % (latency_us, seq / dt))
+    finally:
+        costs.TRACEE_WAKEUP_LATENCY = original
+        import repro.core.tracer as tracer_mod
+        tracer_mod.TRACEE_WAKEUP_LATENCY = original
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--sweep", action="store_true")
+    args = parser.parse_args()
+    current_fit()
+    if args.sweep:
+        print()
+        sweep()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""repro: a reproduction of *Reproducible Containers* (ASPLOS 2020).
+
+DetTrace — a reproducible container abstraction — implemented over a
+simulated Linux kernel and x86-64 CPU so the paper's entire evaluation
+can run on a laptop.  Quickstart::
+
+    from repro import DetTrace, NativeRunner, Image
+
+    def main(sys):
+        t = yield from sys.time()              # wall clock: irreproducible
+        r = yield from sys.urandom(4)          # entropy: irreproducible
+        yield from sys.write_file("out", "%d %s" % (t, r.hex()))
+        return 0
+
+    image = Image()
+    image.add_binary("/bin/main", main)
+    print(NativeRunner().run(image, "/bin/main").output_tree)  # varies
+    print(DetTrace().run(image, "/bin/main").output_tree)      # pure function
+
+Package layout:
+
+* :mod:`repro.kernel` — the simulated Linux substrate (unmodified box);
+* :mod:`repro.cpu` — machine specs and irreproducible instructions;
+* :mod:`repro.guest` — the guest program model and runtime;
+* :mod:`repro.tracer` — ptrace/seccomp analogs;
+* :mod:`repro.core` — **DetTrace itself** (the paper's contribution);
+* :mod:`repro.rnr` — the record-and-replay baseline (rr analog);
+* :mod:`repro.workloads` — Debian builds, bioinformatics, TensorFlow;
+* :mod:`repro.repro_tools` — reprotest/diffoscope/strip-nondeterminism;
+* :mod:`repro.analysis` — table/figure rendering for the evaluation.
+"""
+
+from .core import (
+    ContainerConfig,
+    ContainerResult,
+    DetTrace,
+    Image,
+    NativeRunner,
+    ablated,
+    full_config,
+)
+from .cpu import HostEnvironment, MachineSpec
+from .kernel import Kernel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ContainerConfig",
+    "ContainerResult",
+    "DetTrace",
+    "HostEnvironment",
+    "Image",
+    "Kernel",
+    "MachineSpec",
+    "NativeRunner",
+    "__version__",
+    "ablated",
+    "full_config",
+]

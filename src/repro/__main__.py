@@ -1,0 +1,5 @@
+"""`python -m repro` — the DetTrace CLI (see repro.cli)."""
+
+from .cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,183 @@
+"""Command-line interface mirroring the paper's artifact appendix.
+
+The artifact's workflow is ``./bin/dettrace <command>`` against a chroot
+image; ours is::
+
+    python -m repro run date                 # the appendix's demo
+    python -m repro run -- ls -l /bin
+    python -m repro run --native date        # the irreproducible baseline
+    python -m repro run --seed 7 sha256sum /etc/hostname
+    python -m repro script build.sh          # run a shell script reproducibly
+    python -m repro selftest                 # the appendix's `make test`
+
+``run`` boots a minimal container image with the busybox toolbox
+installed (the analog of the appendix's debootstrap chroot) and executes
+one command inside it.  ``--native`` runs the same image without the
+tracer; ``--boot N`` picks a different simulated machine boot, which
+changes native output but never DetTrace output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys as _sys
+from typing import List, Optional
+
+from .core import ContainerConfig, DetTrace, Image, NativeRunner
+from .cpu.machine import ALL_MACHINES, SKYLAKE_CLOUDLAB, HostEnvironment
+from .guest.coreutils import COREUTILS_PATHS, install_coreutils
+
+
+def base_image() -> Image:
+    """A minimal chroot-like image with the toolbox installed."""
+    image = Image()
+    install_coreutils(image)
+    image.add_file("/etc/motd", "welcome to the container\n")
+    return image
+
+
+def _host(args) -> HostEnvironment:
+    machine = ALL_MACHINES.get(args.machine, SKYLAKE_CLOUDLAB)
+    return HostEnvironment(machine=machine, entropy_seed=args.boot,
+                           boot_epoch=1.6e9 + args.boot * 1009.0,
+                           pid_start=1000 + args.boot * 13,
+                           inode_start=100_000 + args.boot * 997,
+                           dirent_hash_salt=args.boot)
+
+
+def _resolve(name: str) -> Optional[str]:
+    if name.startswith("/"):
+        return name
+    return COREUTILS_PATHS.get(name)
+
+
+def _report(result, verbose: bool) -> int:
+    _sys.stdout.write(result.stdout)
+    _sys.stderr.write(result.stderr)
+    if result.status != "ok":
+        _sys.stderr.write("container error: %s (%s)\n"
+                          % (result.status, result.error))
+        return 70
+    if verbose:
+        _sys.stderr.write("[wall %.3f ms, %d syscalls]\n"
+                          % (result.wall_time * 1e3, result.syscall_count))
+    return result.exit_code if result.exit_code is not None else 1
+
+
+def cmd_run(args) -> int:
+    image = base_image()
+    command = args.command
+    if command and command[0] == "--":
+        command = command[1:]
+    if not command:
+        _sys.stderr.write("repro run: missing command\n")
+        return 2
+    args.command = command
+    path = _resolve(args.command[0])
+    if path is None:
+        _sys.stderr.write("repro: %s: not in the toolbox (%s)\n"
+                          % (args.command[0], ", ".join(sorted(COREUTILS_PATHS))))
+        return 127
+    argv = [args.command[0]] + args.command[1:]
+    if args.native:
+        result = NativeRunner().run(image, path, argv=argv, host=_host(args))
+    else:
+        config = ContainerConfig(prng_seed=args.seed)
+        result = DetTrace(config).run(image, path, argv=argv, host=_host(args))
+    return _report(result, args.verbose)
+
+
+def cmd_script(args) -> int:
+    with open(args.script, "rb") as fh:
+        text = fh.read()
+    image = base_image()
+
+    def setup(kernel, build_dir):
+        kernel.fs.write_file(build_dir + "/script.sh", text,
+                             now=kernel.host.boot_epoch)
+
+    image.on_setup(setup)
+    argv = ["sh", "script.sh"] + args.args
+    if args.native:
+        result = NativeRunner().run(image, "/bin/sh", argv=argv,
+                                    host=_host(args))
+    else:
+        config = ContainerConfig(prng_seed=args.seed)
+        result = DetTrace(config).run(image, "/bin/sh", argv=argv,
+                                      host=_host(args))
+    status = _report(result, args.verbose)
+    if args.show_tree:
+        for rel_path in sorted(result.output_tree):
+            if rel_path != "script.sh":
+                _sys.stderr.write("  %s (%d bytes)\n"
+                                  % (rel_path, len(result.output_tree[rel_path])))
+    return status
+
+
+def cmd_selftest(args) -> int:
+    """The appendix's `make test` in miniature: run `date` on two boots
+    natively and under DetTrace and verify the expected (ir)reproducibility."""
+    image = base_image()
+    outs = {"native": [], "dettrace": []}
+    for boot in (1, 2):
+        host = HostEnvironment(entropy_seed=boot, boot_epoch=1.5e9 + boot * 9999.0)
+        outs["native"].append(
+            NativeRunner().run(image, "/bin/date", host=host).stdout)
+        outs["dettrace"].append(
+            DetTrace().run(image, "/bin/date", host=host).stdout)
+    native_varies = outs["native"][0] != outs["native"][1]
+    dettrace_fixed = outs["dettrace"][0] == outs["dettrace"][1]
+    print("native date varies across boots:     %s" % native_varies)
+    print("dettrace date identical across boots: %s" % dettrace_fixed)
+    print("dettrace date: %s" % outs["dettrace"][0].strip())
+    ok = native_varies and dettrace_fixed
+    print("selftest:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DetTrace reproducible containers")
+    sub = parser.add_subparsers(dest="subcommand", required=True)
+
+    def common(p):
+        p.add_argument("--native", action="store_true",
+                       help="run without the DetTrace tracer")
+        p.add_argument("--boot", type=int, default=1,
+                       help="simulated machine boot (changes native output)")
+        p.add_argument("--seed", type=int, default=0,
+                       help="container PRNG seed")
+        p.add_argument("--machine", default="cloudlab-c220g5",
+                       choices=sorted(ALL_MACHINES))
+        p.add_argument("--verbose", action="store_true")
+
+    run = sub.add_parser("run", help="run a toolbox command in a container")
+    common(run)
+    run.add_argument("command", nargs=argparse.REMAINDER,
+                     help="command and arguments (e.g. date, ls -l /bin)")
+    run.set_defaults(fn=cmd_run)
+
+    script = sub.add_parser("script", help="run a shell script reproducibly")
+    common(script)
+    script.add_argument("script", help="path to a shell script on the host")
+    script.add_argument("args", nargs="*", help="script arguments")
+    script.add_argument("--show-tree", action="store_true",
+                        help="list the output tree after the run")
+    script.set_defaults(fn=cmd_script)
+
+    selftest = sub.add_parser("selftest",
+                              help="verify the reproducibility guarantee")
+    selftest.set_defaults(fn=cmd_selftest)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "command", None) == []:
+        parser.error("run: missing command")
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,51 @@
+"""DetTrace: the reproducible container abstraction (paper §5)."""
+
+from .config import CANONICAL_ENV, ContainerConfig, ablated, full_config
+from .container import (
+    DEADLOCK,
+    OK,
+    TIMEOUT,
+    UNSUPPORTED,
+    ContainerResult,
+    DetTrace,
+    NativeRunner,
+)
+from .errors import (
+    BusyWaitError,
+    ContainerDeadlock,
+    ContainerError,
+    ContainerTimeout,
+    UnsupportedSyscallError,
+)
+from .image import Image
+from .inode_table import InodeTable
+from .logical_time import DETTRACE_EPOCH, LogicalClock
+from .prng import Lfsr
+from .scheduler import ReproducibleScheduler
+from .tracer import DetTraceTracer
+
+__all__ = [
+    "BusyWaitError",
+    "CANONICAL_ENV",
+    "ContainerConfig",
+    "ContainerDeadlock",
+    "ContainerError",
+    "ContainerResult",
+    "ContainerTimeout",
+    "DEADLOCK",
+    "DETTRACE_EPOCH",
+    "DetTrace",
+    "DetTraceTracer",
+    "Image",
+    "InodeTable",
+    "Lfsr",
+    "LogicalClock",
+    "NativeRunner",
+    "OK",
+    "ReproducibleScheduler",
+    "TIMEOUT",
+    "UNSUPPORTED",
+    "UnsupportedSyscallError",
+    "ablated",
+    "full_config",
+]

@@ -1,0 +1,133 @@
+"""DetTrace container configuration.
+
+Every determinization mechanism from §5 of the paper has a toggle here so
+that ablation benchmarks can demonstrate that each one is load-bearing
+(turn one off and reproducibility breaks for the workloads that exercise
+it).  The defaults reproduce the full DetTrace behaviour.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from .logical_time import DETTRACE_EPOCH
+
+#: The environment a DetTrace container presents regardless of the host's
+#: login environment (reprotest varies env vars; the container pins them).
+CANONICAL_ENV: Dict[str, str] = {
+    "PATH": "/usr/local/bin:/usr/bin:/bin",
+    "HOME": "/root",
+    "USER": "root",
+    "SHELL": "/bin/sh",
+    "LANG": "C",
+    "TZ": "UTC",
+}
+
+#: Fixed ASLR base inside the container.
+FIXED_ASLR_BASE = 0x5555_5555_0000
+
+
+@dataclasses.dataclass
+class ContainerConfig:
+    """Knobs for one DetTrace container."""
+
+    #: Seed for the LFSR PRNG behind getrandom//dev/urandom (§5.2).
+    prng_seed: int = 0
+    #: The epoch logical time starts from (§5.3).
+    epoch: int = DETTRACE_EPOCH
+    #: Where the working tree is bind-mounted inside the container.
+    working_dir: str = "/build"
+    #: Virtual-time budget for the whole run (the paper's 2h build cap).
+    timeout: float = 7200.0
+    #: Compute-work seconds without a syscall before a thread is declared
+    #: busy-waiting (§5.9).  Must be below the container timeout so spins
+    #: surface as the reproducible busy-wait error, not a timeout.
+    busy_wait_budget: Optional[float] = 0.3
+
+    # -- §5 mechanisms, individually ablatable -------------------------------
+
+    #: Report logical time instead of wall time (§5.3).
+    virtualize_time: bool = True
+    #: Rewrite each process's vDSO so timing library calls become real,
+    #: interceptable syscalls (§5.3).
+    patch_vdso: bool = True
+    #: Replace /dev/random and /dev/urandom with PRNG pipes; serve
+    #: getrandom from the PRNG (§5.2).
+    deterministic_randomness: bool = True
+    #: Virtualize inode numbers and mtimes in stat results (§5.5).
+    virtualize_inodes: bool = True
+    #: Sort getdents results by name (§5.5).
+    sort_getdents: bool = True
+    #: Retry partial reads/writes via syscall injection (§5.5, Fig. 4).
+    retry_partial_io: bool = True
+    #: Report directory sizes as a function of entry count (§7.3).
+    deterministic_dir_sizes: bool = True
+    #: PID namespace with sequential PIDs (§5.1).
+    deterministic_pids: bool = True
+    #: uid/gid namespace mapping current user to root (§5.1).
+    map_user_to_root: bool = True
+    #: Explicit uid/gid overrides on top of the default map (§5.5: "this
+    #: mapping is also part of the input to DetTrace").  host id ->
+    #: container id.
+    uid_map: Dict[int, int] = dataclasses.field(default_factory=dict)
+    gid_map: Dict[int, int] = dataclasses.field(default_factory=dict)
+    #: Serialize threads within a process (§5.7).
+    serialize_threads: bool = True
+    #: Trap rdtsc/rdtscp and report a linear counter (§5.8).
+    trap_rdtsc: bool = True
+    #: Intercept cpuid (Ivy Bridge+) and present a canonical uniprocessor
+    #: without TSX/RDRAND (§5.8).
+    mask_cpuid: bool = True
+    #: Present a canonical uname/sysinfo (Linux 4.0 uniprocessor, §3).
+    mask_machine: bool = True
+    #: Disable ASLR inside the container.
+    disable_aslr: bool = True
+    #: Pin the container environment variables to CANONICAL_ENV.
+    canonical_env: bool = True
+    #: Emulate timers (alarm fires instantly via pause+signal, §5.4) and
+    #: nop sleeps.
+    emulate_timers: bool = True
+    #: Use seccomp-bpf filtering to skip naturally-reproducible syscalls
+    #: (§5.11).  Disabling falls back to plain double-stop ptrace.
+    use_seccomp: bool = True
+    #: Reproducible scheduler implementation: "logical" (deterministic
+    #: logical-clock order; scales like the paper's measurements) or
+    #: "strict" (the literal Figure 3 queues; serializes behind the
+    #: Parallel front — kept for ablation).
+    scheduler: str = "logical"
+    #: Raise a reproducible error on socket use (§5.9); if False, sockets
+    #: pass through natively (irreproducible).
+    reject_sockets: bool = True
+    #: Checksummed external downloads (the §3 future-work model:
+    #: "downloading files with known checksums"): url -> expected sha256
+    #: hex digest.  Any other download is a reproducible error.
+    allowed_downloads: Dict[str, str] = dataclasses.field(default_factory=dict)
+    #: Allow AF_UNIX socketpair IPC *within* the container (the paper's
+    #: §5.9 future-work item: "limited forms of socket communication,
+    #: e.g., as interprocess communication within our container, that can
+    #: be rendered reproducible").
+    allow_container_ipc_sockets: bool = True
+    #: Debug verbosity (the artifact's ``--debug N``): 0 = off, 1 = log
+    #: serviced syscalls, 2 = also instruction traps and probes.  Lines
+    #: are collected on ``ContainerResult.debug_log``.
+    debug: int = 0
+
+    def env_for(self, host_env: Dict[str, str]) -> Dict[str, str]:
+        if self.canonical_env:
+            return dict(CANONICAL_ENV)
+        return dict(host_env)
+
+
+def full_config(**overrides) -> ContainerConfig:
+    """The paper's DetTrace: every mechanism on (optionally overridden)."""
+    return ContainerConfig(**overrides)
+
+
+def ablated(feature: str, **overrides) -> ContainerConfig:
+    """A config with exactly one mechanism disabled, for ablation benches."""
+    cfg = ContainerConfig(**overrides)
+    if not hasattr(cfg, feature):
+        raise ValueError("unknown feature %r" % feature)
+    setattr(cfg, feature, False)
+    return cfg

@@ -1,0 +1,190 @@
+"""The DetTrace container facade and the native baseline runner.
+
+``DetTrace.run(image, command)`` is the library's primary entry point: it
+boots a fresh simulated kernel from the image, attaches the determinizing
+tracer, runs the command tree to completion and returns a
+:class:`ContainerResult` whose output tree is — by the paper's thesis — a
+pure function of the image and the container configuration.
+
+``NativeRunner`` executes the same image with no tracer at all, observing
+the full irreproducibility of the host (the reprotest baseline).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from ..cpu.machine import HostEnvironment
+from ..kernel.errors import DeadlockError, SimTimeout
+from ..kernel.kernel import Kernel
+from ..tracer.events import TraceCounters
+from .config import ContainerConfig, FIXED_ASLR_BASE
+from .errors import (
+    BusyWaitError,
+    ContainerDeadlock,
+    ContainerTimeout,
+    UnsupportedSyscallError,
+)
+from .image import Image, canonicalize_identity_files
+from .namespaces import UidGidMap
+from .tracer import DetTraceTracer
+
+#: Result status values.
+OK = "ok"
+UNSUPPORTED = "unsupported"
+TIMEOUT = "timeout"
+DEADLOCK = "deadlock"
+
+
+@dataclasses.dataclass
+class ContainerResult:
+    """Everything observable from one run."""
+
+    status: str
+    exit_code: Optional[int]
+    error: str
+    stdout: str
+    stderr: str
+    #: {path relative to the build dir: file bytes} — the artifacts.
+    output_tree: Dict[str, bytes]
+    counters: Optional[TraceCounters]
+    syscall_count: int
+    #: Virtual wall-clock duration of the whole run.
+    wall_time: float
+    host: HostEnvironment
+    #: --debug trace lines (empty unless ContainerConfig.debug > 0).
+    debug_log: List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status == OK and self.exit_code == 0
+
+    @property
+    def syscall_rate(self) -> float:
+        """Syscalls per virtual second (Figure 5's x-axis)."""
+        if self.wall_time <= 0:
+            return 0.0
+        return self.syscall_count / self.wall_time
+
+
+def _decode_exit(proc, status: str, error: str):
+    """Exit code for a normal exit; None (with a note) for signal death."""
+    if status != OK or proc.exit_status is None:
+        return None, error
+    signal = proc.exit_status & 0x7F
+    if signal:
+        return None, error or ("init killed by signal %d" % signal)
+    return (proc.exit_status >> 8) & 0xFF, error
+
+
+def _collect_output_tree(kernel: Kernel, build_dir: str) -> Dict[str, bytes]:
+    """Files under *build_dir*, keyed by path relative to it."""
+    out: Dict[str, bytes] = {}
+    prefix = build_dir.rstrip("/") + "/"
+    for path, content in kernel.fs.snapshot().items():
+        if path.startswith(prefix):
+            out[path[len(prefix):]] = content
+    return out
+
+
+def _finish(kernel: Kernel, build_dir: str, host: HostEnvironment,
+            status: str, exit_code: Optional[int], error: str,
+            counters: Optional[TraceCounters]) -> ContainerResult:
+    return ContainerResult(
+        status=status,
+        exit_code=exit_code,
+        error=error,
+        stdout=kernel.stdout.text(),
+        stderr=kernel.stderr.text(),
+        output_tree=_collect_output_tree(kernel, build_dir),
+        counters=counters,
+        syscall_count=kernel.stats.syscalls,
+        wall_time=kernel.clock.now,
+        host=host,
+    )
+
+
+class DetTrace:
+    """A reproducible container (paper §5)."""
+
+    def __init__(self, config: Optional[ContainerConfig] = None):
+        self.config = config or ContainerConfig()
+
+    def run(self, image: Image, command: str,
+            argv: Optional[List[str]] = None,
+            host: Optional[HostEnvironment] = None) -> ContainerResult:
+        """Run *command* from *image* inside a fresh container."""
+        cfg = self.config
+        host = host or HostEnvironment()
+        kernel = Kernel(host)
+
+        if cfg.disable_aslr:
+            kernel.aslr_override = FIXED_ASLR_BASE
+        kernel.serialize_threads = cfg.serialize_threads
+        kernel.busy_wait_budget = cfg.busy_wait_budget
+        if cfg.deterministic_pids:
+            kernel.enable_pid_namespace(1)
+        kernel.default_uid = 0 if cfg.map_user_to_root else 1000
+
+        image.install(kernel, cfg.working_dir)
+        canonicalize_identity_files(kernel)
+
+        tracer = DetTraceTracer(cfg, uidmap=UidGidMap(
+            host_uid=1000,
+            uid_overrides=tuple(sorted(cfg.uid_map.items())),
+            gid_overrides=tuple(sorted(cfg.gid_map.items()))))
+        if cfg.deterministic_randomness:
+            self._replace_random_devices(kernel, tracer)
+        tracer.attach(kernel)
+
+        env = cfg.env_for(host.env)
+        proc = kernel.boot(command, argv=argv, env=env, uid=0,
+                           cwd_path=cfg.working_dir)
+        status, error = OK, ""
+        try:
+            kernel.run(deadline=cfg.timeout)
+        except SimTimeout:
+            status, error = TIMEOUT, "virtual deadline exceeded"
+        except (UnsupportedSyscallError, BusyWaitError) as err:
+            status, error = UNSUPPORTED, str(err)
+        except DeadlockError as err:
+            status, error = DEADLOCK, str(err)
+        exit_code, error = _decode_exit(proc, status, error)
+        result = _finish(kernel, cfg.working_dir, host, status, exit_code,
+                         error, tracer.counters)
+        result.debug_log = tracer.debug_log
+        return result
+
+    @staticmethod
+    def _replace_random_devices(kernel: Kernel, tracer: DetTraceTracer) -> None:
+        """Back /dev/random and /dev/urandom with the container PRNG (§5.2)."""
+        for name in ("random", "urandom"):
+            node = kernel.fs.resolve(kernel.fs.root, kernel.fs.root, "/dev/" + name)
+            node.dev_read = tracer.prng.bytes
+
+
+class NativeRunner:
+    """The irreproducible baseline: same image, no tracer."""
+
+    def __init__(self, timeout: float = 7200.0):
+        self.timeout = timeout
+
+    def run(self, image: Image, command: str,
+            argv: Optional[List[str]] = None,
+            host: Optional[HostEnvironment] = None) -> ContainerResult:
+        host = host or HostEnvironment()
+        kernel = Kernel(host)
+        build_dir = host.build_path
+        image.install(kernel, build_dir)
+        proc = kernel.boot(command, argv=argv, env=dict(host.env),
+                           uid=1000, cwd_path=build_dir)
+        status, error = OK, ""
+        try:
+            kernel.run(deadline=self.timeout)
+        except SimTimeout:
+            status, error = TIMEOUT, "deadline exceeded"
+        except DeadlockError as err:
+            status, error = DEADLOCK, str(err)
+        exit_code, error = _decode_exit(proc, status, error)
+        return _finish(kernel, build_dir, host, status, exit_code, error, None)

@@ -1,0 +1,207 @@
+"""Files and directories (paper §5.5, §7.3).
+
+* ``open`` — detect file creation by checking path existence before the
+  call reaches the kernel and identifying the new real inode afterwards
+  (the /proc trick), so recycled real inodes get fresh virtual inodes;
+* ``stat``/``lstat``/``fstat`` — rewrite inode, timestamps, uid/gid,
+  device and (the §7.3 portability extension) directory sizes;
+* ``getdents`` — sort entries by name and virtualize their inode numbers;
+* ``utime`` — replace null timestamps with reproducible ones, allocated
+  in the tracee scratch page (§5.10).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ...kernel.fds import FdKind
+from ...kernel.types import Dirent, StatResult
+from . import HandlerContext, Outcome, passthrough
+
+#: The block size and device id DetTrace presents (§5.8's "canonical
+#: cache size" idea applied to the filesystem).
+CANONICAL_BLKSIZE = 4096
+CANONICAL_DEV = 1
+
+#: Deterministic directory size model: a pure function of entry count
+#: (the extension §7.3 added after the cross-machine experiment).
+DIR_SIZE_BASE = 4096
+DIR_SIZE_PER_ENTRY = 32
+
+RANDOM_DEVICES = ("/dev/random", "/dev/urandom")
+
+
+def _deterministic_dir_size(n_entries: int) -> int:
+    return DIR_SIZE_BASE + DIR_SIZE_PER_ENTRY * n_entries
+
+
+def handle_open(ctx: HandlerContext, thread, call) -> Outcome:
+    path = call.args.get("path", "")
+    ctx.peek(1 + len(path) // 32)  # read the path string from the tracee
+    if path in RANDOM_DEVICES:
+        ctx.counters.urandom_opens += 1
+    existed = ctx.resolve(path) is not None
+    tag, payload = ctx.execute(call)
+    if tag == "ok" and ctx.config.virtualize_inodes:
+        # Examine the newly-opened fd (the /proc/<pid>/fd analog) to find
+        # the real inode, and detect creation via the pre/post check.
+        of = thread.process.fdtable.get(payload)
+        if of.inode is not None and not existed:
+            ctx.inodes.register_new_file(of.inode.ino)
+    if tag == "ok":
+        return ("value", payload)
+    if tag == "err":
+        return ("error", payload)
+    if tag == "block":
+        return ("block", payload)
+    raise AssertionError("open: unexpected outcome %r" % tag)
+
+
+def _virtualize_stat(ctx: HandlerContext, st: StatResult,
+                     n_dir_entries: int = 0) -> StatResult:
+    cfg = ctx.config
+    new = dataclasses.replace(st)
+    if cfg.virtualize_inodes:
+        new.st_ino = ctx.inodes.virtual_ino(st.st_ino)
+        new.st_atime = 0.0
+        new.st_ctime = 0.0
+        new.st_mtime = float(ctx.inodes.virtual_mtime(st.st_ino))
+        new.st_dev = CANONICAL_DEV
+        new.st_blksize = CANONICAL_BLKSIZE
+    if cfg.map_user_to_root:
+        new.st_uid = ctx.uidmap.to_container_uid(st.st_uid)
+        new.st_gid = ctx.uidmap.to_container_gid(st.st_gid)
+    if cfg.deterministic_dir_sizes and st.is_dir():
+        new.st_size = _deterministic_dir_size(n_dir_entries)
+    new.st_blocks = (new.st_size + 511) // 512
+    return new
+
+
+def _stat_family(ctx: HandlerContext, thread, call, resolve_node) -> Outcome:
+    if "path" in call.args:
+        ctx.peek(1)
+    tag, payload = ctx.execute(call)
+    if tag == "err":
+        return ("error", payload)
+    if tag != "ok":
+        raise AssertionError("stat: unexpected outcome %r" % tag)
+    node = resolve_node()
+    n_entries = len(node.entries) if node is not None and node.is_dir else 0
+    ctx.poke(4)  # write the stat struct back
+    return ("value", _virtualize_stat(ctx, payload, n_entries))
+
+
+def handle_stat(ctx: HandlerContext, thread, call) -> Outcome:
+    return _stat_family(ctx, thread, call,
+                        lambda: ctx.resolve(call.args["path"]))
+
+
+def handle_fstat(ctx: HandlerContext, thread, call) -> Outcome:
+    def node():
+        try:
+            return thread.process.fdtable.get(call.args["fd"]).inode
+        except Exception:
+            return None
+
+    return _stat_family(ctx, thread, call, node)
+
+
+def handle_getdents(ctx: HandlerContext, thread, call) -> Outcome:
+    """The chunked API means the fs hands entries back a buffer at a
+    time; to sort, DetTrace drains the whole stream on the first call
+    (injecting repeat syscalls, §5.10), sorts once, and serves the
+    caller's chunks from the sorted buffer."""
+    if not ctx.config.sort_getdents:
+        tag, payload = ctx.execute(call)
+        if tag == "err":
+            return ("error", payload)
+        if ctx.config.virtualize_inodes:
+            payload = [Dirent(d_ino=ctx.inodes.virtual_ino(d.d_ino),
+                              d_name=d.d_name, d_type=d.d_type)
+                       for d in payload]
+        return ("value", payload)
+
+    fd = call.args.get("fd")
+    max_entries = call.args.get("max_entries")
+    try:
+        of = thread.process.fdtable.get(fd)
+    except Exception:
+        return passthrough(ctx, thread, call)
+    buffered = getattr(of, "_dt_dirents", None)
+    if buffered is not None and of.offset == 0 and buffered["pos"] > 0:
+        buffered = None   # the guest lseek'd back: rewind means re-drain
+    if buffered is None:
+        # Drain: re-execute until the kernel's cursor is exhausted
+        # (syscall injection, §5.10), then sort once.
+        collected = []
+        while True:
+            tag, payload = ctx.execute(call.replaced(max_entries=None))
+            if tag == "err":
+                return ("error", payload)
+            if tag != "ok":
+                raise AssertionError("getdents: unexpected outcome %r" % tag)
+            if not payload:
+                break
+            collected.extend(payload)
+        entries = sorted(collected, key=lambda d: d.d_name)
+        if ctx.config.virtualize_inodes:
+            entries = [Dirent(d_ino=ctx.inodes.virtual_ino(d.d_ino),
+                              d_name=d.d_name, d_type=d.d_type)
+                       for d in entries]
+        ctx.counters.getdents_sorted += 1
+        buffered = {"entries": entries, "pos": 0}
+        of._dt_dirents = buffered   # per-description tracer scratch
+    entries = buffered["entries"]
+    pos = buffered["pos"]
+    chunk = entries[pos:] if max_entries is None else entries[pos:pos + max_entries]
+    buffered["pos"] = pos + len(chunk)
+    ctx.poke(1 + len(chunk) // 4)
+    return ("value", chunk)
+
+
+def handle_utime(ctx: HandlerContext, thread, call) -> Outcome:
+    if not ctx.config.virtualize_inodes:
+        return passthrough(ctx, thread, call)
+    # A touch must be *visible* through the virtual mtime map, or
+    # touch-driven incremental rebuilds stop working (§5.5's "could
+    # easily be added" extension).
+    node = ctx.resolve(call.args.get("path", ""))
+    if node is not None:
+        stamp = ctx.inodes.touch(node.ino)
+    else:
+        stamp = ctx.inodes.mtime_clock
+    if call.args.get("times") is None:
+        # Null times would make the kernel stamp wall-clock now; allocate
+        # a reproducible timespec in the tracee scratch page instead.
+        ctx.poke(4)
+        call = call.replaced(times=(0.0, float(stamp)))
+    return passthrough(ctx, thread, call)
+
+
+HANDLERS = {
+    "open": handle_open,
+    "stat": handle_stat,
+    "lstat": handle_stat,
+    "fstat": handle_fstat,
+    "getdents": handle_getdents,
+    "utime": handle_utime,
+    # Mutating namei operations only need serialization; their results
+    # are deterministic once ordered.
+    "mkdir": passthrough,
+    "mkfifo": passthrough,
+    "rmdir": passthrough,
+    "unlink": passthrough,
+    "rename": passthrough,
+    "link": passthrough,
+    "symlink": passthrough,
+    "readlink": passthrough,
+    "chmod": passthrough,
+    "chown": passthrough,
+    "truncate": passthrough,
+    "access": passthrough,
+    "chdir": passthrough,
+    "chroot": passthrough,
+    "pipe": passthrough,
+    "close": passthrough,
+    "ioctl": passthrough,
+}

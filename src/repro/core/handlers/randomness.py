@@ -1,0 +1,23 @@
+"""OS randomness (paper §5.2): getrandom served from the container LFSR.
+
+Reads of ``/dev/random``/``/dev/urandom`` are handled by device
+replacement at container setup (the named-pipe analog); the open handler
+in :mod:`.filesystem` counts those opens for Table 2.
+"""
+
+from __future__ import annotations
+
+from . import HandlerContext, Outcome, passthrough
+
+
+def handle_getrandom(ctx: HandlerContext, thread, call) -> Outcome:
+    if not ctx.config.deterministic_randomness:
+        return passthrough(ctx, thread, call)
+    count = call.args.get("count", 0)
+    ctx.poke(max(1, count // 8))  # fill the user buffer
+    return ("value", ctx.prng.bytes(count))
+
+
+HANDLERS = {
+    "getrandom": handle_getrandom,
+}

@@ -1,0 +1,67 @@
+"""Reproducible logical time (paper §5.3, §5.8).
+
+Wall-clock syscalls get a per-process counter added to a fixed epoch, so
+time monotonically advances between calls (configure's clock-skew check
+passes) yet is a pure function of the call sequence.  ``rdtsc`` results
+are a linear function of the number of rdtsc instructions executed so
+far, per process.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: The fixed epoch DetTrace reports: Sun Aug  8 22:00:00 UTC 1993
+#: (the date the artifact's `dettrace date` prints).
+DETTRACE_EPOCH = 744847200
+
+#: Cycles added per rdtsc execution.
+RDTSC_STEP = 1000
+RDTSC_BASE = 4_000_000_000
+
+
+class LogicalClock:
+    """Per-process logical clocks for time syscalls and rdtsc."""
+
+    def __init__(self, epoch: int = DETTRACE_EPOCH):
+        self.epoch = epoch
+        self._time_calls: Dict[int, int] = {}
+        self._rdtsc_calls: Dict[int, int] = {}
+
+    # -- wall-clock style calls ----------------------------------------------
+
+    def next_time(self, pid: int) -> int:
+        """Integer seconds for time(2): epoch + number of prior calls."""
+        count = self._time_calls.get(pid, 0)
+        self._time_calls[pid] = count + 1
+        return self.epoch + count
+
+    def next_timeofday(self, pid: int) -> float:
+        """Float seconds for gettimeofday/clock_gettime.
+
+        Shares the per-process counter with :meth:`next_time` at the same
+        one-second granularity so interleaved time()/gettimeofday() calls
+        observe one consistent, strictly advancing clock.
+        """
+        count = self._time_calls.get(pid, 0)
+        self._time_calls[pid] = count + 1
+        return float(self.epoch + count)
+
+    def next_monotonic(self, pid: int) -> float:
+        count = self._time_calls.get(pid, 0)
+        self._time_calls[pid] = count + 1
+        return float(count)
+
+    def time_calls(self, pid: int) -> int:
+        return self._time_calls.get(pid, 0)
+
+    # -- rdtsc ----------------------------------------------------------------
+
+    def next_rdtsc(self, pid: int) -> int:
+        count = self._rdtsc_calls.get(pid, 0)
+        self._rdtsc_calls[pid] = count + 1
+        return RDTSC_BASE + count * RDTSC_STEP
+
+    def forget_process(self, pid: int) -> None:
+        self._time_calls.pop(pid, None)
+        self._rdtsc_calls.pop(pid, None)

@@ -1,0 +1,50 @@
+"""uid/gid namespace mapping (paper §5.1, §5.5).
+
+The container maps the invoking user account to root and every other
+account to nobody/nogroup; this mapping is part of the container's input
+(Figure 1), and the values stat reports inside the container come from
+it.  PID namespacing itself is implemented by the kernel's namespace
+counter (sequential PIDs from 1), enabled by the container at boot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+ROOT_UID = 0
+ROOT_GID = 0
+NOBODY_UID = 65534
+NOGROUP_GID = 65534
+
+
+@dataclasses.dataclass(frozen=True)
+class UidGidMap:
+    """Maps host uids/gids to their container-visible values.
+
+    The default maps the invoking user to root and everyone else to
+    nobody/nogroup; explicit overrides make the mapping itself a
+    container *input* (§5.5), so two containers with different maps are
+    allowed to produce different (each individually reproducible)
+    outputs.
+    """
+
+    host_uid: int
+    host_gid: int = 0
+    uid_overrides: tuple = ()
+    gid_overrides: tuple = ()
+
+    def to_container_uid(self, uid: int) -> int:
+        for host, container in self.uid_overrides:
+            if uid == host:
+                return container
+        if uid == self.host_uid or uid == ROOT_UID:
+            return ROOT_UID
+        return NOBODY_UID
+
+    def to_container_gid(self, gid: int) -> int:
+        for host, container in self.gid_overrides:
+            if gid == host:
+                return container
+        if gid == self.host_gid or gid == ROOT_GID:
+            return ROOT_GID
+        return NOGROUP_GID

@@ -1,0 +1,38 @@
+"""DetTrace's deterministic randomness: a simple LFSR PRNG (paper §5.2).
+
+``getrandom`` and reads of ``/dev/[u]random`` inside the container are
+served from this generator.  The seed is part of the container
+configuration, so "true randomness" can be introduced in a controlled,
+replayable way.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+
+class Lfsr:
+    """A 64-bit xorshift* generator (LFSR-class, tiny and deterministic)."""
+
+    def __init__(self, seed: int = 0):
+        # A zero state would be a fixed point; displace it like real LFSRs.
+        self.state = (seed & _MASK64) or 0x9E3779B97F4A7C15
+
+    def next_u64(self) -> int:
+        x = self.state
+        x ^= (x >> 12) & _MASK64
+        x ^= (x << 25) & _MASK64
+        x ^= (x >> 27) & _MASK64
+        self.state = x & _MASK64
+        return (x * 0x2545F4914F6CDD1D) & _MASK64
+
+    def bytes(self, n: int) -> bytes:
+        out = bytearray()
+        while len(out) < n:
+            out.extend(self.next_u64().to_bytes(8, "little"))
+        return bytes(out[:n])
+
+    def randrange(self, n: int) -> int:
+        if n <= 0:
+            raise ValueError("randrange needs n > 0")
+        return self.next_u64() % n

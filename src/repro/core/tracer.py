@@ -1,0 +1,251 @@
+"""The DetTrace tracer: determinization driven by the reproducible scheduler.
+
+This object is the shaded box of the paper's Figure 2: it sits between
+the unmodified guest processes and the unmodified kernel, intercepting
+syscalls (via the ptrace analog, filtered by seccomp) and irreproducible
+instructions (via hardware trap support), and servicing them in the
+deterministic order chosen by the three-queue scheduler of §5.6.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from ..cpu import instructions as insn
+from ..kernel.costs import (
+    EXECVE_TRACER_COST,
+    INSTR_TRAP_COST,
+    TRACEE_WAKEUP_LATENCY,
+    TRACER_HANDLER_COST,
+    TRACER_REPLAY_COST,
+    TRACER_SCHED_COST,
+)
+from ..kernel.process import Process, Thread
+from ..kernel.types import CpuidResult
+from ..tracer.ptrace import TracerBase
+from ..tracer.seccomp import SeccompFilter
+from .config import ContainerConfig
+from .errors import BusyWaitError
+from .handlers import HandlerContext, build_handler_table, passthrough
+from .inode_table import InodeTable
+from .logical_time import LogicalClock
+from .namespaces import UidGidMap
+from .prng import Lfsr
+
+#: What cpuid reports inside the container: a canonical uniprocessor with
+#: no TSX and no hardware randomness (§5.8).
+CANONICAL_CPUID = CpuidResult(
+    vendor="GenuineIntel",
+    brand="DetTrace Virtual CPU @ 1.00GHz",
+    family=6,
+    model=0,
+    cores=1,
+    features=["avx"],
+)
+
+
+class DetTraceTracer(TracerBase):
+    """Determinizing tracer over one simulated kernel."""
+
+    def __init__(self, config: ContainerConfig, uidmap: UidGidMap):
+        super().__init__()
+        self.config = config
+        self.uidmap = uidmap
+        self.prng = Lfsr(config.prng_seed)
+        self.logical = LogicalClock(config.epoch)
+        self.inodes = InodeTable()
+        self.handlers = build_handler_table()
+        #: Cross-retry handler scratch (partial IO accumulation).
+        self.io_state: Dict[Tuple[str, int], Any] = {}
+        #: --debug N trace lines (see ContainerConfig.debug).
+        self.debug_log: list = []
+        self._pumping = False
+        self._last_proc: Process = None
+        self.sched = None  # set in attach (import cycle avoidance)
+
+    def attach(self, kernel) -> None:
+        from .scheduler import make_scheduler
+
+        super().attach(kernel)
+        self.seccomp = SeccompFilter(
+            enabled=self.config.use_seccomp,
+            kernel_version=kernel.host.machine.kernel_version)
+        self.sched = make_scheduler(self.config.scheduler)
+
+    # ------------------------------------------------------------------
+    # instruction interception (§5.8)
+    # ------------------------------------------------------------------
+
+    def traps_instruction(self, thread: Thread, name: str) -> bool:
+        machine = self.kernel.host.machine
+        if name in (insn.RDTSC, insn.RDTSCP):
+            return self.config.trap_rdtsc
+        if name == insn.CPUID:
+            return (self.config.mask_cpuid and machine.cpuid_faulting
+                    and machine.kernel_version_at_least(4, 12))
+        if name == insn.RDPMC:
+            return True
+        return False
+
+    def on_instruction(self, thread: Thread, name: str) -> Tuple[Any, float]:
+        finish = self.charge(INSTR_TRAP_COST)
+        if self.config.debug >= 2:
+            self.debug_log.append("[pid %d] trap %s" % (thread.process.nspid, name))
+        if name in (insn.RDTSC, insn.RDTSCP):
+            self.counters.rdtsc_intercepted += 1
+            return (self.logical.next_rdtsc(thread.process.pid), finish)
+        if name == insn.CPUID:
+            self.counters.cpuid_intercepted += 1
+            return (CANONICAL_CPUID, finish)
+        if name == insn.RDPMC:
+            return (0, finish)
+        raise AssertionError("trapped un-trappable instruction %r" % name)
+
+    # ------------------------------------------------------------------
+    # process lifecycle
+    # ------------------------------------------------------------------
+
+    def on_process_spawn(self, proc: Process) -> None:
+        self.counters.process_spawns += 1
+        self.sched.add(proc.main_thread)
+
+    def on_thread_spawn(self, thread: Thread) -> None:
+        self.sched.add(thread)
+
+    def on_thread_exit(self, thread: Thread) -> None:
+        self.sched.remove(thread)
+
+    def on_process_exit(self, proc: Process) -> None:
+        for thread in proc.threads:
+            self.sched.remove(thread)
+        self.logical.forget_process(proc.pid)
+
+    def on_execve(self, proc: Process) -> None:
+        """Rewrite the fresh image's vDSO and allocate the scratch page
+        (§5.3, §5.10)."""
+        if self.config.patch_vdso:
+            proc.vdso_patched = True
+            self.counters.vdso_patches += 1
+            self.charge(EXECVE_TRACER_COST + self.poke_memory(8))
+
+    def on_busy_wait(self, thread: Thread) -> None:
+        raise BusyWaitError(thread.process.nspid, thread.tid)
+
+    # ------------------------------------------------------------------
+    # the scheduling pump (§5.6)
+    # ------------------------------------------------------------------
+
+    def on_trace_stop(self, thread: Thread) -> None:
+        self.counters.syscall_events += 1
+        self._pump()
+
+    def on_thread_progress(self, thread: Thread) -> None:
+        # A running thread raised its deterministic bound; a stopped
+        # candidate may have become eligible.
+        self._pump()
+
+    def on_quiescent(self) -> bool:
+        return self._pump()
+
+    def _pump(self) -> bool:
+        """Service/probe stopped threads in the deterministic order."""
+        from .scheduler import PROBE, SERVICE, WAIT
+
+        if self._pumping:
+            return False
+        self._pumping = True
+        progress = False
+        failed_this_pump = set()
+        try:
+            while True:
+                action, thread = self.sched.next_action()
+                if action == WAIT or thread in failed_this_pump:
+                    break
+                if action == SERVICE:
+                    ok = self._service(thread)
+                else:
+                    ok = self._probe(thread)
+                if ok:
+                    progress = True
+                    failed_this_pump.clear()
+                else:
+                    failed_this_pump.add(thread)
+        finally:
+            self._pumping = False
+        return progress
+
+    # ------------------------------------------------------------------
+    # servicing one syscall
+    # ------------------------------------------------------------------
+
+    def _run_handler(self, thread: Thread):
+        call = thread.current_syscall
+        handler = self.handlers.get(call.name, passthrough)
+        ctx = HandlerContext(self, thread)
+        return handler(ctx, thread, call)
+
+    def _service(self, thread: Thread) -> bool:
+        if thread.process is not self._last_proc:
+            self.counters.sched_requests += 1
+            self.charge(TRACER_SCHED_COST)
+            self._last_proc = thread.process
+        self.charge(self.seccomp.stop_cost + TRACER_HANDLER_COST)
+        outcome, payload = self._run_handler(thread)
+        if self.config.debug:
+            self._debug_line(thread, outcome, payload)
+        if outcome == "block":
+            self.counters.replays_blocking += 1
+            self.charge(TRACER_REPLAY_COST)
+            self.sched.still_blocked(thread)
+            self.kernel.release_step_token(thread)
+            return False
+        self._complete(thread, outcome, payload)
+        return True
+
+    def _debug_line(self, thread: Thread, outcome: str, payload) -> None:
+        call = thread.current_syscall
+        args = ", ".join("%s=%.40r" % kv for kv in sorted(call.args.items()))
+        shown = payload
+        if isinstance(shown, bytes) and len(shown) > 24:
+            shown = shown[:24] + b"..."
+        self.debug_log.append("[pid %d] %s(%s) -> %s %.60r" % (
+            thread.process.nspid, call.name, args, outcome, shown))
+
+    def _probe(self, thread: Thread) -> bool:
+        """Re-try a blocked thread's syscall; True if it completed."""
+        self.charge(TRACER_REPLAY_COST)
+        outcome, payload = self._run_handler(thread)
+        if outcome == "block":
+            self.counters.replays_blocking += 1
+            self.sched.still_blocked(thread)
+            self.kernel.release_step_token(thread)
+            return False
+        self._complete(thread, outcome, payload)
+        return True
+
+    def _complete(self, thread: Thread, outcome: str, payload) -> None:
+        # Advance the scheduler's service epoch even for exits: an exit is
+        # a state change that can unblock wait4 probes.
+        self.sched.completed(thread)
+        if outcome == "exited":
+            # terminate_process already removed the thread from the
+            # scheduler via the exit hooks; nothing to resume.
+            return
+        # Resume eagerly at the tracer's finish time so the thread's next
+        # operation (and hence its deterministic bound) is committed
+        # immediately; the context-switch-back latency is owed as wall
+        # time on its next compute segment instead.  Without this, the
+        # deterministic service order would convoy on wakeup latency.
+        thread.pending_latency += TRACEE_WAKEUP_LATENCY
+        if outcome == "value":
+            self.kernel.tracer_resume(thread, self.busy_until, value=payload)
+        elif outcome == "error":
+            self.kernel.tracer_resume(thread, self.busy_until, exc=payload)
+        elif outcome == "execve":
+            self.kernel.tracer_execve(thread, payload, at=self.busy_until)
+        elif outcome == "sleep":
+            # Timer emulation disabled: let virtual time pass, then return.
+            at = max(self.busy_until, self.kernel.clock.now + payload)
+            self.kernel.tracer_resume(thread, at, value=0)
+        else:
+            raise AssertionError("unknown outcome %r" % outcome)

@@ -1,0 +1,18 @@
+"""Guest program model: programs are generators driven by the kernel."""
+
+from .coreutils import COREUTILS_PATHS, install_coreutils
+from .program import BinaryRegistry, with_args
+from .runtime import Sys
+from .shell import Shell, ShellError, sh_command, sh_main
+
+__all__ = [
+    "BinaryRegistry",
+    "COREUTILS_PATHS",
+    "Shell",
+    "ShellError",
+    "Sys",
+    "install_coreutils",
+    "sh_command",
+    "sh_main",
+    "with_args",
+]

@@ -1,0 +1,366 @@
+"""Busybox-style core utilities, as guest programs.
+
+These are the stock tools the paper's artifact appendix demonstrates
+(`dettrace date`, `dettrace ls -ahl`, `dettrace stat foo.txt`): ordinary
+programs whose output is riddled with irreproducible values natively,
+and becomes deterministic inside the container with no changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict
+
+from ..kernel.errors import SyscallError
+from .libc import format_date
+
+#: Where the toolbox gets installed inside an image.
+COREUTILS_PATHS = {
+    "date": "/bin/date",
+    "ls": "/bin/ls",
+    "stat": "/bin/stat",
+    "cat": "/bin/cat",
+    "env": "/bin/env",
+    "uname": "/bin/uname",
+    "sha256sum": "/bin/sha256sum",
+    "mktemp": "/bin/mktemp",
+    "head": "/bin/head",
+    "wc": "/bin/wc",
+    "cp": "/bin/cp",
+    "mkdir": "/bin/mkdir",
+    "rm": "/bin/rm",
+    "touch": "/bin/touch",
+    "true": "/bin/true",
+    "false": "/bin/false",
+    "hostname": "/bin/hostname",
+    "nproc": "/bin/nproc",
+    "grep": "/bin/grep",
+    "sort": "/bin/sort",
+    "diff": "/bin/diff",
+    "seq": "/bin/seq",
+    "sleep": "/bin/sleep",
+    "ln": "/bin/ln",
+    "find": "/bin/find",
+    "readlink": "/bin/readlink",
+}
+
+
+def date_main(sys):
+    """`date`: the artifact's flagship demo (prints Aug 8 1993 inside)."""
+    t = yield from sys.time()
+    yield from sys.println(format_date(t, sys.getenv("TZ", "UTC"),
+                                       sys.getenv("LANG", "C")))
+    return 0
+
+
+def ls_main(sys):
+    """`ls [-l] [dir]`: names in readdir order; -l adds metadata."""
+    args = [a for a in sys.argv[1:] if not a.startswith("-")]
+    long_format = any("l" in a for a in sys.argv[1:] if a.startswith("-"))
+    path = args[0] if args else "."
+    try:
+        names = yield from sys.listdir(path)
+    except SyscallError as err:
+        yield from sys.eprintln("ls: %s: %s" % (path, err))
+        return 1
+    for name in names:
+        if long_format:
+            st = yield from sys.stat(path.rstrip("/") + "/" + name)
+            date = format_date(st.st_mtime, sys.getenv("TZ", "UTC"))
+            yield from sys.println("%6o %4d %4d %8d %s %s" % (
+                st.st_mode, st.st_uid, st.st_gid, st.st_size, date, name))
+        else:
+            yield from sys.println(name)
+    return 0
+
+
+def stat_main(sys):
+    """`stat file`: every line a potential irreproducibility leak."""
+    if len(sys.argv) < 2:
+        yield from sys.eprintln("stat: missing operand")
+        return 1
+    try:
+        st = yield from sys.stat(sys.argv[1])
+    except SyscallError as err:
+        yield from sys.eprintln("stat: %s" % err)
+        return 1
+    yield from sys.println("  File: %s" % sys.argv[1])
+    yield from sys.println("  Size: %d\tBlocks: %d\tIO Block: %d" % (
+        st.st_size, st.st_blocks, st.st_blksize))
+    yield from sys.println("Device: %xh\tInode: %d\tLinks: %d" % (
+        st.st_dev, st.st_ino, st.st_nlink))
+    yield from sys.println("Access: (%04o)  Uid: %d  Gid: %d" % (
+        st.st_mode & 0o7777, st.st_uid, st.st_gid))
+    yield from sys.println("Access: %s" % format_date(st.st_atime))
+    yield from sys.println("Modify: %s" % format_date(st.st_mtime))
+    yield from sys.println("Change: %s" % format_date(st.st_ctime))
+    return 0
+
+
+def cat_main(sys):
+    if len(sys.argv) < 2:
+        data = yield from sys.read_exact(0, 1 << 20)
+        yield from sys.write_all(1, data)
+        return 0
+    for path in sys.argv[1:]:
+        try:
+            data = yield from sys.read_file(path)
+        except SyscallError as err:
+            yield from sys.eprintln("cat: %s" % err)
+            return 1
+        yield from sys.write_all(1, data)
+    return 0
+
+
+def env_main(sys):
+    for key in sorted(sys.env):
+        yield from sys.println("%s=%s" % (key, sys.env[key]))
+    return 0
+
+
+def uname_main(sys):
+    un = yield from sys.uname()
+    if "-a" in sys.argv:
+        yield from sys.println(" ".join(un.as_tuple()))
+    else:
+        yield from sys.println(un.sysname)
+    return 0
+
+
+def sha256sum_main(sys):
+    """The hashdeep-style verifier used all over the evaluation."""
+    status = 0
+    for path in sys.argv[1:]:
+        try:
+            data = yield from sys.read_file(path)
+        except SyscallError:
+            yield from sys.eprintln("sha256sum: %s: unreadable" % path)
+            status = 1
+            continue
+        digest = hashlib.sha256(data).hexdigest()
+        yield from sys.println("%s  %s" % (digest, path))
+    return status
+
+
+def mktemp_main(sys):
+    """`mktemp`: glibc-style unique names via the raw vDSO clock (§5.3)."""
+    from .libc import mkstemp
+
+    fd, path = yield from mkstemp(sys, template_prefix="/tmp/tmp.")
+    yield from sys.close(fd)
+    yield from sys.println(path)
+    return 0
+
+
+def head_main(sys):
+    count = 10
+    paths = []
+    args = iter(sys.argv[1:])
+    for arg in args:
+        if arg == "-n":
+            count = int(next(args))
+        else:
+            paths.append(arg)
+    if paths:
+        data = yield from sys.read_file(paths[0])
+    else:
+        data = yield from sys.read_exact(0, 1 << 20)
+    lines = data.splitlines(keepends=True)[:count]
+    yield from sys.write_all(1, b"".join(lines))
+    return 0
+
+
+def wc_main(sys):
+    if len(sys.argv) > 1:
+        data = yield from sys.read_file(sys.argv[1])
+    else:
+        data = yield from sys.read_exact(0, 1 << 20)
+    yield from sys.println("%d %d %d" % (
+        data.count(b"\n"), len(data.split()), len(data)))
+    return 0
+
+
+def cp_main(sys):
+    if len(sys.argv) < 3:
+        yield from sys.eprintln("cp: usage: cp SRC DST")
+        return 1
+    data = yield from sys.read_file(sys.argv[1])
+    yield from sys.write_file(sys.argv[2], data)
+    return 0
+
+
+def mkdir_main(sys):
+    for path in sys.argv[1:]:
+        if path == "-p":
+            continue
+        yield from sys.mkdir_p(path)
+    return 0
+
+
+def rm_main(sys):
+    status = 0
+    for path in sys.argv[1:]:
+        if path.startswith("-"):
+            continue
+        try:
+            yield from sys.unlink(path)
+        except SyscallError:
+            status = 1
+    return status
+
+
+def touch_main(sys):
+    for path in sys.argv[1:]:
+        present = yield from sys.access(path)
+        if present:
+            yield from sys.utime(path)
+        else:
+            yield from sys.write_file(path, b"")
+    return 0
+
+
+def true_main(sys):
+    yield from sys.compute(0)
+    return 0
+
+
+def false_main(sys):
+    yield from sys.compute(0)
+    return 1
+
+
+def hostname_main(sys):
+    un = yield from sys.uname()
+    yield from sys.println(un.nodename)
+    return 0
+
+
+def grep_main(sys):
+    """`grep PATTERN [file]` (fixed-string match)."""
+    if len(sys.argv) < 2:
+        yield from sys.eprintln("grep: missing pattern")
+        return 2
+    pattern = sys.argv[1].encode()
+    if len(sys.argv) > 2:
+        data = yield from sys.read_file(sys.argv[2])
+    else:
+        data = yield from sys.read_exact(0, 1 << 20)
+    hits = [line for line in data.splitlines(keepends=True) if pattern in line]
+    yield from sys.write_all(1, b"".join(hits))
+    return 0 if hits else 1
+
+
+def sort_main(sys):
+    if len(sys.argv) > 1:
+        data = yield from sys.read_file(sys.argv[1])
+    else:
+        data = yield from sys.read_exact(0, 1 << 20)
+    lines = sorted(data.splitlines(keepends=False))
+    yield from sys.write_all(1, b"\n".join(lines) + (b"\n" if lines else b""))
+    return 0
+
+
+def diff_main(sys):
+    if len(sys.argv) < 3:
+        yield from sys.eprintln("diff: usage: diff A B")
+        return 2
+    a = yield from sys.read_file(sys.argv[1])
+    b = yield from sys.read_file(sys.argv[2])
+    if a == b:
+        return 0
+    a_lines = a.splitlines()
+    b_lines = b.splitlines()
+    for i in range(max(len(a_lines), len(b_lines))):
+        left = a_lines[i] if i < len(a_lines) else b""
+        right = b_lines[i] if i < len(b_lines) else b""
+        if left != right:
+            yield from sys.write_all(1, b"%dc%d\n< %s\n> %s\n"
+                                     % (i + 1, i + 1, left, right))
+    return 1
+
+
+def seq_main(sys):
+    if len(sys.argv) == 2:
+        first, last = 1, int(sys.argv[1])
+    elif len(sys.argv) >= 3:
+        first, last = int(sys.argv[1]), int(sys.argv[2])
+    else:
+        yield from sys.eprintln("seq: usage: seq [first] last")
+        return 2
+    out = b"".join(b"%d\n" % i for i in range(first, last + 1))
+    yield from sys.write_all(1, out)
+    return 0
+
+
+def sleep_main(sys):
+    seconds = float(sys.argv[1]) if len(sys.argv) > 1 else 0.0
+    yield from sys.sleep(seconds)
+    return 0
+
+
+def ln_main(sys):
+    args = [a for a in sys.argv[1:] if not a.startswith("-")]
+    symbolic = "-s" in sys.argv
+    if len(args) < 2:
+        yield from sys.eprintln("ln: usage: ln [-s] TARGET LINK")
+        return 1
+    if symbolic:
+        yield from sys.symlink(args[0], args[1])
+    else:
+        yield from sys.syscall("link", target=args[0], linkpath=args[1])
+    return 0
+
+
+def find_main(sys):
+    """`find [dir]`: recursive listing, one path per line."""
+    start = sys.argv[1] if len(sys.argv) > 1 else "."
+
+    def walk(path):
+        yield from sys.write_all(1, path.encode() + b"\n")
+        try:
+            st = yield from sys.stat(path)
+        except SyscallError:
+            return
+        if st.is_dir():
+            names = yield from sys.listdir(path)
+            for name in sorted(names):
+                yield from walk(path.rstrip("/") + "/" + name)
+
+    yield from walk(start)
+    return 0
+
+
+def readlink_main(sys):
+    if len(sys.argv) < 2:
+        return 1
+    target = yield from sys.readlink(sys.argv[1])
+    yield from sys.println(target)
+    return 0
+
+
+def nproc_main(sys):
+    si = yield from sys.sysinfo()
+    yield from sys.println(str(si.nprocs))
+    return 0
+
+
+_MAINS = {
+    "date": date_main, "ls": ls_main, "stat": stat_main, "cat": cat_main,
+    "env": env_main, "uname": uname_main, "sha256sum": sha256sum_main,
+    "mktemp": mktemp_main, "head": head_main, "wc": wc_main, "cp": cp_main,
+    "mkdir": mkdir_main, "rm": rm_main, "touch": touch_main,
+    "true": true_main, "false": false_main, "hostname": hostname_main,
+    "nproc": nproc_main, "grep": grep_main, "sort": sort_main,
+    "diff": diff_main, "seq": seq_main, "sleep": sleep_main,
+    "ln": ln_main, "find": find_main, "readlink": readlink_main,
+}
+
+
+def install_coreutils(image) -> Dict[str, str]:
+    """Add the whole toolbox (and /bin/sh) to an image; returns paths."""
+    from .shell import sh_main
+
+    for name, path in COREUTILS_PATHS.items():
+        image.add_binary(path, _MAINS[name])
+    image.add_binary("/bin/sh", sh_main)
+    return dict(COREUTILS_PATHS, sh="/bin/sh")

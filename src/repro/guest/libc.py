@@ -1,0 +1,90 @@
+"""Higher-level libc-like helpers shared by guest programs.
+
+These reproduce the specific libc behaviours the paper calls out as
+irreproducibility vectors:
+
+* temporary-file names derived from ``rdtsc`` and the PID (used by gcc;
+  §7.4 "rdtsc instructions are used by ... libc to generate temporary
+  file names for gcc");
+* ``mkstemp`` finding the vDSO directly via ``getauxval`` and calling the
+  timing function behind ptrace's back (§5.3);
+* locale/timezone-dependent date formatting (reprotest varies TZ and
+  locale).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Generator
+
+from ..kernel.ops import Instr, Syscall, VdsoCall
+from ..kernel.types import O_CREAT, O_EXCL, O_WRONLY
+
+#: Timezone database: name -> offset seconds east of UTC.  (A real zoneinfo
+#: is overkill; builds only embed the offset and abbreviation.)
+TZ_OFFSETS = {
+    "UTC": 0,
+    "America/New_York": -5 * 3600,
+    "America/Los_Angeles": -8 * 3600,
+    "Europe/Berlin": 1 * 3600,
+    "Europe/London": 0,
+    "Asia/Tokyo": 9 * 3600,
+}
+
+MONTHS = ["Jan", "Feb", "Mar", "Apr", "May", "Jun",
+          "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"]
+
+
+def tz_offset_for(tz_name: str) -> int:
+    return TZ_OFFSETS.get(tz_name, 0)
+
+
+def format_date(epoch: float, tz_name: str = "UTC", locale: str = "C") -> str:
+    """A ctime-style date string, localized just enough to vary."""
+    t = _time.gmtime(int(epoch) + tz_offset_for(tz_name))
+    month = MONTHS[t.tm_mon - 1]
+    if locale.startswith(("de", "fr")):
+        # European order: day month year.
+        return "%02d %s %04d %02d:%02d:%02d %s" % (
+            t.tm_mday, month, t.tm_year, t.tm_hour, t.tm_min, t.tm_sec, tz_name)
+    return "%s %2d %02d:%02d:%02d %04d %s" % (
+        month, t.tm_mday, t.tm_hour, t.tm_min, t.tm_sec, t.tm_year, tz_name)
+
+
+def tmpnam(sys, prefix: str = "/tmp/cc") -> Generator:
+    """Generate a 'unique' temp file name from rdtsc + pid (gcc style)."""
+    tsc = yield Instr("rdtsc")
+    pid = yield Syscall("getpid", {})
+    return "%s%d_%x" % (prefix, pid, tsc & 0xFFFFFF)
+
+
+def mkstemp(sys, template_prefix: str = "/tmp/tmp") -> Generator:
+    """Create a unique temp file, timing via the raw vDSO (glibc style).
+
+    glibc's mkstemp locates the vDSO through getauxval and calls it
+    directly, which is why LD_PRELOAD interception is insufficient and
+    DetTrace must rewrite the vDSO itself (§5.3).
+    """
+    yield Syscall("getauxval", {"key": "AT_SYSINFO_EHDR"})
+    attempt = 0
+    while True:
+        now = yield VdsoCall("gettimeofday", {})
+        suffix = "%06d%02d" % (int(now * 1e6) % 1_000_000, attempt)
+        path = template_prefix + suffix
+        try:
+            fd = yield Syscall(
+                "open", {"path": path, "flags": O_WRONLY | O_CREAT | O_EXCL,
+                         "mode": 0o600})
+            return fd, path
+        except Exception:
+            attempt += 1
+            if attempt > 16:
+                raise
+
+
+def gnu_hash(data: bytes) -> int:
+    """The classic djb2-style hash used for stable symbol buckets."""
+    h = 5381
+    for b in data:
+        h = ((h * 33) + b) & 0xFFFFFFFF
+    return h

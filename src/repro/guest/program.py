@@ -1,0 +1,54 @@
+"""Guest program plumbing: factories and a registry helper.
+
+A *program factory* is any callable ``factory(sys) -> generator``; the
+kernel's binary registry maps executable paths to factories.  This module
+provides small adapters for writing programs naturally.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Dict, Generator
+
+
+ProgramFactory = Callable[..., Generator]
+
+
+def with_args(fn: Callable, *args, **kwargs) -> ProgramFactory:
+    """Bind extra arguments: ``with_args(main, cfg)`` -> ``factory(sys)``."""
+
+    @functools.wraps(fn)
+    def factory(sys):
+        return fn(sys, *args, **kwargs)
+
+    return factory
+
+
+class BinaryRegistry:
+    """A convenience bundle of path -> factory mappings.
+
+    Workload image builders accumulate entries here and then install them
+    into a freshly-booted kernel with :meth:`install`.
+    """
+
+    def __init__(self):
+        self._programs: Dict[str, ProgramFactory] = {}
+
+    def add(self, path: str, factory: ProgramFactory) -> None:
+        self._programs[path] = factory
+
+    def program(self, path: str):
+        """Decorator form: ``@registry.program('/usr/bin/gcc')``."""
+
+        def deco(fn: ProgramFactory) -> ProgramFactory:
+            self.add(path, fn)
+            return fn
+
+        return deco
+
+    def install(self, kernel) -> None:
+        for path, factory in self._programs.items():
+            kernel.register_binary(path, factory)
+
+    def paths(self):
+        return sorted(self._programs)

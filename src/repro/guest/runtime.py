@@ -1,0 +1,383 @@
+"""The guest-side runtime: what "libc" gives a simulated program.
+
+Guest programs are generator functions taking one argument, a :class:`Sys`
+instance, and using ``yield from`` on its helpers::
+
+    def main(sys):
+        fd = yield from sys.open("/etc/hostname")
+        name = yield from sys.read(fd, 256)
+        yield from sys.println("hello from " + name.decode())
+        return 0
+
+Helpers translate into the operations of :mod:`repro.kernel.ops`.  Note
+that the *timing* helpers go through the vDSO by default, exactly like
+glibc — which is why a naive tracer misses them (§5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional
+
+from ..kernel.errors import Errno, SyscallError
+from ..kernel.ops import Compute, Instr, Syscall, VdsoCall
+from ..kernel.types import (
+    O_CREAT,
+    O_EXCL,
+    O_RDONLY,
+    O_TRUNC,
+    O_WRONLY,
+    FUTEX_WAIT,
+    FUTEX_WAKE,
+    WNOHANG,
+    WaitResult,
+)
+
+
+class Sys:
+    """Per-thread guest runtime facade."""
+
+    def __init__(self, thread):
+        self.thread = thread
+
+    # -- direct (no syscall) process state: this is just memory -----------
+
+    @property
+    def argv(self) -> List[str]:
+        return self.thread.process.argv
+
+    @property
+    def env(self) -> Dict[str, str]:
+        return self.thread.process.env
+
+    @property
+    def mem(self) -> Dict[str, Any]:
+        """The process's shared memory (visible to all its threads)."""
+        return self.thread.process.memory
+
+    def getenv(self, name: str, default: str = "") -> str:
+        return self.env.get(name, default)
+
+    @property
+    def address_of_main(self) -> int:
+        """A code address, as ``&main`` would observe it (ASLR-dependent)."""
+        return self.thread.process.aslr_base + 0x1040
+
+    # -- raw operation helpers ------------------------------------------------
+
+    def syscall(self, name: str, **args):
+        result = yield Syscall(name, args)
+        return result
+
+    def instr(self, name: str):
+        result = yield Instr(name)
+        return result
+
+    def compute(self, work: float):
+        yield Compute(work)
+
+    # -- files ---------------------------------------------------------------
+
+    def open(self, path: str, flags: int = O_RDONLY, mode: int = 0o644):
+        return (yield Syscall("open", {"path": path, "flags": flags, "mode": mode}))
+
+    def close(self, fd: int):
+        return (yield Syscall("close", {"fd": fd}))
+
+    def read(self, fd: int, count: int):
+        """One read syscall: may legitimately return fewer bytes."""
+        return (yield Syscall("read", {"fd": fd, "count": count}))
+
+    def write(self, fd: int, data) -> Generator:
+        """One write syscall: may legitimately be partial on pipes."""
+        if isinstance(data, str):
+            data = data.encode()
+        return (yield Syscall("write", {"fd": fd, "data": data}))
+
+    def write_all(self, fd: int, data) -> Generator:
+        """Loop until everything is written (userspace retry loop)."""
+        if isinstance(data, str):
+            data = data.encode()
+        done = 0
+        while done < len(data):
+            n = yield Syscall("write", {"fd": fd, "data": data[done:]})
+            done += n
+        return done
+
+    def read_exact(self, fd: int, count: int):
+        """Loop until *count* bytes or EOF (userspace retry loop)."""
+        chunks = []
+        remaining = count
+        while remaining > 0:
+            data = yield Syscall("read", {"fd": fd, "count": remaining})
+            if not data:
+                break
+            chunks.append(data)
+            remaining -= len(data)
+        return b"".join(chunks)
+
+    def read_file(self, path: str, chunk: int = 1 << 16):
+        fd = yield from self.open(path)
+        parts = []
+        while True:
+            data = yield Syscall("read", {"fd": fd, "count": chunk})
+            if not data:
+                break
+            parts.append(data)
+        yield from self.close(fd)
+        return b"".join(parts)
+
+    def write_file(self, path: str, data, mode: int = 0o644):
+        fd = yield from self.open(path, O_WRONLY | O_CREAT | O_TRUNC, mode)
+        yield from self.write_all(fd, data)
+        yield from self.close(fd)
+
+    def stat(self, path: str):
+        return (yield Syscall("stat", {"path": path}))
+
+    def lstat(self, path: str):
+        return (yield Syscall("lstat", {"path": path}))
+
+    def fstat(self, fd: int):
+        return (yield Syscall("fstat", {"fd": fd}))
+
+    def access(self, path: str):
+        try:
+            yield Syscall("access", {"path": path})
+            return True
+        except SyscallError as err:
+            if err.errno == Errno.ENOENT:
+                return False
+            raise
+
+    def listdir(self, path: str):
+        """Names in *path*, in raw getdents order (irreproducible!)."""
+        fd = yield from self.open(path)
+        dirents = yield Syscall("getdents", {"fd": fd})
+        yield from self.close(fd)
+        return [d.d_name for d in dirents]
+
+    def mkfifo(self, path: str, mode: int = 0o644):
+        return (yield Syscall("mkfifo", {"path": path, "mode": mode}))
+
+    def mkdir(self, path: str, mode: int = 0o755):
+        return (yield Syscall("mkdir", {"path": path, "mode": mode}))
+
+    def mkdir_p(self, path: str):
+        parts = [p for p in path.split("/") if p]
+        prefix = "" if path.startswith("/") else "."
+        for part in parts:
+            prefix = prefix + "/" + part
+            try:
+                yield Syscall("mkdir", {"path": prefix})
+            except SyscallError as err:
+                if err.errno != Errno.EEXIST:
+                    raise
+
+    def unlink(self, path: str):
+        return (yield Syscall("unlink", {"path": path}))
+
+    def rename(self, old: str, new: str):
+        return (yield Syscall("rename", {"old": old, "new": new}))
+
+    def symlink(self, target: str, linkpath: str):
+        return (yield Syscall("symlink", {"target": target, "linkpath": linkpath}))
+
+    def readlink(self, path: str):
+        return (yield Syscall("readlink", {"path": path}))
+
+    def chmod(self, path: str, mode: int):
+        return (yield Syscall("chmod", {"path": path, "mode": mode}))
+
+    def chown(self, path: str, uid: int, gid: int):
+        return (yield Syscall("chown", {"path": path, "uid": uid, "gid": gid}))
+
+    def utime(self, path: str, times=None):
+        return (yield Syscall("utime", {"path": path, "times": times}))
+
+    def getcwd(self):
+        return (yield Syscall("getcwd", {}))
+
+    def chdir(self, path: str):
+        return (yield Syscall("chdir", {"path": path}))
+
+    def pipe(self):
+        return (yield Syscall("pipe", {}))
+
+    def dup2(self, oldfd: int, newfd: int):
+        return (yield Syscall("dup2", {"oldfd": oldfd, "newfd": newfd}))
+
+    # -- stdio -----------------------------------------------------------------
+
+    def println(self, text: str):
+        yield from self.write_all(1, text + "\n")
+
+    def eprintln(self, text: str):
+        yield from self.write_all(2, text + "\n")
+
+    # -- identity ---------------------------------------------------------------
+
+    def getpid(self):
+        return (yield Syscall("getpid", {}))
+
+    def getppid(self):
+        return (yield Syscall("getppid", {}))
+
+    def getuid(self):
+        return (yield Syscall("getuid", {}))
+
+    def uname(self):
+        return (yield Syscall("uname", {}))
+
+    def sysinfo(self):
+        return (yield Syscall("sysinfo", {}))
+
+    # -- time (vDSO fast path, like glibc) ----------------------------------------
+
+    def time(self):
+        return (yield VdsoCall("time", {}))
+
+    def gettimeofday(self):
+        return (yield VdsoCall("gettimeofday", {}))
+
+    def clock_gettime(self, clock_id: int = 0):
+        return (yield VdsoCall("clock_gettime", {"clock_id": clock_id}))
+
+    def time_syscall(self):
+        """The slow path: an actual time syscall (statically-linked style)."""
+        return (yield Syscall("time", {}))
+
+    def sleep(self, seconds: float):
+        return (yield Syscall("nanosleep", {"seconds": seconds}))
+
+    def rdtsc(self):
+        return (yield Instr("rdtsc"))
+
+    def read_vvar(self):
+        """Read the raw vvar timing page directly (no call at all)."""
+        from ..kernel.ops import VvarRead
+
+        return (yield VvarRead())
+
+    # -- randomness -----------------------------------------------------------------
+
+    def getrandom(self, count: int):
+        return (yield Syscall("getrandom", {"count": count}))
+
+    def urandom(self, count: int):
+        """Randomness the way most tools get it: by reading /dev/urandom."""
+        fd = yield from self.open("/dev/urandom")
+        data = yield from self.read_exact(fd, count)
+        yield from self.close(fd)
+        return data
+
+    # -- processes ---------------------------------------------------------------------
+
+    def spawn(self, path: str, argv: Optional[List[str]] = None,
+              env: Optional[Dict[str, str]] = None, stdin: Optional[int] = None,
+              stdout: Optional[int] = None, stderr: Optional[int] = None,
+              close_fds: Optional[List[int]] = None):
+        """fork+exec.  *close_fds* models O_CLOEXEC descriptors the child
+        must not inherit (pipe write ends, most importantly)."""
+        return (yield Syscall("spawn_process", {
+            "path": path, "argv": argv, "env": env,
+            "stdin": stdin, "stdout": stdout, "stderr": stderr,
+            "close_fds": close_fds}))
+
+    def waitpid(self, pid: int = -1, options: int = 0):
+        return (yield Syscall("wait4", {"pid": pid, "options": options}))
+
+    def run(self, path: str, argv: Optional[List[str]] = None,
+            env: Optional[Dict[str, str]] = None, stdin: Optional[int] = None,
+            stdout: Optional[int] = None, stderr: Optional[int] = None):
+        """spawn + wait; returns the child's WaitResult."""
+        pid = yield from self.spawn(path, argv, env, stdin, stdout, stderr)
+        while True:
+            res = yield from self.waitpid(pid)
+            if res.pid == pid:
+                return res
+
+    def execve(self, path: str, argv: Optional[List[str]] = None,
+               env: Optional[Dict[str, str]] = None):
+        yield Syscall("execve", {"path": path, "argv": argv, "env": env})
+
+    def exit(self, code: int = 0):
+        yield Syscall("exit", {"code": code})
+
+    def spawn_thread(self, func):
+        """Start a sibling thread running generator-function *func*."""
+        return (yield Syscall("spawn_thread", {"func": func}))
+
+    def exit_thread(self):
+        yield Syscall("exit_thread", {})
+
+    def sched_yield(self):
+        return (yield Syscall("sched_yield", {}))
+
+    # -- signals ----------------------------------------------------------------------------
+
+    def sigaction(self, signum: int, action):
+        return (yield Syscall("sigaction", {"signum": signum, "action": action}))
+
+    def kill(self, pid: int, signum: int):
+        return (yield Syscall("kill", {"pid": pid, "signum": signum}))
+
+    def alarm(self, seconds: float):
+        return (yield Syscall("alarm", {"seconds": seconds}))
+
+    def pause(self):
+        return (yield Syscall("pause", {}))
+
+    # -- futex locks -------------------------------------------------------------------------
+
+    def futex_wait(self, addr, val: int):
+        return (yield Syscall("futex", {"op": FUTEX_WAIT, "addr": addr, "val": val}))
+
+    def futex_wake(self, addr):
+        return (yield Syscall("futex", {"op": FUTEX_WAKE, "addr": addr}))
+
+    def lock_acquire(self, key: str):
+        """A glibc-style futex mutex acquire."""
+        while True:
+            if self.mem.get(key, 0) == 0:
+                self.mem[key] = 1
+                return
+            try:
+                yield from self.futex_wait(key, 1)
+            except SyscallError as err:
+                if err.errno != Errno.EAGAIN:
+                    raise
+
+    def lock_release(self, key: str):
+        self.mem[key] = 0
+        yield from self.futex_wake(key)
+
+    def spin_until(self, key: str, value, spin_work: float = 1e-5):
+        """Busy-wait (no blocking syscall!) until ``mem[key] == value``.
+
+        This is the anti-pattern that breaks DetTrace's serialization
+        (§5.9): under a deterministic scheduler the flag-setter never
+        runs while we spin.
+        """
+        while self.mem.get(key) != value:
+            yield Compute(spin_work)
+
+    # -- sockets (unsupported inside DetTrace) ----------------------------------------------------
+
+    def socket(self):
+        return (yield Syscall("socket", {}))
+
+    def download(self, url: str):
+        """Fetch a URL; returns (body, headers).  Inside DetTrace only
+        checksum-pinned URLs are permitted (§3's future-work model)."""
+        return (yield Syscall("download", {"url": url}))
+
+    def socketpair(self):
+        """AF_UNIX IPC inside the container (determinizable, unlike
+        network sockets)."""
+        return (yield Syscall("socketpair", {}))
+
+    def connect(self, fd: int, address: str = "127.0.0.1:80"):
+        return (yield Syscall("connect", {"fd": fd, "address": address}))
+
+    def ioctl(self, fd: int, request: str):
+        return (yield Syscall("ioctl", {"fd": fd, "request": request}))

@@ -1,0 +1,469 @@
+"""A small POSIX-ish shell, as a guest program.
+
+Real Debian builds are driven by shell scripts (`debian/rules`,
+configure scripts, maintainer hooks), and the paper's whole point is
+that *arbitrary* such programs become reproducible.  This interpreter
+executes a useful subset of shell against the simulated kernel:
+
+* simple commands resolved via ``$PATH`` and run with ``spawn``/``wait``;
+* builtins: ``echo``, ``cd``, ``exit``, ``export``, ``true``/``false``,
+  ``test``/``[`` (-e/-f/-d/-n/-z and string equality), ``wait``, ``:``;
+* variable assignment and ``$VAR`` / ``${VAR}`` expansion, plus ``$?``,
+  ``$$`` and ``$(cmd)`` command substitution (stdout-captured);
+* redirections ``> file``, ``>> file``, ``< file``;
+* pipelines ``a | b`` (one pipe stage, left-to-right);
+* operators ``&&``, ``||``, ``;`` and trailing ``&`` (background + wait);
+* ``if ...; then ...; else ...; fi`` and ``for x in ...; do ...; done``
+  on a single line or across lines;
+* ``#`` comments and blank lines.
+
+A script is registered as a binary whose content the shell reads from
+the filesystem — so the *script bytes are an input* to the computation,
+exactly as the container abstraction demands.
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Dict, Generator, List, Optional, Tuple
+
+from ..kernel.errors import Errno, SyscallError
+from ..kernel.types import O_APPEND, O_CREAT, O_TRUNC, O_WRONLY
+
+#: Exit statuses mirroring real sh.
+EXIT_OK = 0
+EXIT_FAIL = 1
+EXIT_NOT_FOUND = 127
+
+
+class ShellError(Exception):
+    """A syntax error; the script exits with status 2, like real sh."""
+
+
+def tokenize(line: str) -> List[str]:
+    lex = shlex.shlex(line, posix=True, punctuation_chars="|&;<>")
+    lex.whitespace_split = True
+    try:
+        return list(lex)
+    except ValueError as err:
+        raise ShellError("syntax error: %s" % err)
+
+
+def split_statements(tokens: List[str]) -> List[Tuple[List[str], str]]:
+    """Split on ; && || — returns (command tokens, joining operator)."""
+    out: List[Tuple[List[str], str]] = []
+    cur: List[str] = []
+    i = 0
+    while i < len(tokens):
+        tok = tokens[i]
+        if tok in (";", "&&", "||"):
+            out.append((cur, tok))
+            cur = []
+        elif tok == "&":
+            cur.append("&")
+        else:
+            cur.append(tok)
+        i += 1
+    if cur:
+        out.append((cur, ";"))
+    return out
+
+
+class Shell:
+    """One shell instance bound to a guest Sys."""
+
+    def __init__(self, sys):
+        self.sys = sys
+        self.variables: Dict[str, str] = {}
+        self.last_status = 0
+        self._background: List[int] = []
+
+    # -- expansion -----------------------------------------------------------
+
+    def expand(self, token: str) -> Generator:
+        """Expand $VAR, ${VAR}, $?, $$ and $(cmd) in *token*."""
+        out = []
+        i = 0
+        while i < len(token):
+            ch = token[i]
+            if ch != "$":
+                out.append(ch)
+                i += 1
+                continue
+            rest = token[i + 1:]
+            if rest.startswith("?"):
+                out.append(str(self.last_status))
+                i += 2
+            elif rest.startswith("$"):
+                pid = yield from self.sys.getpid()
+                out.append(str(pid))
+                i += 2
+            elif rest.startswith("("):
+                depth, j = 1, i + 2
+                while j < len(token) and depth:
+                    depth += {"(": 1, ")": -1}.get(token[j], 0)
+                    j += 1
+                inner = token[i + 2:j - 1]
+                captured = yield from self.capture(inner)
+                out.append(captured.strip())
+                i = j
+            elif rest.startswith("{"):
+                j = token.index("}", i)
+                out.append(self.lookup(token[i + 2:j]))
+                i = j + 1
+            else:
+                j = i + 1
+                while j < len(token) and (token[j].isalnum() or token[j] == "_"):
+                    j += 1
+                out.append(self.lookup(token[i + 1:j]))
+                i = j
+        return "".join(out)
+
+    def lookup(self, name: str) -> str:
+        if name in self.variables:
+            return self.variables[name]
+        return self.sys.getenv(name, "")
+
+    # -- execution ----------------------------------------------------------------
+
+    def capture(self, command_line: str) -> Generator:
+        """$(...) — run a command line, capture its stdout."""
+        rfd, wfd = yield from self.sys.pipe()
+        status = yield from self.run_line(command_line, stdout=wfd)
+        yield from self.sys.close(wfd)
+        data = yield from self.sys.read_exact(rfd, 1 << 20)
+        yield from self.sys.close(rfd)
+        self.last_status = status
+        return data.decode(errors="replace")
+
+    def run_script(self, text: str) -> Generator:
+        """Execute a whole script; returns the final status."""
+        lines = self._join_blocks(text.splitlines())
+        for line in lines:
+            status = yield from self.run_line(line)
+            if status is _EXITED:
+                return self.last_status
+        return self.last_status
+
+    def _join_blocks(self, lines: List[str]) -> List[str]:
+        """Fold multi-line if/for blocks into single logical lines."""
+        out: List[str] = []
+        depth = 0
+        buffer: List[str] = []
+        for raw in lines:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            first = line.split()[0] if line.split() else ""
+            depth += {"if": 1, "for": 1}.get(first, 0)
+            if depth:
+                buffer.append(line if line.endswith(";") or line.endswith("then")
+                              or line.endswith("do") or line in ("fi", "done",
+                                                                 "else")
+                              else line + ";")
+                closers = line.split()
+                depth -= sum(1 for w in closers if w in ("fi", "done"))
+                if depth == 0:
+                    out.append(" ".join(buffer))
+                    buffer = []
+            else:
+                out.append(line)
+        if buffer:
+            out.append(" ".join(buffer))
+        return out
+
+    def run_line(self, line: str, stdout: Optional[int] = None) -> Generator:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            return self.last_status
+        tokens = tokenize(line)
+        if tokens and tokens[0] == "if":
+            return (yield from self._run_if(tokens, stdout))
+        if tokens and tokens[0] == "for":
+            return (yield from self._run_for(tokens, stdout))
+        for command, op in split_statements(tokens):
+            if not command:
+                continue
+            status = yield from self._run_pipeline(command, stdout)
+            if status is _EXITED:
+                return _EXITED
+            self.last_status = status
+            if op == "&&" and status != 0:
+                break
+            if op == "||" and status == 0:
+                break
+        return self.last_status
+
+    # -- control flow --------------------------------------------------------------
+
+    def _run_if(self, tokens, stdout) -> Generator:
+        """``if COND; then BODY; [else BODY2;] fi`` (non-nested)."""
+        try:
+            then_at = tokens.index("then")
+            fi_at = len(tokens) - 1 - tokens[::-1].index("fi")
+        except ValueError:
+            raise ShellError("malformed if")
+        cond = [t for t in tokens[1:then_at] if t != ";"]
+        middle = tokens[then_at + 1:fi_at]
+        if "else" in middle:
+            else_at = middle.index("else")
+            then_body, else_body = middle[:else_at], middle[else_at + 1:]
+        else:
+            then_body, else_body = middle, []
+        status = yield from self._run_pipeline(cond, stdout)
+        body = then_body if status == 0 else else_body
+        body = [t for t in body]
+        while body and body[-1] == ";":
+            body = body[:-1]
+        if body:
+            return (yield from self.run_line(" ".join(body), stdout))
+        return 0
+
+    def _run_for(self, tokens, stdout) -> Generator:
+        # for NAME in a b c ; do BODY ; done
+        if len(tokens) < 4 or tokens[2] != "in":
+            raise ShellError("bad for syntax")
+        name = tokens[1]
+        items: List[str] = []
+        i = 3
+        while i < len(tokens) and tokens[i] not in (";", "do"):
+            items.append((yield from self.expand(tokens[i])))
+            i += 1
+        while i < len(tokens) and tokens[i] in (";", "do"):
+            i += 1
+        body = tokens[i:]
+        while body and body[-1] in ("done", ";"):
+            body = body[:-1]
+        for item in items:
+            self.variables[name] = item
+            status = yield from self.run_line(" ".join(body), stdout)
+            if status is _EXITED:
+                return _EXITED
+        return self.last_status
+
+    # -- pipelines and simple commands ------------------------------------------------
+
+    def _run_pipeline(self, tokens: List[str], stdout: Optional[int]) -> Generator:
+        stages: List[List[str]] = [[]]
+        for tok in tokens:
+            if tok == "|":
+                stages.append([])
+            else:
+                stages[-1].append(tok)
+        if len(stages) == 1:
+            return (yield from self._run_simple(stages[0], stdin=None,
+                                                stdout=stdout))
+        if len(stages) != 2:
+            raise ShellError("only single-pipe pipelines supported")
+        rfd, wfd = yield from self.sys.pipe()
+        left = yield from self._run_simple(stages[0], stdin=None, stdout=wfd,
+                                           background=True)
+        yield from self.sys.close(wfd)
+        status = yield from self._run_simple(stages[1], stdin=rfd,
+                                             stdout=stdout)
+        yield from self.sys.close(rfd)
+        if left is not None:
+            yield from self.sys.waitpid(left)
+        return status
+
+    def _run_simple(self, tokens: List[str], stdin, stdout,
+                    background: bool = False) -> Generator:
+        background_flag = False
+        if tokens and tokens[-1] == "&":
+            tokens = tokens[:-1]
+            background_flag = True
+        words: List[str] = []
+        redirections: List[Tuple[str, str]] = []
+        i = 0
+        while i < len(tokens):
+            tok = tokens[i]
+            if tok in (">", ">>", "<"):
+                if i + 1 >= len(tokens):
+                    raise ShellError("redirection without target")
+                target = yield from self.expand(tokens[i + 1])
+                redirections.append((tok, target))
+                i += 2
+                continue
+            words.append((yield from self.expand(tok)))
+            i += 1
+        if not words:
+            return 0
+        # variable assignment: NAME=value
+        if "=" in words[0] and not words[0].startswith("="):
+            name, _, value = words[0].partition("=")
+            if name.isidentifier():
+                self.variables[name] = value
+                self.sys.env[name] = value
+                return 0
+        name, args = words[0], words[1:]
+
+        if name in ("test", "["):
+            return (yield from self._builtin_test(args))
+        if name == ":":
+            return 0
+        if name.isidentifier():
+            builtin = getattr(self, "_builtin_" + name, None)
+            if builtin is not None:
+                return (yield from builtin(args, stdout, redirections))
+
+        # external command via $PATH
+        path = yield from self._resolve(name)
+        if path is None:
+            yield from self.sys.eprintln("sh: %s: command not found" % name)
+            return EXIT_NOT_FOUND
+        child_stdout = stdout
+        close_after: List[int] = []
+        for op, target in redirections:
+            if op in (">", ">>"):
+                flags = O_WRONLY | O_CREAT | (O_APPEND if op == ">>" else O_TRUNC)
+                fd = yield from self.sys.open(target, flags)
+                child_stdout = fd
+                close_after.append(fd)
+            elif op == "<":
+                fd = yield from self.sys.open(target)
+                stdin = fd
+                close_after.append(fd)
+        pid = yield from self.sys.spawn(path, argv=[name] + args,
+                                        stdin=stdin, stdout=child_stdout)
+        for fd in close_after:
+            yield from self.sys.close(fd)
+        if background or background_flag:
+            self._background.append(pid)
+            return pid if background else 0
+        res = yield from self.sys.waitpid(pid)
+        return res.exit_code if res.exit_code is not None else 128
+
+    def _resolve(self, name: str) -> Generator:
+        if "/" in name:
+            present = yield from self.sys.access(name)
+            return name if present else None
+        for prefix in self.lookup("PATH").split(":"):
+            candidate = prefix.rstrip("/") + "/" + name
+            if (yield from self.sys.access(candidate)):
+                return candidate
+        return None
+
+    # -- builtins --------------------------------------------------------------------
+
+    def _write_out(self, text: str, stdout, redirections) -> Generator:
+        for op, target in redirections:
+            if op == ">":
+                yield from self.sys.write_file(target, text)
+                return
+            if op == ">>":
+                fd = yield from self.sys.open(target,
+                                              O_WRONLY | O_CREAT | O_APPEND)
+                yield from self.sys.write_all(fd, text)
+                yield from self.sys.close(fd)
+                return
+        yield from self.sys.write_all(stdout if stdout is not None else 1, text)
+
+    def _builtin_echo(self, args, stdout, redirections) -> Generator:
+        yield from self._write_out(" ".join(args) + "\n", stdout, redirections)
+        return 0
+
+    def _builtin_cd(self, args, stdout, redirections) -> Generator:
+        try:
+            yield from self.sys.chdir(args[0] if args else self.lookup("HOME"))
+            return 0
+        except SyscallError:
+            yield from self.sys.eprintln("sh: cd: %s: no such directory"
+                                         % (args[0] if args else "~"))
+            return EXIT_FAIL
+
+    def _builtin_exit(self, args, stdout, redirections) -> Generator:
+        self.last_status = int(args[0]) if args else self.last_status
+        yield from self.sys.compute(0)
+        return _EXITED
+
+    def _builtin_export(self, args, stdout, redirections) -> Generator:
+        for arg in args:
+            name, _, value = arg.partition("=")
+            if value:
+                self.variables[name] = value
+                self.sys.env[name] = value
+            elif name in self.variables:
+                self.sys.env[name] = self.variables[name]
+        yield from self.sys.compute(0)
+        return 0
+
+    def _builtin_true(self, args, stdout, redirections) -> Generator:
+        yield from self.sys.compute(0)
+        return 0
+
+    def _builtin_false(self, args, stdout, redirections) -> Generator:
+        yield from self.sys.compute(0)
+        return 1
+
+    def _builtin_wait(self, args, stdout, redirections) -> Generator:
+        status = 0
+        for pid in self._background:
+            res = yield from self.sys.waitpid(pid)
+            status = res.exit_code or 0
+        self._background = []
+        return status
+
+    def _builtin_test(self, args) -> Generator:
+        args = [a for a in args if a != "]"]
+        yield from self.sys.compute(0)
+        if not args:
+            return 1
+        if args[0] == "-n":
+            return 0 if len(args) > 1 and args[1] else 1
+        if args[0] == "-z":
+            return 0 if len(args) < 2 or not args[1] else 1
+        if args[0] in ("-e", "-f"):
+            present = yield from self.sys.access(args[1])
+            return 0 if present else 1
+        if args[0] == "-d":
+            try:
+                st = yield from self.sys.stat(args[1])
+                return 0 if st.is_dir() else 1
+            except SyscallError:
+                return 1
+        if len(args) == 3 and args[1] == "=":
+            return 0 if args[0] == args[2] else 1
+        if len(args) == 3 and args[1] == "!=":
+            return 0 if args[0] != args[2] else 1
+        return 1
+
+
+#: Sentinel: the script executed `exit`.
+_EXITED = object()
+
+
+def sh_main(sys):
+    """`/bin/sh script.sh` — execute a script file from the filesystem."""
+    if len(sys.argv) < 2:
+        yield from sys.eprintln("sh: usage: sh <script> [args]")
+        return 2
+    script_path = sys.argv[1]
+    try:
+        text = (yield from sys.read_file(script_path)).decode()
+    except SyscallError:
+        yield from sys.eprintln("sh: %s: not found" % script_path)
+        return EXIT_NOT_FOUND
+    shell = Shell(sys)
+    for i, arg in enumerate(sys.argv[2:], start=1):
+        shell.variables[str(i)] = arg
+    try:
+        status = yield from shell.run_script(text)
+    except ShellError as err:
+        yield from sys.eprintln("sh: %s" % err)
+        return 2
+    return status
+
+
+def sh_command(script_text: str):
+    """A binary factory that runs *script_text* directly (`sh -c` style)."""
+
+    def main(sys):
+        shell = Shell(sys)
+        try:
+            status = yield from shell.run_script(script_text)
+        except ShellError as err:
+            yield from sys.eprintln("sh: %s" % err)
+            return 2
+        return status
+
+    return main

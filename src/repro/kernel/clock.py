@@ -1,0 +1,41 @@
+"""Virtual time for the simulated machine.
+
+The DES advances :attr:`SimClock.now` (seconds since boot).  Guest-visible
+clocks derive from it:
+
+* wall-clock time — ``boot_epoch + now`` (varies per boot → irreproducible);
+* monotonic time — ``now``;
+* TSC cycles — ``now * freq`` plus measurement noise (see
+  :meth:`repro.cpu.instructions.Cpu.rdtsc`).
+"""
+
+from __future__ import annotations
+
+from ..cpu.machine import HostEnvironment
+
+
+class SimClock:
+    """Monotonic virtual clock plus derived guest-visible clocks."""
+
+    def __init__(self, host: HostEnvironment):
+        self.host = host
+        self.now = 0.0
+
+    def advance_to(self, t: float) -> None:
+        if t < self.now - 1e-12:
+            raise ValueError("clock moved backwards: %r -> %r" % (self.now, t))
+        self.now = max(self.now, t)
+
+    @property
+    def wall(self) -> float:
+        """Current wall-clock time in epoch seconds."""
+        return self.host.boot_epoch + self.now
+
+    @property
+    def monotonic(self) -> float:
+        return self.now
+
+    @property
+    def cycles(self) -> int:
+        """Nominal cycle count since boot (before per-read rdtsc noise)."""
+        return int(self.now * self.host.machine.freq_ghz * 1e9)

@@ -1,0 +1,96 @@
+"""Virtual-time cost model.
+
+All durations are in seconds of virtual time on the reference 2.2 GHz
+machine.  The tracer-side constants are what make DetTrace's overhead
+proportional to syscall rate (paper §7.4, Figure 5): every ptrace stop
+pays context switches into the single-threaded tracer.
+
+The constants were calibrated so that the paper's headline shapes emerge:
+IO-intensive builds at 5–25k syscalls/sec land around 2–10× slowdown
+(aggregate ≈3.5×), while compute-bound workloads stay under a few percent.
+"""
+
+from __future__ import annotations
+
+#: Kernel-side service time for a syscall, by name (seconds).
+SYSCALL_BASE_COST = 1.0e-6
+SYSCALL_COSTS = {
+    "getpid": 0.2e-6,
+    "getppid": 0.2e-6,
+    "getuid": 0.2e-6,
+    "getgid": 0.2e-6,
+    "getcwd": 0.4e-6,
+    "time": 0.3e-6,
+    "gettimeofday": 0.3e-6,
+    "clock_gettime": 0.3e-6,
+    "read": 0.6e-6,
+    "write": 0.6e-6,
+    "open": 1.5e-6,
+    "close": 0.5e-6,
+    "stat": 1.2e-6,
+    "lstat": 1.2e-6,
+    "fstat": 0.8e-6,
+    "getdents": 2.0e-6,
+    "spawn_process": 80e-6,
+    "spawn_thread": 20e-6,
+    "execve": 150e-6,
+    "wait4": 1.0e-6,
+    "pipe": 1.5e-6,
+    "futex": 0.8e-6,
+}
+
+#: Sequential file IO bandwidth (bytes/second) charged on top of the base
+#: cost for read/write payloads.
+IO_BANDWIDTH = 2.0e9
+
+#: One ptrace stop: two context switches into the tracer and back.
+#: Plain ptrace pays this twice per syscall (entry + exit), which is what
+#: the seccomp-combined event saves (§5.11).
+PTRACE_STOP_COST = 6.0e-6
+
+#: With seccomp on kernels >= 4.8, entry+exit collapse into one event.
+SECCOMP_COMBINED_STOP_COST = 9.0e-6
+#: Kernels < 4.8 deliver separate seccomp and ptrace events (§5.11).
+LEGACY_DOUBLE_STOP_COST = 22.0e-6
+
+#: Tracer-side handler work per intercepted syscall (determinization
+#: logic, bookkeeping).
+TRACER_HANDLER_COST = 4.0e-6
+
+#: Reading or writing one block of tracee memory (PTRACE_PEEKDATA analog).
+TRACER_MEMORY_OP_COST = 0.8e-6
+
+#: Extra cost when the tracer converts a blocking call into a
+#: non-blocking probe and must later replay it (§5.6.1).
+TRACER_REPLAY_COST = 8.0e-6
+
+#: Scheduling decision in the reproducible scheduler.
+TRACER_SCHED_COST = 1.0e-6
+
+#: Extra latency the *tracee* observes between the tracer finishing its
+#: handling and the tracee running again (context switch back plus run
+#: queue delay).  This time does NOT occupy the tracer, which is why a
+#: single traced process suffers more slowdown than the tracer's
+#: serialized occupancy alone would predict, while many processes can
+#: overlap their wakeup latencies (paper §7.5: raxml's 1-process 3.4x vs
+#: its 16-process plateau).
+TRACEE_WAKEUP_LATENCY = 65.0e-6
+
+#: Trapped instruction (rdtsc/cpuid) emulation round trip.
+INSTR_TRAP_COST = 3.0e-6
+
+#: Native cost of an untrapped instruction is treated as free; vDSO calls
+#: cost a library call.
+VDSO_CALL_COST = 0.05e-6
+
+#: Multiplicative scheduler jitter applied to compute segments natively.
+COMPUTE_JITTER_FRAC = 0.03
+
+#: Deterministic logical-clock increment per syscall (see
+#: repro.core.scheduler): makes a thread's next stop strictly later than
+#: its current bound, which the reproducible order relies on.
+SYSCALL_TICK = 5.0e-6
+
+#: Tracer-side cost of an execve event: vDSO rewrite, scratch-page
+#: allocation, binary inspection (SS5.3, SS5.10).
+EXECVE_TRACER_COST = 250.0e-6

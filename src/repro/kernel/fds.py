@@ -1,0 +1,118 @@
+"""File descriptors and per-process descriptor tables."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Optional
+
+from .errors import Errno, SyscallError
+from .inode import Inode
+from .pipes import Pipe
+
+
+class FdKind(enum.Enum):
+    FILE = "file"
+    DIRECTORY = "directory"
+    PIPE_READ = "pipe_read"
+    PIPE_WRITE = "pipe_write"
+    DEVICE = "device"
+    #: One end of an AF_UNIX socketpair (bidirectional; peer_pipe is the
+    #: send direction, pipe the receive direction).
+    SOCKETPAIR = "socketpair"
+
+
+@dataclasses.dataclass
+class OpenFile:
+    """An open file description (shared across dup'd descriptors).
+
+    ``path`` records the absolute container path the description was
+    opened with; DetTrace's inode virtualization reads it back the way the
+    real system reads ``/proc/self/fd`` (paper §5.5).
+    """
+
+    kind: FdKind
+    flags: int = 0
+    offset: int = 0
+    path: str = ""
+    inode: Optional[Inode] = None
+    pipe: Optional[Pipe] = None
+    refcount: int = 1
+
+    #: Send-direction pipe for SOCKETPAIR descriptions.
+    peer_pipe: Optional[Pipe] = None
+
+    @property
+    def is_pipe(self) -> bool:
+        return self.kind in (FdKind.PIPE_READ, FdKind.PIPE_WRITE,
+                             FdKind.SOCKETPAIR)
+
+
+class FDTable:
+    """Per-process mapping of descriptor numbers to open file descriptions."""
+
+    MAX_FDS = 1024
+
+    def __init__(self):
+        self._fds: Dict[int, OpenFile] = {}
+
+    def lowest_free(self, minimum: int = 0) -> int:
+        fd = minimum
+        while fd in self._fds:
+            fd += 1
+        if fd >= self.MAX_FDS:
+            raise SyscallError(Errno.EMFILE, "open")
+        return fd
+
+    def install(self, of: OpenFile, minimum: int = 0) -> int:
+        fd = self.lowest_free(minimum)
+        self._fds[fd] = of
+        return fd
+
+    def install_at(self, fd: int, of: OpenFile) -> None:
+        self._fds[fd] = of
+
+    def get(self, fd: int) -> OpenFile:
+        try:
+            return self._fds[fd]
+        except KeyError:
+            raise SyscallError(Errno.EBADF, "fd %d" % fd) from None
+
+    def remove(self, fd: int) -> OpenFile:
+        try:
+            return self._fds.pop(fd)
+        except KeyError:
+            raise SyscallError(Errno.EBADF, "fd %d" % fd) from None
+
+    def has(self, fd: int) -> bool:
+        return fd in self._fds
+
+    def dup(self, fd: int, minimum: int = 0) -> int:
+        of = self.get(fd)
+        of.refcount += 1
+        return self.install(of, minimum)
+
+    def dup2(self, oldfd: int, newfd: int) -> int:
+        of = self.get(oldfd)
+        if oldfd == newfd:
+            return newfd
+        existing = self._fds.pop(newfd, None)
+        of.refcount += 1
+        self._fds[newfd] = of
+        if existing is not None:
+            existing.refcount -= 1
+        return newfd
+
+    def items(self):
+        return list(self._fds.items())
+
+    def fork_copy(self) -> "FDTable":
+        """Duplicate the table for a forked child (descriptions shared)."""
+        table = FDTable()
+        for fd, of in self._fds.items():
+            of.refcount += 1
+            table._fds[fd] = of
+        return table
+
+    def __len__(self) -> int:
+        return len(self._fds)

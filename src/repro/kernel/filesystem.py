@@ -1,0 +1,330 @@
+"""The simulated VFS: path resolution, namei operations, chroot.
+
+Irreproducibility sources modelled here (paper §5.5):
+
+* **inode numbers** — allocated from a per-boot offset, recycled on
+  unlink, so they differ across runs and machines;
+* **directory entry order** — ``getdents`` returns entries in a
+  salted-hash order (the "filesystem implementation" order), which
+  differs per boot;
+* **timestamps** — every namei operation stamps real wall-clock times;
+* **directory sizes** — reported via the machine-specific model
+  (:meth:`repro.cpu.machine.MachineSpec.directory_size`), which is the
+  §7.3 portability hazard;
+* **disk exhaustion** — optional ENOSPC injection for quasi-determinism
+  experiments.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..cpu.machine import HostEnvironment
+from .errors import Errno, SyscallError
+from .inode import Inode, InodeAllocator, new_directory, new_file
+from .types import DEFAULT_DIR_MODE, DEFAULT_FILE_MODE, Dirent, FileKind, StatResult
+
+MAX_SYMLINK_DEPTH = 8
+
+
+def split_path(path: str) -> List[str]:
+    """Split a path into components, dropping empty ones and ``.``."""
+    return [c for c in path.split("/") if c and c != "."]
+
+
+def normalize(path: str) -> str:
+    """Normalize an absolute path string (resolve ``.`` and ``..`` lexically)."""
+    parts: List[str] = []
+    for comp in split_path(path):
+        if comp == "..":
+            if parts:
+                parts.pop()
+        else:
+            parts.append(comp)
+    return "/" + "/".join(parts)
+
+
+class Filesystem:
+    """A single-mount in-memory filesystem tree."""
+
+    def __init__(self, host: HostEnvironment):
+        self.host = host
+        self._alloc = InodeAllocator(host.inode_start)
+        self.root = new_directory(self._alloc.allocate(), now=host.boot_epoch)
+        self.device_id = 0x801
+        self._bytes_written = 0
+
+    # -- allocation ---------------------------------------------------------
+
+    def _new_ino(self) -> int:
+        return self._alloc.allocate()
+
+    def charge_disk(self, nbytes: int) -> None:
+        """Account *nbytes* of new data; raise ENOSPC past the injection cap."""
+        self._bytes_written += max(0, nbytes)
+        cap = self.host.disk_free_bytes
+        if cap is not None and self._bytes_written > cap:
+            raise SyscallError(Errno.ENOSPC, "write")
+
+    # -- path resolution ------------------------------------------------------
+
+    def resolve(self, root: Inode, cwd: Inode, path: str, follow_last: bool = True,
+                _depth: int = 0) -> Inode:
+        """Resolve *path* to an inode, honouring chroot *root* and *cwd*.
+
+        Raises :class:`SyscallError` with ENOENT/ENOTDIR/ELOOP on failure.
+        """
+        if _depth > MAX_SYMLINK_DEPTH:
+            raise SyscallError(Errno.ELOOP, "resolve", path)
+        node = root if path.startswith("/") else cwd
+        comps = split_path(path)
+        for i, comp in enumerate(comps):
+            if not node.is_dir:
+                raise SyscallError(Errno.ENOTDIR, "resolve", path)
+            if comp == "..":
+                node = self._parent_of(root, node) or node
+                continue
+            child = node.lookup(comp)
+            if child is None:
+                raise SyscallError(Errno.ENOENT, "resolve", path)
+            is_last = i == len(comps) - 1
+            if child.kind is FileKind.SYMLINK and (follow_last or not is_last):
+                target = child.symlink_target
+                rest = "/".join(comps[i + 1:])
+                newpath = target + ("/" + rest if rest else "")
+                base = node if not target.startswith("/") else root
+                return self.resolve(root, base, newpath, follow_last, _depth + 1)
+            node = child
+        return node
+
+    def _parent_of(self, root: Inode, node: Inode) -> Optional[Inode]:
+        """Find *node*'s parent by walking from *root* (small trees only)."""
+        if node is root:
+            return root
+        stack = [root]
+        while stack:
+            cur = stack.pop()
+            if not cur.is_dir:
+                continue
+            for child in cur.entries.values():
+                if child is node:
+                    return cur
+                if child.is_dir:
+                    stack.append(child)
+        return None
+
+    def resolve_parent(self, root: Inode, cwd: Inode, path: str) -> Tuple[Inode, str]:
+        """Resolve the parent directory of *path*; return (parent, basename)."""
+        comps = split_path(path)
+        if not comps:
+            raise SyscallError(Errno.EINVAL, "resolve_parent", path)
+        name = comps[-1]
+        parent_path = "/".join(comps[:-1])
+        if path.startswith("/"):
+            parent_path = "/" + parent_path
+        parent = self.resolve(root, cwd, parent_path) if parent_path else cwd
+        if not parent.is_dir:
+            raise SyscallError(Errno.ENOTDIR, "resolve_parent", path)
+        return parent, name
+
+    # -- namei operations ---------------------------------------------------
+
+    def create_file(self, parent: Inode, name: str, mode: int = DEFAULT_FILE_MODE,
+                    uid: int = 0, gid: int = 0, now: float = 0.0,
+                    data: bytes = b"") -> Inode:
+        if parent.lookup(name) is not None:
+            raise SyscallError(Errno.EEXIST, "create", name)
+        node = new_file(self._new_ino(), mode=mode, uid=uid, gid=gid, now=now, data=data)
+        self.charge_disk(len(data))
+        parent.add_entry(name, node)
+        parent.mtime = parent.ctime = now
+        return node
+
+    def create_dir(self, parent: Inode, name: str, mode: int = DEFAULT_DIR_MODE,
+                   uid: int = 0, gid: int = 0, now: float = 0.0) -> Inode:
+        if parent.lookup(name) is not None:
+            raise SyscallError(Errno.EEXIST, "mkdir", name)
+        node = new_directory(self._new_ino(), mode=mode, uid=uid, gid=gid, now=now)
+        parent.add_entry(name, node)
+        parent.nlink += 1
+        parent.mtime = parent.ctime = now
+        return node
+
+    def create_symlink(self, parent: Inode, name: str, target: str, uid: int = 0,
+                       gid: int = 0, now: float = 0.0) -> Inode:
+        if parent.lookup(name) is not None:
+            raise SyscallError(Errno.EEXIST, "symlink", name)
+        node = Inode(ino=self._new_ino(), kind=FileKind.SYMLINK, mode=0o777, uid=uid,
+                     gid=gid, atime=now, mtime=now, ctime=now, symlink_target=target)
+        parent.add_entry(name, node)
+        parent.mtime = parent.ctime = now
+        return node
+
+    def create_device(self, parent: Inode, name: str, dev_read=None, dev_write=None,
+                      mode: int = 0o666, now: float = 0.0) -> Inode:
+        node = Inode(ino=self._new_ino(), kind=FileKind.CHARDEV, mode=mode,
+                     atime=now, mtime=now, ctime=now, dev_read=dev_read,
+                     dev_write=dev_write)
+        parent.add_entry(name, node)
+        return node
+
+    def hard_link(self, parent: Inode, name: str, target: Inode, now: float = 0.0) -> None:
+        if parent.lookup(name) is not None:
+            raise SyscallError(Errno.EEXIST, "link", name)
+        if target.is_dir:
+            raise SyscallError(Errno.EPERM, "link", name)
+        parent.add_entry(name, target)
+        target.nlink += 1
+        target.ctime = now
+        parent.mtime = parent.ctime = now
+
+    def unlink(self, parent: Inode, name: str, now: float = 0.0) -> None:
+        node = parent.lookup(name)
+        if node is None:
+            raise SyscallError(Errno.ENOENT, "unlink", name)
+        if node.is_dir:
+            raise SyscallError(Errno.EISDIR, "unlink", name)
+        parent.remove_entry(name)
+        node.nlink -= 1
+        node.ctime = now
+        parent.mtime = parent.ctime = now
+        if node.nlink <= 0:
+            self._alloc.release(node.ino)
+
+    def rmdir(self, parent: Inode, name: str, now: float = 0.0) -> None:
+        node = parent.lookup(name)
+        if node is None:
+            raise SyscallError(Errno.ENOENT, "rmdir", name)
+        if not node.is_dir:
+            raise SyscallError(Errno.ENOTDIR, "rmdir", name)
+        if node.entries:
+            raise SyscallError(Errno.ENOTEMPTY, "rmdir", name)
+        parent.remove_entry(name)
+        parent.nlink -= 1
+        parent.mtime = parent.ctime = now
+        self._alloc.release(node.ino)
+
+    def rename(self, old_parent: Inode, old_name: str, new_parent: Inode,
+               new_name: str, now: float = 0.0) -> None:
+        node = old_parent.lookup(old_name)
+        if node is None:
+            raise SyscallError(Errno.ENOENT, "rename", old_name)
+        existing = new_parent.lookup(new_name)
+        if existing is node:
+            return  # POSIX: renaming a file onto itself is a no-op
+        if existing is not None:
+            if existing.is_dir and existing.entries:
+                raise SyscallError(Errno.ENOTEMPTY, "rename", new_name)
+            new_parent.remove_entry(new_name)
+            existing.nlink -= 1
+            if existing.nlink <= 0 and not existing.is_dir:
+                self._alloc.release(existing.ino)
+        old_parent.remove_entry(old_name)
+        new_parent.add_entry(new_name, node)
+        node.ctime = now
+        old_parent.mtime = old_parent.ctime = now
+        new_parent.mtime = new_parent.ctime = now
+
+    # -- metadata --------------------------------------------------------------
+
+    def stat(self, node: Inode) -> StatResult:
+        """Build the raw (irreproducible) stat result for *node*."""
+        if node.is_dir:
+            size = self.host.machine.directory_size(len(node.entries))
+        else:
+            size = node.size
+        blksize = self.host.machine.fs_block_size
+        return StatResult(
+            st_dev=self.device_id,
+            st_ino=node.ino,
+            st_mode=node.full_mode,
+            st_nlink=node.nlink,
+            st_uid=node.uid,
+            st_gid=node.gid,
+            st_size=size,
+            st_blksize=blksize,
+            st_blocks=(size + 511) // 512,
+            st_atime=node.atime,
+            st_mtime=node.mtime,
+            st_ctime=node.ctime,
+        )
+
+    def dirent_order(self, node: Inode) -> List[Dirent]:
+        """Entries of directory *node* in filesystem (salted-hash) order.
+
+        This is the raw ``getdents`` order: deterministic for one boot but
+        different across boots/machines, which is why DetTrace must sort.
+        """
+        salt = self.host.dirent_hash_salt
+
+        def hash_key(name: str) -> bytes:
+            return hashlib.md5(("%d:%s" % (salt, name)).encode()).digest()
+
+        names = sorted(node.entries, key=hash_key)
+        return [Dirent(d_ino=node.entries[n].ino, d_name=n, d_type=node.entries[n].kind)
+                for n in names]
+
+    # -- convenience for image construction / inspection -------------------------
+
+    def mkdirs(self, path: str, now: float = 0.0) -> Inode:
+        """Create all missing directories along absolute *path*."""
+        node = self.root
+        for comp in split_path(path):
+            child = node.lookup(comp)
+            if child is None:
+                child = self.create_dir(node, comp, now=now)
+            node = child
+        return node
+
+    def write_file(self, path: str, data: bytes, mode: int = DEFAULT_FILE_MODE,
+                   now: float = 0.0) -> Inode:
+        """Create or replace the file at absolute *path* with *data*."""
+        parent = self.mkdirs("/".join(path.split("/")[:-1]), now=now)
+        name = split_path(path)[-1]
+        node = parent.lookup(name)
+        if node is None:
+            node = self.create_file(parent, name, mode=mode, now=now, data=data)
+        else:
+            node.data = bytearray(data)
+            node.mtime = node.ctime = now
+        return node
+
+    def read_file(self, path: str) -> bytes:
+        node = self.resolve(self.root, self.root, path)
+        if not node.is_regular:
+            raise SyscallError(Errno.EISDIR, "read_file", path)
+        return bytes(node.data)
+
+    def exists(self, path: str) -> bool:
+        try:
+            self.resolve(self.root, self.root, path)
+            return True
+        except SyscallError:
+            return False
+
+    def walk(self, start: Optional[Inode] = None, prefix: str = "") -> Iterable[Tuple[str, Inode]]:
+        """Yield ``(path, inode)`` for every object under *start*, sorted."""
+        node = start if start is not None else self.root
+        yield (prefix or "/", node)
+        if node.is_dir:
+            for name in sorted(node.entries):
+                child = node.entries[name]
+                yield from self.walk(child, prefix + "/" + name)
+
+    def snapshot(self, include_metadata: bool = False) -> Dict[str, bytes]:
+        """Flatten the tree to ``{path: content}`` for artifact comparison.
+
+        With *include_metadata*, each entry also encodes mode/uid/gid (the
+        metadata diffoscope would compare inside an archive).
+        """
+        out: Dict[str, bytes] = {}
+        for path, node in self.walk():
+            if node.is_regular:
+                content = bytes(node.data)
+                if include_metadata:
+                    content = (b"%o:%d:%d|" % (node.mode, node.uid, node.gid)) + content
+                out[path] = content
+            elif node.kind is FileKind.SYMLINK:
+                out[path] = b"->" + node.symlink_target.encode()
+        return out

@@ -1,0 +1,137 @@
+"""Inodes for the simulated filesystem.
+
+An :class:`Inode` is the on-disk object; open-file state (offsets, flags)
+lives in :mod:`repro.kernel.fds`.  Inode *numbers* are allocated by the
+filesystem with a recycling free-list, because the paper's virtual-inode
+logic (§5.5) must specifically cope with the OS recycling a real inode for
+a newly-created file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Optional
+
+from .errors import Errno, KernelPanic
+from .types import DEFAULT_DIR_MODE, DEFAULT_FILE_MODE, FileKind
+
+
+@dataclasses.dataclass
+class Inode:
+    """One filesystem object: file, directory, device, FIFO or symlink."""
+
+    ino: int
+    kind: FileKind
+    mode: int = DEFAULT_FILE_MODE
+    uid: int = 0
+    gid: int = 0
+    nlink: int = 1
+    #: Timestamps in host wall-clock seconds.  These are exactly the
+    #: irreproducible metadata DetTrace virtualizes.
+    atime: float = 0.0
+    mtime: float = 0.0
+    ctime: float = 0.0
+    #: Content for regular files.
+    data: bytearray = dataclasses.field(default_factory=bytearray)
+    #: Children for directories (insertion order preserved; the *reported*
+    #: getdents order is a salted hash order, see Filesystem.dirent_order).
+    entries: Dict[str, "Inode"] = dataclasses.field(default_factory=dict)
+    #: Target path for symlinks.
+    symlink_target: str = ""
+    #: Read/write hooks for character devices (wired up by devices.py).
+    dev_read: Optional[Callable[[int], bytes]] = None
+    dev_write: Optional[Callable[[bytes], int]] = None
+    #: Backing pipe for FIFO (named pipe) inodes.
+    fifo_pipe: Optional[object] = None
+    #: Monotonically increasing generation stamp: bumped when the inode
+    #: number is recycled onto a new object, letting tests verify the
+    #: DetTrace recycling logic is actually exercised.
+    generation: int = 0
+
+    @property
+    def size(self) -> int:
+        if self.kind is FileKind.REGULAR:
+            return len(self.data)
+        if self.kind is FileKind.SYMLINK:
+            return len(self.symlink_target)
+        return 0
+
+    @property
+    def is_dir(self) -> bool:
+        return self.kind is FileKind.DIRECTORY
+
+    @property
+    def is_regular(self) -> bool:
+        return self.kind is FileKind.REGULAR
+
+    @property
+    def full_mode(self) -> int:
+        """Mode including the file-type bits, as stat reports it."""
+        return self.kind.mode_bits | (self.mode & 0o7777)
+
+    # -- directory operations -------------------------------------------------
+
+    def lookup(self, name: str) -> Optional["Inode"]:
+        if not self.is_dir:
+            raise KernelPanic("lookup on non-directory inode %d" % self.ino)
+        return self.entries.get(name)
+
+    def add_entry(self, name: str, child: "Inode") -> None:
+        if not self.is_dir:
+            raise KernelPanic("add_entry on non-directory inode %d" % self.ino)
+        if name in self.entries:
+            raise KernelPanic("duplicate entry %r in inode %d" % (name, self.ino))
+        self.entries[name] = child
+
+    def remove_entry(self, name: str) -> "Inode":
+        if name not in self.entries:
+            raise KernelPanic("missing entry %r in inode %d" % (name, self.ino))
+        return self.entries.pop(name)
+
+
+class InodeAllocator:
+    """Allocates inode numbers with recycling.
+
+    Freed numbers are reused lowest-first, mimicking ext4's per-group
+    reuse behaviour closely enough that "new file gets the dead file's
+    inode" happens regularly under create/unlink churn.
+    """
+
+    def __init__(self, start: int):
+        self._next = start
+        self._free: list = []
+
+    def allocate(self) -> int:
+        if self._free:
+            self._free.sort()
+            return self._free.pop(0)
+        ino = self._next
+        self._next += 1
+        return ino
+
+    def release(self, ino: int) -> None:
+        self._free.append(ino)
+
+    @property
+    def outstanding_free(self) -> int:
+        return len(self._free)
+
+
+def new_directory(ino: int, mode: int = DEFAULT_DIR_MODE, uid: int = 0, gid: int = 0,
+                  now: float = 0.0) -> Inode:
+    """Create a fresh directory inode (``.``/``..`` are implicit)."""
+    return Inode(ino=ino, kind=FileKind.DIRECTORY, mode=mode, uid=uid, gid=gid,
+                 nlink=2, atime=now, mtime=now, ctime=now)
+
+
+def new_file(ino: int, mode: int = DEFAULT_FILE_MODE, uid: int = 0, gid: int = 0,
+             now: float = 0.0, data: bytes = b"") -> Inode:
+    """Create a fresh regular-file inode."""
+    return Inode(ino=ino, kind=FileKind.REGULAR, mode=mode, uid=uid, gid=gid,
+                 atime=now, mtime=now, ctime=now, data=bytearray(data))
+
+
+ERRNO_BY_KIND_MISMATCH = {
+    FileKind.DIRECTORY: Errno.EISDIR,
+    FileKind.REGULAR: Errno.ENOTDIR,
+}

@@ -1,0 +1,108 @@
+"""Pipes: the canonical source of partial reads and writes (paper §5.5).
+
+The paper observes that ``read``/``write`` "may read/write arbitrarily
+fewer bytes than requested ... they do regularly arise when accessing
+pipes."  The simulated pipe reproduces that: a reader gets whatever is
+buffered (possibly less than requested), and a writer fills whatever space
+remains (possibly less than offered).  DetTrace's io handler then retries
+partial operations until the request is satisfied.
+"""
+
+from __future__ import annotations
+
+from .errors import Errno, SyscallError
+from .waiting import Channel, WouldBlock
+
+PIPE_CAPACITY = 65536
+
+
+class Pipe:
+    """A unidirectional byte channel with a bounded kernel buffer."""
+
+    _counter = 0
+
+    def __init__(self, capacity: int = PIPE_CAPACITY):
+        Pipe._counter += 1
+        self.pipe_id = Pipe._counter
+        self.capacity = capacity
+        self.buffer = bytearray()
+        self.readers = 0
+        self.writers = 0
+        self.readable = Channel("pipe%d.readable" % self.pipe_id)
+        self.writable = Channel("pipe%d.writable" % self.pipe_id)
+        #: Fired when an end is first opened (FIFO rendezvous).
+        self.reader_arrived = Channel("pipe%d.reader_arrived" % self.pipe_id)
+        self.writer_arrived = Channel("pipe%d.writer_arrived" % self.pipe_id)
+        #: FIFO rendezvous state: a read at EOF distinguishes "writers
+        #: closed" from "no writer has shown up yet", and a write without
+        #: readers distinguishes EPIPE from "reader still coming".
+        self.ever_had_reader = False
+        self.ever_had_writer = False
+
+    # -- endpoint refcounting -----------------------------------------------
+
+    def open_reader(self) -> None:
+        self.readers += 1
+        self.ever_had_reader = True
+
+    def open_writer(self) -> None:
+        self.writers += 1
+        self.ever_had_writer = True
+
+    def close_reader(self) -> "Channel":
+        """Close one read end; returns the channel writers must be woken on."""
+        self.readers -= 1
+        return self.writable
+
+    def close_writer(self) -> "Channel":
+        """Close one write end; returns the channel readers must be woken on."""
+        self.writers -= 1
+        return self.readable
+
+    # -- data transfer --------------------------------------------------------
+
+    def read(self, n: int) -> bytes:
+        """Read up to *n* bytes.
+
+        Returns ``b""`` at EOF (no writers, empty buffer); raises
+        :class:`WouldBlock` when empty but writers remain; otherwise
+        returns *whatever is available*, which is the partial-read hazard.
+        """
+        if n <= 0:
+            return b""
+        if not self.buffer:
+            if self.writers <= 0:
+                if self.ever_had_writer:
+                    return b""  # true EOF: all writers closed
+                # FIFO rendezvous: the writer has not opened yet.
+                raise WouldBlock([self.readable, self.writer_arrived])
+            raise WouldBlock([self.readable])
+        take = min(n, len(self.buffer))
+        data = bytes(self.buffer[:take])
+        del self.buffer[:take]
+        return data
+
+    def write(self, data: bytes) -> int:
+        """Write up to ``len(data)`` bytes; returns bytes accepted.
+
+        Raises EPIPE when no readers remain, and :class:`WouldBlock` when
+        the buffer is full.  A partially-full buffer produces a partial
+        write.
+        """
+        if self.readers <= 0:
+            if self.ever_had_reader:
+                raise SyscallError(Errno.EPIPE, "write")
+            # FIFO rendezvous: the reader has not opened yet.
+            raise WouldBlock([self.reader_arrived])
+        if not data:
+            return 0
+        space = self.capacity - len(self.buffer)
+        if space <= 0:
+            raise WouldBlock([self.writable])
+        accepted = min(space, len(data))
+        self.buffer.extend(data[:accepted])
+        return accepted
+
+    @property
+    def bytes_buffered(self) -> int:
+        return len(self.buffer)

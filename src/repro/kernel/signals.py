@@ -1,0 +1,52 @@
+"""Signal dispositions and delivery policy (paper §5.4 substrate).
+
+The kernel consults :func:`classify` when a signal arrives: run a
+registered handler, ignore it, or terminate the process.  DetTrace's
+reproducibility story for signals lives in the tracer (instant timers,
+self-signals only); this module is purely the native semantics.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, Union
+
+from .types import (
+    FATAL_SIGNALS,
+    PRECISE_EXCEPTION_SIGNALS,
+    SIGCHLD,
+    SIGVTALRM,
+    SIGPROF,
+)
+
+#: Signals whose default disposition is "ignore".
+DEFAULT_IGNORED = frozenset([SIGCHLD])
+
+SignalAction = Union[str, Callable]
+
+
+class Disposition(enum.Enum):
+    HANDLE = "handle"       # run the registered handler generator
+    IGNORE = "ignore"
+    TERMINATE = "terminate"
+
+
+def classify(handlers: Dict[int, SignalAction], signum: int) -> Disposition:
+    """What delivering *signum* should do, given the process's table."""
+    action = handlers.get(signum, "default")
+    if action == "ignore":
+        return Disposition.IGNORE
+    if callable(action):
+        return Disposition.HANDLE
+    # default disposition
+    if signum in DEFAULT_IGNORED:
+        return Disposition.IGNORE
+    if signum in FATAL_SIGNALS or signum in (SIGVTALRM, SIGPROF):
+        return Disposition.TERMINATE
+    return Disposition.TERMINATE
+
+
+def is_precise_exception(signum: int) -> bool:
+    """SIGSEGV/SIGILL/SIGABRT halt the program at a well-defined point
+    and are therefore naturally reproducible (§5.4)."""
+    return signum in PRECISE_EXCEPTION_SIGNALS

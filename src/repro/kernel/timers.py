@@ -1,0 +1,55 @@
+"""Timers: alarm/setitimer bookkeeping (paper §5.4 substrate).
+
+Natively a timer is just a future signal-delivery event on the DES; the
+kernel keeps enough bookkeeping that ``alarm(0)`` cancels and a second
+``alarm`` returns the remaining seconds, like real Linux.  Under DetTrace
+the timer syscalls never reach this module at all: the tracer emulates
+them ("timers expire instantaneously", §5.4).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+
+@dataclasses.dataclass
+class PendingTimer:
+    """One armed per-process timer."""
+
+    deadline: float     # virtual time when it fires
+    signum: int
+    generation: int     # stale-event guard: re-arming bumps this
+
+
+class TimerTable:
+    """Per-process armed timers, keyed by pid."""
+
+    def __init__(self):
+        self._timers: Dict[int, PendingTimer] = {}
+        self._generation = 0
+
+    def arm(self, pid: int, deadline: float, signum: int) -> int:
+        """Arm (or re-arm) the process's timer; returns the generation to
+        embed in the DES event so stale firings are dropped."""
+        self._generation += 1
+        self._timers[pid] = PendingTimer(deadline=deadline, signum=signum,
+                                         generation=self._generation)
+        return self._generation
+
+    def cancel(self, pid: int) -> None:
+        self._timers.pop(pid, None)
+
+    def remaining(self, pid: int, now: float) -> float:
+        timer = self._timers.get(pid)
+        if timer is None:
+            return 0.0
+        return max(0.0, timer.deadline - now)
+
+    def should_fire(self, pid: int, generation: int) -> Optional[int]:
+        """Validate a DES firing: returns the signum or None if stale."""
+        timer = self._timers.get(pid)
+        if timer is None or timer.generation != generation:
+            return None
+        del self._timers[pid]
+        return timer.signum

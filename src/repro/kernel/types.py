@@ -1,0 +1,275 @@
+"""Shared constants and plain-data types for the simulated kernel.
+
+These mirror the corresponding Linux UAPI definitions closely enough that
+guest programs and the DetTrace determinization handlers read naturally
+next to the paper's description of the real system.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List, Optional
+
+# ---------------------------------------------------------------------------
+# open(2) flags
+# ---------------------------------------------------------------------------
+
+O_RDONLY = 0x0
+O_WRONLY = 0x1
+O_RDWR = 0x2
+O_CREAT = 0x40
+O_EXCL = 0x80
+O_TRUNC = 0x200
+O_APPEND = 0x400
+O_NONBLOCK = 0x800
+O_DIRECTORY = 0x10000
+O_CLOEXEC = 0x80000
+
+ACCMODE_MASK = 0x3
+
+# ---------------------------------------------------------------------------
+# lseek(2) whence
+# ---------------------------------------------------------------------------
+
+SEEK_SET = 0
+SEEK_CUR = 1
+SEEK_END = 2
+
+# ---------------------------------------------------------------------------
+# File mode bits (subset of <sys/stat.h>)
+# ---------------------------------------------------------------------------
+
+S_IFMT = 0o170000
+S_IFREG = 0o100000
+S_IFDIR = 0o040000
+S_IFCHR = 0o020000
+S_IFIFO = 0o010000
+S_IFLNK = 0o120000
+S_IFSOCK = 0o140000
+
+DEFAULT_FILE_MODE = 0o644
+DEFAULT_DIR_MODE = 0o755
+
+
+class FileKind(enum.Enum):
+    """What an inode is; the simulated VFS dispatches on this."""
+
+    REGULAR = "regular"
+    DIRECTORY = "directory"
+    CHARDEV = "chardev"
+    FIFO = "fifo"
+    SYMLINK = "symlink"
+    SOCKET = "socket"
+
+    @property
+    def mode_bits(self) -> int:
+        return {
+            FileKind.REGULAR: S_IFREG,
+            FileKind.DIRECTORY: S_IFDIR,
+            FileKind.CHARDEV: S_IFCHR,
+            FileKind.FIFO: S_IFIFO,
+            FileKind.SYMLINK: S_IFLNK,
+            FileKind.SOCKET: S_IFSOCK,
+        }[self]
+
+
+# ---------------------------------------------------------------------------
+# Signals (subset)
+# ---------------------------------------------------------------------------
+
+SIGHUP = 1
+SIGINT = 2
+SIGQUIT = 3
+SIGILL = 4
+SIGABRT = 6
+SIGKILL = 9
+SIGSEGV = 11
+SIGPIPE = 13
+SIGALRM = 14
+SIGTERM = 15
+SIGCHLD = 17
+SIGVTALRM = 26
+SIGPROF = 27
+
+#: Signals whose default action terminates the process.
+FATAL_SIGNALS = frozenset(
+    [SIGHUP, SIGINT, SIGQUIT, SIGILL, SIGABRT, SIGKILL, SIGSEGV, SIGPIPE, SIGALRM, SIGTERM]
+)
+
+#: Signals that act like precise exceptions: they halt the program at a
+#: well-defined point and are therefore naturally reproducible (paper §5.4).
+PRECISE_EXCEPTION_SIGNALS = frozenset([SIGSEGV, SIGILL, SIGABRT])
+
+# ---------------------------------------------------------------------------
+# wait4(2)
+# ---------------------------------------------------------------------------
+
+WNOHANG = 1
+
+# ---------------------------------------------------------------------------
+# clocks
+# ---------------------------------------------------------------------------
+
+CLOCK_REALTIME = 0
+CLOCK_MONOTONIC = 1
+CLOCK_PROCESS_CPUTIME_ID = 2
+
+# ---------------------------------------------------------------------------
+# futex(2) ops
+# ---------------------------------------------------------------------------
+
+FUTEX_WAIT = 0
+FUTEX_WAKE = 1
+
+# ---------------------------------------------------------------------------
+# Plain-data structures returned by syscalls
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class StatResult:
+    """The result of ``stat(2)``/``fstat(2)``/``lstat(2)``.
+
+    Every field here is guest-visible and therefore a potential source of
+    irreproducibility that DetTrace must virtualize (paper §5.5).
+    """
+
+    st_dev: int
+    st_ino: int
+    st_mode: int
+    st_nlink: int
+    st_uid: int
+    st_gid: int
+    st_size: int
+    st_blksize: int
+    st_blocks: int
+    st_atime: float
+    st_mtime: float
+    st_ctime: float
+
+    def is_dir(self) -> bool:
+        return (self.st_mode & S_IFMT) == S_IFDIR
+
+    def is_regular(self) -> bool:
+        return (self.st_mode & S_IFMT) == S_IFREG
+
+
+@dataclasses.dataclass
+class Dirent:
+    """One ``getdents(2)`` record: a directory entry as the guest sees it."""
+
+    d_ino: int
+    d_name: str
+    d_type: FileKind
+
+
+@dataclasses.dataclass
+class Timespec:
+    """Seconds/nanoseconds pair used by timing syscalls."""
+
+    sec: int
+    nsec: int
+
+    @classmethod
+    def from_float(cls, seconds: float) -> "Timespec":
+        sec = int(seconds)
+        nsec = int(round((seconds - sec) * 1e9))
+        if nsec >= 1_000_000_000:
+            sec += 1
+            nsec -= 1_000_000_000
+        return cls(sec, nsec)
+
+    def to_float(self) -> float:
+        return self.sec + self.nsec / 1e9
+
+
+@dataclasses.dataclass
+class UtsName:
+    """``uname(2)`` result; masked by DetTrace to a canonical machine (§3)."""
+
+    sysname: str
+    nodename: str
+    release: str
+    version: str
+    machine: str
+
+    def as_tuple(self):
+        return (self.sysname, self.nodename, self.release, self.version, self.machine)
+
+
+@dataclasses.dataclass
+class SysInfo:
+    """``sysinfo(2)``-style system facts guests can observe."""
+
+    uptime: float
+    total_ram: int
+    nprocs: int
+
+
+@dataclasses.dataclass
+class WaitResult:
+    """Result of a successful ``wait4(2)``."""
+
+    pid: int
+    status: int
+
+    @property
+    def exit_code(self) -> Optional[int]:
+        """Exit code if the child exited normally, else ``None``."""
+        if self.status & 0x7F == 0:
+            return (self.status >> 8) & 0xFF
+        return None
+
+    @property
+    def term_signal(self) -> Optional[int]:
+        """Terminating signal if killed by a signal, else ``None``."""
+        sig = self.status & 0x7F
+        return sig if sig else None
+
+
+def make_exit_status(code: int) -> int:
+    """Encode a normal exit *code* the way ``wait4`` reports it."""
+    return (code & 0xFF) << 8
+
+
+def make_signal_status(signum: int) -> int:
+    """Encode death-by-signal the way ``wait4`` reports it."""
+    return signum & 0x7F
+
+
+@dataclasses.dataclass
+class CpuidResult:
+    """What the ``cpuid`` instruction reports for one leaf."""
+
+    vendor: str
+    brand: str
+    family: int
+    model: int
+    cores: int
+    features: List[str]
+
+    def has_feature(self, name: str) -> bool:
+        return name in self.features
+
+
+@dataclasses.dataclass
+class TimesResult:
+    """``times(2)``: CPU time accounting (clock-tick granularity)."""
+
+    utime: float
+    stime: float
+    cutime: float
+    cstime: float
+
+
+@dataclasses.dataclass
+class StatfsResult:
+    """``statfs(2)``: filesystem statistics — thoroughly host-dependent."""
+
+    f_type: int
+    f_bsize: int
+    f_blocks: int
+    f_bfree: int
+    f_files: int
+    f_ffree: int

@@ -1,0 +1,48 @@
+"""The vDSO: kernel-provided timing functions in user space (paper §5.3).
+
+Linux maps two special pages into every process:
+
+* the **vDSO** — code implementing ``gettimeofday``/``clock_gettime``/
+  ``time`` as plain library calls, invisible to ptrace;
+* the **vvar** page — the raw clock data those functions read.
+
+Guest timing helpers go through :class:`~repro.kernel.ops.VdsoCall` by
+default, exactly like glibc.  DetTrace's ``on_execve`` hook sets
+``process.vdso_patched``, which makes this module route the call back
+through the ordinary syscall path (where the tracer sees it) and makes
+direct vvar loads fault instead of leaking raw time.
+"""
+
+from __future__ import annotations
+
+from .clock import SimClock
+from .errors import KernelPanic
+from .types import CLOCK_MONOTONIC
+
+
+class Vdso:
+    """Evaluates vDSO fast-path calls against the raw clock."""
+
+    #: The functions the real vDSO exports (x86-64).
+    FUNCTIONS = ("time", "gettimeofday", "clock_gettime")
+
+    def __init__(self, clock: SimClock):
+        self.clock = clock
+
+    def call(self, name: str, args: dict):
+        """Execute a vDSO function natively: raw, irreproducible time,
+        with no syscall and hence no ptrace visibility."""
+        if name == "time":
+            return int(self.clock.wall)
+        if name == "gettimeofday":
+            return self.clock.wall
+        if name == "clock_gettime":
+            if args.get("clock_id") == CLOCK_MONOTONIC:
+                return self.clock.monotonic
+            return self.clock.wall
+        raise KernelPanic("unknown vDSO call %r" % name)
+
+    def read_vvar(self) -> float:
+        """A direct load from the vvar data page (what glibc's mkstemp
+        path effectively does after getauxval, §5.3)."""
+        return self.clock.wall

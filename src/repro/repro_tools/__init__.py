@@ -1,0 +1,43 @@
+"""Reproducibility tooling: reprotest, diffoscope, strip-nondeterminism,
+hashdeep analogs (paper SS6.1)."""
+
+from .diffoscope import DiffReport, Difference, compare
+from .hashing import hashdeep, sha256, tree_digest
+from .reprotest import (
+    FAILED,
+    IRREPRODUCIBLE,
+    REPRODUCIBLE,
+    TIMEOUT,
+    UNSUPPORTED,
+    ReprotestResult,
+    reprotest_dettrace,
+    reprotest_native,
+    reprotest_portability,
+)
+from .strip_nondeterminism import strip_deb, strip_tar, strip_tree
+from .variations import first_build_host, host_pair, same_host_pair, second_build_host
+
+__all__ = [
+    "DiffReport",
+    "Difference",
+    "FAILED",
+    "IRREPRODUCIBLE",
+    "REPRODUCIBLE",
+    "ReprotestResult",
+    "TIMEOUT",
+    "UNSUPPORTED",
+    "compare",
+    "first_build_host",
+    "hashdeep",
+    "host_pair",
+    "reprotest_dettrace",
+    "reprotest_native",
+    "reprotest_portability",
+    "same_host_pair",
+    "second_build_host",
+    "sha256",
+    "strip_deb",
+    "strip_tar",
+    "strip_tree",
+    "tree_digest",
+]

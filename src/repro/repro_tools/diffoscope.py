@@ -1,0 +1,107 @@
+"""diffoscope analog: explainable bitwise comparison of artifact trees.
+
+reprotest's verdict only needs the boolean, but the DRB workflow's value
+is the *explanation* — so the comparator descends into our deb/tar
+formats and reports which member and which header field or content byte
+differs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from ..workloads.debian import archive
+
+
+@dataclasses.dataclass
+class Difference:
+    path: str
+    detail: str
+
+
+@dataclasses.dataclass
+class DiffReport:
+    identical: bool
+    differences: List[Difference]
+
+    def summary(self, limit: int = 10) -> str:
+        if self.identical:
+            return "trees are bitwise identical"
+        lines = ["%d difference(s):" % len(self.differences)]
+        for diff in self.differences[:limit]:
+            lines.append("  %s: %s" % (diff.path, diff.detail))
+        if len(self.differences) > limit:
+            lines.append("  ... and %d more" % (len(self.differences) - limit))
+        return "\n".join(lines)
+
+
+def _first_diff_offset(a: bytes, b: bytes) -> int:
+    n = min(len(a), len(b))
+    for i in range(n):
+        if a[i] != b[i]:
+            return i
+    return n
+
+
+def _explain_tar(path: str, a: bytes, b: bytes, out: List[Difference]) -> None:
+    try:
+        ea, eb = archive.tar_unpack(a), archive.tar_unpack(b)
+    except ValueError:
+        off = _first_diff_offset(a, b)
+        out.append(Difference(path, "content differs at byte %d" % off))
+        return
+    names_a = [e.name for e in ea]
+    names_b = [e.name for e in eb]
+    if names_a != names_b:
+        out.append(Difference(path, "member order/set differs: %r vs %r"
+                              % (names_a[:6], names_b[:6])))
+        return
+    for ma, mb in zip(ea, eb):
+        for field in ("mode", "uid", "gid", "mtime"):
+            va, vb = getattr(ma, field), getattr(mb, field)
+            if va != vb:
+                out.append(Difference("%s/%s" % (path, ma.name),
+                                      "%s: %r vs %r" % (field, va, vb)))
+        if ma.content != mb.content:
+            off = _first_diff_offset(ma.content, mb.content)
+            ctx_a = ma.content[max(0, off - 8):off + 24]
+            ctx_b = mb.content[max(0, off - 8):off + 24]
+            out.append(Difference("%s/%s" % (path, ma.name),
+                                  "content at byte %d: %r vs %r"
+                                  % (off, ctx_a, ctx_b)))
+
+
+def _explain_file(path: str, a: bytes, b: bytes, out: List[Difference]) -> None:
+    if a == b:
+        return
+    if a.startswith(archive.DEB_MAGIC) and b.startswith(archive.DEB_MAGIC):
+        fields_a, data_a = archive.deb_unpack(a)
+        fields_b, data_b = archive.deb_unpack(b)
+        for key in sorted(set(fields_a) | set(fields_b)):
+            va, vb = fields_a.get(key), fields_b.get(key)
+            if va != vb:
+                out.append(Difference("%s/control" % path,
+                                      "%s: %r vs %r" % (key, va, vb)))
+        if data_a != data_b:
+            _explain_tar("%s/data.tar" % path, data_a, data_b, out)
+        return
+    if a.startswith(archive.TAR_MAGIC) and b.startswith(archive.TAR_MAGIC):
+        _explain_tar(path, a, b, out)
+        return
+    off = _first_diff_offset(a, b)
+    out.append(Difference(path, "content differs at byte %d (%r vs %r)"
+                          % (off, a[off:off + 24], b[off:off + 24])))
+
+
+def compare(tree_a: Dict[str, bytes], tree_b: Dict[str, bytes]) -> DiffReport:
+    """Bitwise-compare two artifact trees; explain every difference."""
+    differences: List[Difference] = []
+    for path in sorted(set(tree_a) | set(tree_b)):
+        if path not in tree_a:
+            differences.append(Difference(path, "only in second tree"))
+        elif path not in tree_b:
+            differences.append(Difference(path, "only in first tree"))
+        else:
+            _explain_file(path, tree_a[path], tree_b[path], differences)
+    return DiffReport(identical=not differences, differences=differences)

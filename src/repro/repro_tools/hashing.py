@@ -1,0 +1,26 @@
+"""hashdeep analog: recursive digests of output trees (paper §6.1)."""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict
+
+
+def sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def hashdeep(tree: Dict[str, bytes]) -> Dict[str, str]:
+    """Per-file digests, keyed by path."""
+    return {path: sha256(data) for path, data in sorted(tree.items())}
+
+
+def tree_digest(tree: Dict[str, bytes]) -> str:
+    """One digest for the whole tree (paths + contents)."""
+    h = hashlib.sha256()
+    for path in sorted(tree):
+        h.update(path.encode())
+        h.update(b"\x00")
+        h.update(tree[path])
+        h.update(b"\x01")
+    return h.hexdigest()

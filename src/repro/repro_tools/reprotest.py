@@ -1,0 +1,107 @@
+"""reprotest analog: double-build + bitwise comparison (paper §6.1).
+
+``reprotest`` builds a package twice — once per consistent-but-different
+host configuration — and compares the resulting .deb artifacts with
+diffoscope.  For baseline (non-DetTrace) builds the tar-mtime workaround
+is applied first, exactly as the paper's methodology does; DetTrace
+builds are compared raw.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Optional, Tuple
+
+from ..core.config import ContainerConfig
+from ..cpu.machine import HostEnvironment, MachineSpec, SKYLAKE_CLOUDLAB
+from ..workloads.debian.builder import BUILT, BuildRecord, build_dettrace, build_native
+from ..workloads.debian.package import PackageSpec
+from . import diffoscope, strip_nondeterminism
+from .variations import host_pair
+
+#: reprotest verdicts (also covering the paper's build-status categories).
+REPRODUCIBLE = "reproducible"
+IRREPRODUCIBLE = "irreproducible"
+UNSUPPORTED = "unsupported"
+TIMEOUT = "timeout"
+FAILED = "failed"
+
+
+@dataclasses.dataclass
+class ReprotestResult:
+    """Verdict of one double-build."""
+
+    package: str
+    verdict: str
+    first: Optional[BuildRecord]
+    second: Optional[BuildRecord]
+    diff: Optional[diffoscope.DiffReport]
+
+    @property
+    def reproducible(self) -> bool:
+        return self.verdict == REPRODUCIBLE
+
+
+def _verdict_for_failure(record: BuildRecord) -> str:
+    if record.status == "unsupported":
+        return UNSUPPORTED
+    if record.status == "timeout":
+        return TIMEOUT
+    return FAILED
+
+
+def _double_build(spec: PackageSpec,
+                  build: Callable[[PackageSpec, HostEnvironment], BuildRecord],
+                  hosts: Tuple[HostEnvironment, HostEnvironment],
+                  strip: bool) -> ReprotestResult:
+    first = build(spec, hosts[0])
+    if first.status != BUILT:
+        return ReprotestResult(spec.name, _verdict_for_failure(first),
+                               first, None, None)
+    second = build(spec, hosts[1])
+    if second.status != BUILT:
+        return ReprotestResult(spec.name, _verdict_for_failure(second),
+                               first, second, None)
+    tree_a: Dict[str, bytes] = first.artifacts
+    tree_b: Dict[str, bytes] = second.artifacts
+    if strip:
+        tree_a = strip_nondeterminism.strip_tree(tree_a)
+        tree_b = strip_nondeterminism.strip_tree(tree_b)
+    diff = diffoscope.compare(tree_a, tree_b)
+    verdict = REPRODUCIBLE if diff.identical else IRREPRODUCIBLE
+    return ReprotestResult(spec.name, verdict, first, second, diff)
+
+
+def reprotest_native(spec: PackageSpec,
+                     machine: MachineSpec = SKYLAKE_CLOUDLAB,
+                     seed: int = 0,
+                     apply_tar_workaround: bool = True) -> ReprotestResult:
+    """Baseline double-build under the full variation set."""
+    hosts = host_pair(machine, seed=seed)
+    return _double_build(
+        spec, lambda s, h: build_native(s, host=h), hosts,
+        strip=apply_tar_workaround)
+
+
+def reprotest_dettrace(spec: PackageSpec,
+                       machine: MachineSpec = SKYLAKE_CLOUDLAB,
+                       seed: int = 0,
+                       config: Optional[ContainerConfig] = None) -> ReprotestResult:
+    """DetTrace double-build: same variations, no workarounds."""
+    hosts = host_pair(machine, seed=seed)
+    return _double_build(
+        spec, lambda s, h: build_dettrace(s, config=config, host=h), hosts,
+        strip=False)
+
+
+def reprotest_portability(spec: PackageSpec,
+                          machine_a: MachineSpec,
+                          machine_b: MachineSpec,
+                          config: Optional[ContainerConfig] = None,
+                          seed: int = 0) -> ReprotestResult:
+    """§7.3: DetTrace double-build across two different machines."""
+    host_a = host_pair(machine_a, seed=seed)[0]
+    host_b = host_pair(machine_b, seed=seed)[1]
+    return _double_build(
+        spec, lambda s, h: build_dettrace(s, config=config, host=h),
+        (host_a, host_b), strip=False)

@@ -1,0 +1,43 @@
+"""strip-nondeterminism analog (paper §6.1).
+
+In a stock Wheezy system *zero* packages compare bitwise-reproducible,
+because tar records an mtime for every member.  The paper's baseline
+methodology therefore unpacks each .deb and clamps member timestamps
+before comparing — so the baseline numbers measure the *other*
+irreproducibility sources, not the universal tar-mtime one.  DetTrace
+builds never need this workaround.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..workloads.debian import archive
+
+
+def strip_tar(data: bytes, clamp_mtime: float = 0.0) -> bytes:
+    entries = archive.tar_unpack(data)
+    for entry in entries:
+        entry.mtime = min(entry.mtime, clamp_mtime)
+    return archive.tar_pack(entries)
+
+
+def strip_deb(data: bytes, clamp_mtime: float = 0.0) -> bytes:
+    fields, data_tar = archive.deb_unpack(data)
+    package = fields.pop("Package", "")
+    version = fields.pop("Version", "")
+    return archive.deb_pack(package, version, fields,
+                            strip_tar(data_tar, clamp_mtime))
+
+
+def strip_tree(tree: Dict[str, bytes], clamp_mtime: float = 0.0) -> Dict[str, bytes]:
+    """Strip timestamps from every recognizable archive in a tree."""
+    out: Dict[str, bytes] = {}
+    for path, data in tree.items():
+        if data.startswith(archive.DEB_MAGIC):
+            out[path] = strip_deb(data, clamp_mtime)
+        elif data.startswith(archive.TAR_MAGIC):
+            out[path] = strip_tar(data, clamp_mtime)
+        else:
+            out[path] = data
+    return out

@@ -1,0 +1,85 @@
+"""reprotest's environment variations (paper §6.1).
+
+reprotest builds each package twice under two *consistent but different*
+configurations, perturbing exactly the knobs the paper lists: environment
+variables, build path, ASLR, number of CPUs, time, user/groups, home
+directory, locales, exec path and timezone.  (Domain/host, kernel and
+file-ordering variations are off, matching the paper's configuration.)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..cpu.machine import HostEnvironment, MachineSpec, SKYLAKE_CLOUDLAB
+
+#: About 400 days, so the second build's wall clock is far away.
+TIME_SHIFT = 400 * 86400.0
+
+
+def first_build_host(machine: MachineSpec = SKYLAKE_CLOUDLAB,
+                     seed: int = 101) -> HostEnvironment:
+    """The consistent configuration used for every first build."""
+    return HostEnvironment(
+        machine=machine,
+        boot_epoch=1_546_300_800.0,  # 2019-01-01
+        entropy_seed=seed,
+        pid_start=1200,
+        inode_start=400_000,
+        dirent_hash_salt=11,
+        aslr_enabled=True,
+        env={
+            "PATH": "/usr/local/bin:/usr/bin:/bin",
+            "HOME": "/root",
+            "USER": "root",
+            "SHELL": "/bin/sh",
+            "LANG": "en_US.UTF-8",
+            "TZ": "America/New_York",
+        },
+        tz_offset=-5 * 3600,
+        build_path="/build/first",
+        visible_cores=None,
+    )
+
+
+def second_build_host(machine: MachineSpec = SKYLAKE_CLOUDLAB,
+                      seed: int = 202) -> HostEnvironment:
+    """The consistent-but-different configuration for second builds."""
+    return HostEnvironment(
+        machine=machine,
+        boot_epoch=1_546_300_800.0 + TIME_SHIFT,     # time variation
+        entropy_seed=seed,                            # fresh entropy/ASLR
+        pid_start=7421,                               # different PID space
+        inode_start=902_000,                          # different inodes
+        dirent_hash_salt=77,                          # different readdir order
+        aslr_enabled=True,
+        env={                                         # env/locale/tz/user vars
+            "PATH": "/opt/bin:/usr/bin:/bin",         # exec path variation
+            "HOME": "/home/builder2",                 # home variation
+            "USER": "builder2",                       # user variation
+            "SHELL": "/bin/bash",
+            "LANG": "de_DE.UTF-8",                    # locale variation
+            "TZ": "Europe/Berlin",                    # timezone variation
+            "CAPTURE_ENVIRONMENT": "1",               # an extra variable
+        },
+        tz_offset=1 * 3600,
+        build_path="/other/place/second-build",       # build-path variation
+        visible_cores=2,                              # num_cpus variation
+    )
+
+
+def host_pair(machine: MachineSpec = SKYLAKE_CLOUDLAB, seed: int = 0):
+    """The (first, second) build hosts reprotest uses, seed-shiftable."""
+    return (first_build_host(machine, seed=101 + seed),
+            second_build_host(machine, seed=202 + seed))
+
+
+def same_host_pair(machine: MachineSpec = SKYLAKE_CLOUDLAB, seed: int = 0):
+    """Two boots of an *unvaried* machine (for determinism-only checks):
+    same configuration, different entropy/boot — what "running it twice
+    on one machine" means."""
+    first = first_build_host(machine, seed=101 + seed)
+    second = dataclasses.replace(first, entropy_seed=909 + seed,
+                                 boot_epoch=first.boot_epoch + 3600.0)
+    return first, second

@@ -1,0 +1,119 @@
+"""The replay side of the rr analog.
+
+Replay re-runs the same program tree but *injects* every recorded syscall
+result instead of executing against the kernel, so the guest re-observes
+the recorded world exactly (including its irreproducible values).  A few
+structural syscalls (spawn/exit/execve and thread creation) must really
+execute so the process tree exists; their results are checked against the
+recording instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..kernel.costs import TRACER_HANDLER_COST
+from ..kernel.errors import SyscallError
+from ..kernel.process import Process, Thread
+from ..tracer.ptrace import TracerBase
+from ..tracer.seccomp import SeccompFilter
+from .trace import Recording, ReplayDivergence
+
+#: Syscalls replay must actually execute (world-structure, not data).
+STRUCTURAL = frozenset({
+    "spawn_process", "spawn_thread", "execve", "exit", "exit_thread",
+})
+
+REPLAY_EVENT_COST = 10e-6
+
+
+class RnrReplayer(TracerBase):
+    """Drives a replayed execution from a :class:`Recording`."""
+
+    def __init__(self, recording: Recording):
+        super().__init__()
+        self.recording = recording
+        self._proc_index: Dict[int, tuple] = {}
+        self._child_counts: Dict[tuple, int] = {}
+        self._cursor: Dict[tuple, int] = {}
+
+    def attach(self, kernel) -> None:
+        super().attach(kernel)
+        self.seccomp = SeccompFilter(
+            enabled=True, kernel_version=kernel.host.machine.kernel_version)
+
+    def on_process_spawn(self, proc: Process) -> None:
+        self.counters.process_spawns += 1
+        if proc.parent is None:
+            index = (0,)
+        else:
+            parent_key = self._proc_index.get(proc.parent.pid, (0,))
+            ordinal = self._child_counts.get(parent_key, 0)
+            self._child_counts[parent_key] = ordinal + 1
+            index = parent_key + (ordinal,)
+        self._proc_index[proc.pid] = index
+        expected = self.recording.spawn_argvs.get(index)
+        if expected is not None and expected[:1] != proc.argv[:1]:
+            raise ReplayDivergence(
+                "process %s ran %r, recording has %r"
+                % (index, proc.argv[:1], expected[:1]))
+
+    def _next_event(self, thread: Thread):
+        index = self._proc_index.get(thread.process.pid, (-1,))
+        stream = self.recording.streams.get(index, [])
+        pos = self._cursor.get(index, 0)
+        if pos >= len(stream):
+            raise ReplayDivergence(
+                "process %s ran past the end of its recorded stream" % (index,))
+        self._cursor[index] = pos + 1
+        return stream[pos]
+
+    def traps_instruction(self, thread: Thread, name: str) -> bool:
+        return name in ("rdtsc", "rdtscp")
+
+    def on_instruction(self, thread: Thread, name: str):
+        event = self._next_event(thread)
+        if event.syscall != "instr:" + name:
+            raise ReplayDivergence(
+                "pid %d executed instruction %s, recording expected %s"
+                % (thread.process.pid, name, event.syscall))
+        finish = self.charge(REPLAY_EVENT_COST / 2)
+        return (event.payload, finish)
+
+    def on_trace_stop(self, thread: Thread) -> None:
+        self.counters.syscall_events += 1
+        call = thread.current_syscall
+        self.charge(self.seccomp.stop_cost + TRACER_HANDLER_COST + REPLAY_EVENT_COST)
+        event = self._next_event(thread)
+        if event.syscall != call.name:
+            raise ReplayDivergence(
+                "pid %d executed %s, recording expected %s"
+                % (thread.process.pid, call.name, event.syscall))
+        if call.name in STRUCTURAL:
+            tag, payload = self.kernel.tracer_execute(thread, call, nonblocking=True)
+            if tag == "execve":
+                self.kernel.tracer_execve(thread, payload, at=self.busy_until)
+                return
+            if tag == "exit":
+                return
+            if tag == "ok":
+                # The call really executed (the process tree must exist),
+                # but the guest must observe the *recorded* value: pid
+                # allocation order can differ in replay, and every pid the
+                # guest compares against later comes from the recording.
+                value = event.payload if event.outcome == "value" else payload
+                self.kernel.tracer_resume(thread, self.busy_until, value=value)
+            else:
+                self.kernel.tracer_resume(thread, self.busy_until, exc=payload)
+            return
+        # Pure injection: the kernel never sees the syscall.
+        if event.outcome == "value":
+            self.kernel.tracer_resume(thread, self.busy_until, value=event.payload)
+        else:
+            exc = event.payload
+            if not isinstance(exc, BaseException):
+                exc = SyscallError(int(exc), call.name)
+            self.kernel.tracer_resume(thread, self.busy_until, exc=exc)
+
+    def on_busy_wait(self, thread: Thread) -> None:
+        pass

@@ -1,0 +1,7 @@
+"""ptrace/seccomp analogs for tracers over the simulated kernel."""
+
+from .events import TraceCounters
+from .ptrace import TracerBase
+from .seccomp import NATURALLY_REPRODUCIBLE, SeccompFilter
+
+__all__ = ["NATURALLY_REPRODUCIBLE", "SeccompFilter", "TraceCounters", "TracerBase"]

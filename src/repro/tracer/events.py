@@ -1,0 +1,44 @@
+"""Counters for tracer-observed events (the rows of the paper's Table 2)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class TraceCounters:
+    """Per-run event counts, named after Table 2's rows."""
+
+    syscall_events: int = 0
+    memory_reads: int = 0
+    rdtsc_intercepted: int = 0
+    sched_requests: int = 0
+    replays_blocking: int = 0
+    process_spawns: int = 0
+    read_retries: int = 0
+    urandom_opens: int = 0
+    write_retries: int = 0
+    #: Extra (not in Table 2 but useful): instruction traps, vDSO patches.
+    cpuid_intercepted: int = 0
+    vdso_patches: int = 0
+    getdents_sorted: int = 0
+    memory_writes: int = 0
+
+    def add(self, other: "TraceCounters") -> None:
+        for field in dataclasses.fields(self):
+            setattr(self, field.name,
+                    getattr(self, field.name) + getattr(other, field.name))
+
+    def as_table2_rows(self):
+        """(label, value) pairs in the paper's Table 2 order."""
+        return [
+            ("System call events", self.syscall_events),
+            ("User process memory reads", self.memory_reads),
+            ("rdtsc intercepted", self.rdtsc_intercepted),
+            ("Requests for scheduling next process", self.sched_requests),
+            ("Replays due to blocking system call", self.replays_blocking),
+            ("Process spawn events", self.process_spawns),
+            ("read retries", self.read_retries),
+            ("/dev/urandom opens", self.urandom_opens),
+            ("write retries", self.write_retries),
+        ]

@@ -1,0 +1,94 @@
+"""The ptrace analog: base class for tracers over the simulated kernel.
+
+The kernel delivers stops by calling the ``on_*`` hooks; a tracer services
+stops through the kernel's ``tracer_execute``/``tracer_resume`` surface.
+Like the real ptrace tracer, this object is a *single-threaded process*:
+every event it services occupies its serial timeline, which is what makes
+interception overhead proportional to event rate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from ..kernel.costs import TRACER_MEMORY_OP_COST
+from ..kernel.ops import Syscall
+from ..kernel.process import Process, Thread
+from .events import TraceCounters
+from .seccomp import SeccompFilter
+
+
+class TracerBase:
+    """Common machinery for DetTrace and the record-and-replay baseline."""
+
+    def __init__(self, seccomp: Optional[SeccompFilter] = None):
+        self.kernel = None
+        self.seccomp = seccomp or SeccompFilter(enabled=False)
+        self.counters = TraceCounters()
+        #: Serial tracer timeline: we are busy until this virtual time.
+        self.busy_until = 0.0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def attach(self, kernel) -> None:
+        self.kernel = kernel
+        kernel.attach_tracer(self)
+
+    # -- serial timeline -----------------------------------------------------
+
+    def charge(self, cost: float) -> float:
+        """Occupy the tracer for *cost* seconds; returns the finish time."""
+        start = max(self.kernel.clock.now, self.busy_until)
+        self.busy_until = start + cost
+        return self.busy_until
+
+    def peek_memory(self, words: int = 1) -> float:
+        """Account for reading tracee memory; returns the time cost."""
+        self.counters.memory_reads += words
+        return words * TRACER_MEMORY_OP_COST
+
+    def poke_memory(self, words: int = 1) -> float:
+        self.counters.memory_writes += words
+        return words * TRACER_MEMORY_OP_COST
+
+    # -- kernel-facing hooks (defaults) -----------------------------------------
+
+    def intercepts(self, thread: Thread, call: Syscall) -> bool:
+        return self.seccomp.intercepts(call.name)
+
+    def traps_instruction(self, thread: Thread, name: str) -> bool:
+        return False
+
+    def on_instruction(self, thread: Thread, name: str) -> Tuple[Any, float]:
+        raise NotImplementedError
+
+    def on_trace_stop(self, thread: Thread) -> None:
+        raise NotImplementedError
+
+    def on_process_spawn(self, proc: Process) -> None:
+        self.counters.process_spawns += 1
+
+    def on_thread_spawn(self, thread: Thread) -> None:
+        pass
+
+    def on_thread_exit(self, thread: Thread) -> None:
+        pass
+
+    def on_thread_progress(self, thread: Thread) -> None:
+        """A running thread committed to more compute (its deterministic
+        lower bound rose); schedulers that gate on bounds re-evaluate."""
+        pass
+
+    def on_process_exit(self, proc: Process) -> None:
+        pass
+
+    def on_execve(self, proc: Process) -> None:
+        pass
+
+    def on_busy_wait(self, thread: Thread) -> None:
+        """Called when a thread exceeds the busy-wait compute budget."""
+        raise NotImplementedError
+
+    def on_quiescent(self) -> bool:
+        """The kernel ran out of events; return True if we made progress."""
+        return False

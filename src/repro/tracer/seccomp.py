@@ -1,0 +1,52 @@
+"""A seccomp-bpf analog: selective syscall interception (paper §5.11).
+
+Without a filter, ptrace stops the tracee twice per syscall.  A seccomp
+program lets naturally-reproducible syscalls through with *no* stop, and
+on kernels >= 4.8 the remaining syscalls cost a single combined event
+instead of separate seccomp and ptrace stops.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+from ..kernel.costs import (
+    LEGACY_DOUBLE_STOP_COST,
+    PTRACE_STOP_COST,
+    SECCOMP_COMBINED_STOP_COST,
+)
+
+#: Syscalls whose results are naturally reproducible inside the container:
+#: per-process, read-only or position-only state, with namespace-stable
+#: answers.  Everything touching shared state (the filesystem, pipes,
+#: other processes, time, randomness) must be intercepted and serialized.
+NATURALLY_REPRODUCIBLE: FrozenSet[str] = frozenset({
+    "getpid", "getppid", "gettid", "getuid", "getgid",
+    "getcwd", "sched_yield", "lseek", "dup", "dup2",
+    "umask", "prctl", "getauxval", "sigaction", "fsync",
+    "fcntl", "sigprocmask", "setsid", "getgroups", "sync",
+})
+
+
+class SeccompFilter:
+    """Decides, per syscall, whether a ptrace stop happens and its cost."""
+
+    def __init__(self, allow: Optional[FrozenSet[str]] = None,
+                 enabled: bool = True, kernel_version=(4, 15)):
+        self.allow = NATURALLY_REPRODUCIBLE if allow is None else allow
+        self.enabled = enabled
+        self.kernel_version = tuple(kernel_version)
+
+    def intercepts(self, name: str) -> bool:
+        if not self.enabled:
+            return True  # plain ptrace: everything stops
+        return name not in self.allow
+
+    @property
+    def stop_cost(self) -> float:
+        """Virtual seconds of context switching per intercepted syscall."""
+        if not self.enabled:
+            return 2 * PTRACE_STOP_COST  # entry stop + exit stop
+        if self.kernel_version >= (4, 8):
+            return SECCOMP_COMBINED_STOP_COST
+        return LEGACY_DOUBLE_STOP_COST

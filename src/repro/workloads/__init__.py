@@ -1,0 +1,1 @@
+"""Evaluation workloads: Debian builds, bioinformatics, machine learning."""

@@ -1,0 +1,34 @@
+"""Bioinformatics workflows (paper SS7.5)."""
+
+from .common import (
+    INPUT_PATH,
+    WorkloadSpec,
+    driver_main,
+    make_image,
+    run_dettrace,
+    run_native,
+    synth_sequences,
+    unit_weight,
+    worker_main,
+)
+from .tools import ALL_TOOLS, CLUSTAL, HMMER, RAXML, clustal_image, hmmer_image, raxml_image, tool_image
+
+__all__ = [
+    "ALL_TOOLS",
+    "CLUSTAL",
+    "HMMER",
+    "INPUT_PATH",
+    "RAXML",
+    "WorkloadSpec",
+    "clustal_image",
+    "driver_main",
+    "hmmer_image",
+    "make_image",
+    "raxml_image",
+    "run_dettrace",
+    "run_native",
+    "synth_sequences",
+    "tool_image",
+    "unit_weight",
+    "worker_main",
+]

@@ -1,0 +1,73 @@
+"""The three bioinformatics tools (paper §6, §7.5).
+
+* **clustal** (Clustal 2.1 -ALIGN analog): multiple sequence alignment.
+  Heavily compute-bound, coarse uneven chunks — scales to ~4.2x at 16
+  processes and is nearly free under DetTrace.  Natively reproducible.
+* **hmmer** (HMMER 3.1b2 analog): profile HMM search.  Moderate syscall
+  rate (progress output + timing polls), salts its scores with wall
+  time — natively irreproducible (hashdeep catches it).
+* **raxml** (RAxML 8.2.10 analog): phylogenetic trees.  Frequent small
+  stdout writes and timing polls (the paper measured >55k syscalls/sec
+  with 16 processes), random starting trees seeded from the clock —
+  natively irreproducible and the most expensive under DetTrace.
+"""
+
+from __future__ import annotations
+
+from ...core.image import Image
+from .common import WorkloadSpec, driver_main, make_image, worker_main
+
+CLUSTAL = WorkloadSpec(
+    tool="clustal",
+    n_units=2000,
+    unit_work=3.5e-4,
+    imbalance=0.8,
+    serial_pre=0.03,
+    serial_post=0.12,
+    progress_writes=1,
+    time_polls=0,
+    seeds_from_time=False,
+    seeds_from_random=False,
+)
+
+HMMER = WorkloadSpec(
+    tool="hmmer",
+    n_units=1500,
+    unit_work=2.3e-4,
+    imbalance=0.5,
+    serial_pre=0.006,
+    serial_post=0.025,
+    progress_writes=1,
+    time_polls=1,
+    seeds_from_time=True,
+)
+
+RAXML = WorkloadSpec(
+    tool="raxml",
+    n_units=2400,
+    unit_work=1.1e-4,
+    imbalance=0.4,
+    serial_pre=0.004,
+    serial_post=0.012,
+    progress_writes=2,
+    time_polls=2,
+    seeds_from_time=True,
+)
+
+ALL_TOOLS = {"clustal": CLUSTAL, "hmmer": HMMER, "raxml": RAXML}
+
+
+def tool_image(spec: WorkloadSpec) -> Image:
+    return make_image(spec, driver_main, worker_main)
+
+
+def clustal_image() -> Image:
+    return tool_image(CLUSTAL)
+
+
+def hmmer_image() -> Image:
+    return tool_image(HMMER)
+
+
+def raxml_image() -> Image:
+    return tool_image(RAXML)

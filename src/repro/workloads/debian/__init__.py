@@ -1,0 +1,52 @@
+"""Synthetic Debian package ecosystem (paper §6, §7.1-7.4)."""
+
+from .archive import TarEntry, cpio_pack, deb_pack, deb_unpack, tar_pack, tar_unpack
+from .builder import (
+    BUILT,
+    DEFAULT_BUILD_TIMEOUT,
+    FAILED,
+    BuildRecord,
+    build_dettrace,
+    build_native,
+    package_image,
+)
+from .buildtools import TOOLS
+from .package import PackageSpec, source_content
+from .repository import CAUSE_WEIGHTS, FAMOUS_PACKAGES, JOINT_COUNTS, generate_population
+from .rules import build_dettrace_rules, build_native_rules, rules_image, rules_script
+from .selfhost import CLANG_SPEC, SelfHostResult, self_host
+from .mirror import Mirror, build_chain, build_with_deps, dependency_image
+
+__all__ = [
+    "BUILT",
+    "BuildRecord",
+    "CAUSE_WEIGHTS",
+    "FAMOUS_PACKAGES",
+    "CLANG_SPEC",
+    "SelfHostResult",
+    "self_host",
+    "Mirror",
+    "build_chain",
+    "build_with_deps",
+    "dependency_image",
+    "DEFAULT_BUILD_TIMEOUT",
+    "FAILED",
+    "JOINT_COUNTS",
+    "PackageSpec",
+    "TOOLS",
+    "TarEntry",
+    "build_dettrace",
+    "build_dettrace_rules",
+    "build_native",
+    "build_native_rules",
+    "cpio_pack",
+    "deb_pack",
+    "deb_unpack",
+    "generate_population",
+    "package_image",
+    "rules_image",
+    "rules_script",
+    "source_content",
+    "tar_pack",
+    "tar_unpack",
+]

@@ -1,0 +1,124 @@
+"""Byte-level archive formats for the synthetic Debian toolchain.
+
+The formats are deliberately simple but *faithful in the ways that
+matter*: tar members record mtime/uid/gid/mode in their headers, so a
+timestamp difference changes the archive bytes — which is exactly why a
+stock Wheezy system produces zero bitwise-reproducible packages until
+either strip-nondeterminism clamps the mtimes (the paper's baseline
+workaround, §6.1) or DetTrace virtualizes them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+TAR_MAGIC = b"STAR1\n"
+DEB_MAGIC = b"SDEB2\n"
+
+
+@dataclasses.dataclass
+class TarEntry:
+    """One archive member."""
+
+    name: str
+    mode: int
+    uid: int
+    gid: int
+    mtime: float
+    content: bytes
+
+    def header(self) -> bytes:
+        return b"E %s %o %d %d %.6f %d\n" % (
+            self.name.encode(), self.mode, self.uid, self.gid, self.mtime,
+            len(self.content))
+
+
+def tar_pack(entries: List[TarEntry]) -> bytes:
+    """Serialize members in the given order (order is part of the bytes!)."""
+    out = bytearray(TAR_MAGIC)
+    for entry in entries:
+        out += entry.header()
+        out += entry.content
+        out += b"\n"
+    out += b"END\n"
+    return bytes(out)
+
+
+def tar_unpack(data: bytes) -> List[TarEntry]:
+    if not data.startswith(TAR_MAGIC):
+        raise ValueError("not a tar archive")
+    pos = len(TAR_MAGIC)
+    entries: List[TarEntry] = []
+    while True:
+        nl = data.index(b"\n", pos)
+        line = data[pos:nl]
+        pos = nl + 1
+        if line == b"END":
+            break
+        if not line.startswith(b"E "):
+            raise ValueError("corrupt tar header %r" % line[:40])
+        parts = line.split(b" ")
+        name = parts[1].decode()
+        mode = int(parts[2], 8)
+        uid, gid = int(parts[3]), int(parts[4])
+        mtime = float(parts[5])
+        size = int(parts[6])
+        content = data[pos:pos + size]
+        pos += size + 1  # trailing newline
+        entries.append(TarEntry(name, mode, uid, gid, mtime, content))
+    return entries
+
+
+def deb_pack(package: str, version: str, control_fields: Dict[str, str],
+             data_tar: bytes) -> bytes:
+    """An ar(1)-style .deb: control metadata + the data tarball."""
+    control = bytearray()
+    control += b"Package: %s\n" % package.encode()
+    control += b"Version: %s\n" % version.encode()
+    for key in sorted(control_fields):
+        control += b"%s: %s\n" % (key.encode(), control_fields[key].encode())
+    out = bytearray(DEB_MAGIC)
+    out += b"C %d\n" % len(control)
+    out += control
+    out += b"D %d\n" % len(data_tar)
+    out += data_tar
+    return bytes(out)
+
+
+def deb_unpack(data: bytes) -> Tuple[Dict[str, str], bytes]:
+    """Returns (control fields, data tar bytes)."""
+    if not data.startswith(DEB_MAGIC):
+        raise ValueError("not a deb archive")
+    pos = len(DEB_MAGIC)
+    nl = data.index(b"\n", pos)
+    clen = int(data[pos + 2:nl])
+    pos = nl + 1
+    control_raw = data[pos:pos + clen]
+    pos += clen
+    nl = data.index(b"\n", pos)
+    dlen = int(data[pos + 2:nl])
+    pos = nl + 1
+    data_tar = data[pos:pos + dlen]
+    fields: Dict[str, str] = {}
+    for line in control_raw.decode().splitlines():
+        if ": " in line:
+            key, value = line.split(": ", 1)
+            fields[key] = value
+    return fields, data_tar
+
+
+def cpio_pack(entries: List[Tuple[str, int, bytes]]) -> bytes:
+    """A cpio-style archive: *records inode numbers in headers*.
+
+    Some source packages ship cpio archives, which is how raw inode
+    numbers leak into build artifacts (§5.5's motivation for virtual
+    inodes).  Entries are (name, inode, content).
+    """
+    out = bytearray(b"SCPIO\n")
+    for name, ino, content in entries:
+        out += b"F %s %d %d\n" % (name.encode(), ino, len(content))
+        out += content
+        out += b"\n"
+    out += b"END\n"
+    return bytes(out)

@@ -1,0 +1,133 @@
+"""Build harness: assemble a package image and build it, either natively
+or inside DetTrace, then classify the outcome the way §7.1 does."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from ...core.config import ContainerConfig
+from ...core.container import ContainerResult, DetTrace, NativeRunner, OK, TIMEOUT, UNSUPPORTED
+from ...core.image import Image
+from ...cpu.machine import HostEnvironment
+from ...guest.program import with_args
+from .buildtools import (
+    TOOLS,
+    configure_main,
+    doc_gen_main,
+    dpkg_buildpackage_main,
+    dpkg_deb_main,
+    gcc_main,
+    jvm_main,
+    ld_main,
+    license_check_main,
+    logger_main,
+    make_main,
+    pycc_main,
+    test_runner_main,
+    watchdog_main,
+)
+from .package import PackageSpec, source_content
+
+#: Virtual-seconds budget for one DetTrace package build (the paper's 2h,
+#: scaled to our package sizes).  Baseline builds get twice that.
+DEFAULT_BUILD_TIMEOUT = 0.6
+
+#: Build statuses (§7.1).
+BUILT = "built"
+FAILED = "failed"
+
+_FACTORIES = {
+    "driver": dpkg_buildpackage_main,
+    "configure": configure_main,
+    "make": make_main,
+    "gcc": gcc_main,
+    "ld": ld_main,
+    "doc_gen": doc_gen_main,
+    "jvm": jvm_main,
+    "license_check": license_check_main,
+    "watchdog": watchdog_main,
+    "test_runner": test_runner_main,
+    "dpkg_deb": dpkg_deb_main,
+    "pycc": pycc_main,
+    "logger": logger_main,
+}
+
+
+def package_image(spec: PackageSpec) -> Image:
+    """The initial filesystem for building *spec*: toolchain + sources."""
+    img = Image()
+    for key, path in TOOLS.items():
+        img.add_binary(path, with_args(_FACTORIES[key], spec))
+    # Plain files configure probes for but nobody executes.
+    img.add_file("/usr/bin/tar", b"#!ELF tar", mode=0o755)
+    img.add_file("/usr/bin/sh", b"#!ELF sh", mode=0o755)
+    img.add_file("/usr/bin/dpkg-deb", b"#!ELF dpkg-deb", mode=0o755)
+
+    def setup(kernel, build_dir):
+        now = kernel.host.boot_epoch
+        for i in range(spec.n_sources):
+            kernel.fs.write_file(build_dir + "/" + spec.source_path(i),
+                                 source_content(spec, i), now=now)
+        control = b"Source: %s\nVersion: %s\n" % (spec.name.encode(),
+                                                   spec.version.encode())
+        if spec.build_depends:
+            control += b"Build-Depends: %s\n" % ", ".join(
+                spec.build_depends).encode()
+        kernel.fs.write_file(build_dir + "/debian/control", control, now=now)
+
+    img.on_setup(setup)
+    return img
+
+
+@dataclasses.dataclass
+class BuildRecord:
+    """One package build plus its §7.1 classification."""
+
+    spec: PackageSpec
+    status: str  # built | failed | unsupported | timeout
+    result: ContainerResult
+
+    @property
+    def artifacts(self) -> Dict[str, bytes]:
+        """The .deb outputs (what reprotest compares bitwise)."""
+        return {path: data for path, data in self.result.output_tree.items()
+                if path.endswith(".deb")}
+
+    @property
+    def deb(self) -> Optional[bytes]:
+        for path in sorted(self.artifacts):
+            return self.artifacts[path]
+        return None
+
+
+def _classify(result: ContainerResult) -> str:
+    if result.status == UNSUPPORTED:
+        return "unsupported"
+    if result.status == TIMEOUT:
+        return "timeout"
+    if result.status == OK and result.exit_code == 0:
+        return BUILT
+    return FAILED
+
+
+def build_native(spec: PackageSpec, host: Optional[HostEnvironment] = None,
+                 timeout: float = 2 * DEFAULT_BUILD_TIMEOUT) -> BuildRecord:
+    """Build *spec* with no tracer (the reprotest baseline)."""
+    result = NativeRunner(timeout=timeout).run(
+        package_image(spec), TOOLS["driver"],
+        argv=["dpkg-buildpackage", spec.name], host=host)
+    return BuildRecord(spec=spec, status=_classify(result), result=result)
+
+
+def build_dettrace(spec: PackageSpec,
+                   config: Optional[ContainerConfig] = None,
+                   host: Optional[HostEnvironment] = None,
+                   timeout: float = DEFAULT_BUILD_TIMEOUT) -> BuildRecord:
+    """Build *spec* inside a DetTrace container."""
+    cfg = config or ContainerConfig()
+    cfg = dataclasses.replace(cfg, timeout=timeout)
+    result = DetTrace(cfg).run(
+        package_image(spec), TOOLS["driver"],
+        argv=["dpkg-buildpackage", spec.name], host=host)
+    return BuildRecord(spec=spec, status=_classify(result), result=result)

@@ -1,0 +1,495 @@
+"""The synthetic Debian build toolchain, as guest programs.
+
+Each function is a guest program factory bound to a
+:class:`~repro.workloads.debian.package.PackageSpec` (every package build
+boots a fresh kernel, so binding the spec into the image is equivalent to
+reading it from a build recipe on disk).
+
+The toolchain deliberately reproduces the irreproducibility vectors the
+paper found in real builds:
+
+* ``configure`` performs the GNU-autotools clock-skew sanity check that
+  forced DetTrace to implement *sensible* virtual mtimes (§5.5);
+* ``gcc`` derives temp-file names from rdtsc+pid (§7.4), reads
+  ``/dev/urandom`` for symbol seeds, and embeds __DATE__/__FILE__;
+* ``make -jN`` runs compilers in parallel and reaps them with wait4;
+* ``ld`` links objects in readdir order when the package is sloppy;
+* ``tar``/``dpkg-deb`` record mtimes/uid/gid in archive headers (§6.1).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ...guest.libc import format_date, tmpnam
+from ...kernel.errors import Errno, SyscallError
+from ...kernel.types import O_APPEND, O_CREAT, O_WRONLY, SIGTERM
+from .archive import TarEntry, cpio_pack, deb_pack, tar_pack
+from .package import PackageSpec
+
+#: Paths where the toolchain binaries live inside the image.
+TOOLS = {
+    "driver": "/usr/bin/dpkg-buildpackage",
+    "configure": "/usr/bin/configure",
+    "make": "/usr/bin/make",
+    "gcc": "/usr/bin/gcc",
+    "ld": "/usr/bin/ld",
+    "doc_gen": "/usr/bin/doc-gen",
+    "jvm": "/usr/bin/jvm",
+    "license_check": "/usr/bin/license-check",
+    "watchdog": "/usr/bin/watchdog",
+    "test_runner": "/usr/bin/test-runner",
+    "dpkg_deb": "/usr/bin/dpkg-deb",
+    "pycc": "/usr/bin/pycc",
+    "logger": "/usr/bin/logger",
+}
+
+
+def _digest(*chunks: bytes) -> str:
+    h = hashlib.sha256()
+    for c in chunks:
+        h.update(c)
+    return h.hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# configure
+# ---------------------------------------------------------------------------
+
+def configure_main(sys, spec: PackageSpec):
+    """Feature probing + the clock-skew check + config.h generation."""
+    # GNU autotools clock-skew sanity check: a fresh file must not look
+    # older than the source tree (§5.5).
+    yield from sys.write_file("conftest.tmp", b"int main(){}\n")
+    st_new = yield from sys.stat("conftest.tmp")
+    st_src = yield from sys.stat(spec.source_path(0))
+    yield from sys.unlink("conftest.tmp")
+    if st_new.st_mtime < st_src.st_mtime:
+        yield from sys.eprintln("configure: error: clock skew detected; "
+                                "build environment is insane")
+        return 1
+    # `gcc --version | head` style probe: one read against a drip-fed
+    # pipe — the partial-read idiom DetTrace's retry injection hides.
+    rfd, wfd = yield from sys.pipe()
+    pid = yield from sys.spawn(TOOLS["gcc"], argv=["gcc", "--version"],
+                               stdout=wfd, close_fds=[rfd])
+    yield from sys.close(wfd)
+    banner = yield from sys.read(rfd, 75)
+    yield from sys.close(rfd)
+    yield from sys.waitpid(pid)
+    if not banner.startswith(b"gcc"):
+        yield from sys.eprintln("configure: error: no usable compiler")
+        return 1
+    for tool in ("gcc", "ld", "tar", "sh", "dpkg-deb"):
+        yield from sys.access("/usr/bin/" + tool)
+        yield from sys.compute(1e-5)
+    # Feature probes: one temp compile-and-stat per feature.
+    for feature in range(6):
+        yield from sys.write_file("conf_%d.tmp" % feature, b"probe")
+        yield from sys.stat("conf_%d.tmp" % feature)
+        yield from sys.unlink("conf_%d.tmp" % feature)
+        yield from sys.compute(3e-5)
+    yield from sys.compute(2e-3)
+
+    lines = ["#define PACKAGE \"%s\"" % spec.name,
+             "#define VERSION \"%s\"" % spec.version]
+    if spec.embeds_timestamp:
+        t = yield from sys.time()
+        lines.append("#define BUILD_TIME %d" % t)
+    if spec.embeds_build_path:
+        cwd = yield from sys.getcwd()
+        lines.append("#define SRCDIR \"%s\"" % cwd)
+    if spec.embeds_uname:
+        un = yield from sys.uname()
+        lines.append("#define BUILD_HOST \"%s %s %s\""
+                     % (un.nodename, un.release, un.machine))
+    if spec.embeds_pid:
+        pid = yield from sys.getpid()
+        lines.append("#define BUILD_PID %d" % pid)
+    if spec.embeds_env:
+        lines.append("#define BUILD_PATHVAR \"%s\"" % sys.getenv("PATH"))
+    if spec.embeds_cpu_count:
+        si = yield from sys.sysinfo()
+        lines.append("#define NCPU %d" % si.nprocs)
+    if spec.embeds_tree_size:
+        total = 0
+        st_dir = yield from sys.stat("src")
+        total += st_dir.st_size
+        for name in sorted((yield from sys.listdir("src"))):
+            st = yield from sys.stat("src/" + name)
+            total += st.st_size
+        lines.append("#define SRC_TREE_BYTES %d" % total)
+    if spec.embeds_benchmark:
+        t0 = yield from sys.rdtsc()
+        yield from sys.compute(1e-5)
+        t1 = yield from sys.rdtsc()
+        lines.append("#define TIMING_CALIB %d" % (t1 - t0))
+    yield from sys.write_file("config.h", "\n".join(lines) + "\n")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# gcc
+# ---------------------------------------------------------------------------
+
+def gcc_main(sys, spec: PackageSpec):
+    """Compile argv[1] -> argv[2]; `gcc --version` prints its banner."""
+    if len(sys.argv) > 1 and sys.argv[1] == "--version":
+        # The banner is flushed line by line with work in between, so a
+        # reader on the other end of a pipe sees partial reads (§5.5).
+        for line in (b"gcc (Debian 4.7.2-5) 4.7.2\n",
+                     b"Copyright (C) 2012 FSF\n",
+                     b"This is free software.\n"):
+            yield from sys.write_all(1, line)
+            yield from sys.compute(2e-4)
+        return 0
+    src, out = sys.argv[1], sys.argv[2]
+    src_data = yield from sys.read_file(src)
+    cfg = yield from sys.read_file("config.h")
+
+    # Include-path probing: most of a compiler's syscall traffic is
+    # failed open/stat probes along the search path, with parsing work
+    # interleaved between them.
+    for i in range(spec.include_probes):
+        yield from sys.access("/usr/lib/include_%d.h" % i)
+        yield from sys.compute(2e-5)
+
+    # Intermediate file with an rdtsc+pid-derived "unique" name (§7.4);
+    # create/unlink churn also exercises inode recycling (§5.5).
+    tmp = yield from tmpnam(sys, prefix="/tmp/cc")
+    yield from sys.write_file(tmp, src_data[:64])
+    yield from sys.read_file(tmp)
+    yield from sys.unlink(tmp)
+
+    kloc = max(1, spec.loc_per_source) / 1000.0
+    yield from sys.compute(kloc * spec.compute_per_kloc)
+
+    lines = [b"OBJ %s" % src.encode(),
+             b"HASH %s" % _digest(src_data, cfg).encode()]
+    # Link against installed build-dependencies: their artifact bytes
+    # feed ours, so irreproducibility cascades down the chain (§2).
+    for dep in spec.build_depends:
+        dep_lib = "/usr/installed/%s/dist/lib%s.so" % (dep, dep)
+        dep_bytes = yield from sys.read_file(dep_lib)
+        lines.append(b"DEP %s %s" % (dep.encode(), _digest(dep_bytes).encode()))
+    if spec.embeds_random_symbols:
+        seed = yield from sys.urandom(4)
+        lines.append(b"SYM anon_%s" % seed.hex().encode())
+    if spec.embeds_tmpnames:
+        lines.append(b"DEBUG tmpfile=%s" % tmp.encode())
+    if spec.embeds_build_path:
+        cwd = yield from sys.getcwd()
+        lines.append(b"FILE %s/%s" % (cwd.encode(), src.encode()))
+    if spec.embeds_timestamp:
+        t = yield from sys.time()
+        lines.append(b"DATE %d" % t)
+    if spec.embeds_aslr:
+        lines.append(b"MAINADDR %x" % sys.address_of_main)
+    yield from sys.write_file(out, b"\n".join(lines) + b"\n")
+
+    if spec.embeds_parallel_order:
+        fd = yield from sys.open("obj/index.txt", O_WRONLY | O_CREAT | O_APPEND)
+        yield from sys.write_all(fd, b"IDX %s\n" % src.encode())
+        yield from sys.close(fd)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# make
+# ---------------------------------------------------------------------------
+
+def make_main(sys, spec: PackageSpec):
+    """Parallel compilation: up to parallel_jobs concurrent gcc children."""
+    names = yield from sys.listdir("src")
+    candidates = ["src/" + n for n in names]
+    # Dependency check, mtime-comparison style: a source is recompiled
+    # only when its object is missing or older — the exact comparison
+    # DetTrace's *sensible* virtual mtimes must keep working (§5.5).
+    pending = []
+    for src in candidates:
+        st_src = yield from sys.stat(src)
+        yield from sys.compute(5e-6)
+        obj = "obj/" + src.split("/")[-1] + ".o"
+        if not (yield from sys.access(obj)):
+            pending.append(src)
+            continue
+        st_obj = yield from sys.stat(obj)
+        yield from sys.compute(5e-6)
+        if st_obj.st_mtime < st_src.st_mtime:
+            pending.append(src)
+    if not pending:
+        yield from sys.println("make: nothing to be done")
+        return 0
+    running = {}
+    jobs = max(1, spec.parallel_jobs)
+    failures = 0
+    while pending or running:
+        while pending and len(running) < jobs:
+            src = pending.pop(0)
+            obj = "obj/" + src.split("/")[-1] + ".o"
+            pid = yield from sys.spawn(TOOLS["gcc"], argv=["gcc", src, obj])
+            running[pid] = src
+        res = yield from sys.waitpid(-1)
+        src = running.pop(res.pid, None)
+        if src is not None and res.exit_code != 0:
+            yield from sys.eprintln("make: *** [%s] Error %s" % (src, res.exit_code))
+            failures += 1
+    return 2 if failures else 0
+
+
+# ---------------------------------------------------------------------------
+# ld
+# ---------------------------------------------------------------------------
+
+def ld_main(sys, spec: PackageSpec):
+    """Link objects; sloppy packages use raw readdir order (§5.5)."""
+    names = yield from sys.listdir("obj")
+    objs = [n for n in names if n.endswith(".o")]
+    if not spec.embeds_fileorder:
+        objs = sorted(objs)
+    parts = [b"LINK %s %s" % (spec.name.encode(), spec.version.encode())]
+    for name in objs:
+        parts.append((yield from sys.read_file("obj/" + name)))
+    yield from sys.compute(8e-4 * max(1, len(objs)))
+    yield from sys.write_file("dist/lib%s.so" % spec.name, b"\n".join(parts))
+
+    if spec.embeds_inode:
+        entries = []
+        src_names = yield from sys.listdir("src")
+        for name in sorted(src_names):
+            st = yield from sys.stat("src/" + name)
+            content = yield from sys.read_file("src/" + name)
+            entries.append((name, st.st_ino, content))
+        yield from sys.write_file("dist/sources.cpio", cpio_pack(entries))
+    return 0
+
+
+def pycc_main(sys, spec: PackageSpec):
+    """Bytecode-compile the sources, embedding each source's mtime in the
+    cache header — exactly what CPython's .pyc format does, and one of
+    the Debian Reproducible Builds project's classic findings."""
+    names = yield from sys.listdir("src")
+    for name in sorted(names):
+        st = yield from sys.stat("src/" + name)
+        source = yield from sys.read_file("src/" + name)
+        header = b"PYC1 mtime=%d size=%d\n" % (int(st.st_mtime), st.st_size)
+        body = _digest(source).encode()
+        yield from sys.write_file("dist/%s.pyc" % name, header + body)
+        yield from sys.compute(5e-5)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# auxiliary build steps
+# ---------------------------------------------------------------------------
+
+def doc_gen_main(sys, spec: PackageSpec):
+    if spec.embeds_locale_date:
+        t = yield from sys.time()
+        date = format_date(t, sys.getenv("TZ", "UTC"), sys.getenv("LANG", "C"))
+    else:
+        date = "TIMELESS"
+    text = "Documentation for %s\nGenerated: %s\n" % (spec.name, date)
+    yield from sys.write_file("dist/README", text)
+    return 0
+
+
+def jvm_main(sys, spec: PackageSpec):
+    """A JVM-style threaded runtime (§5.7, §7.1.1).
+
+    Well-behaved packages synchronize through futexes (expensive but
+    supported under DetTrace: each futex wait becomes a non-blocking
+    probe plus replays).  Busy-waiting packages spin on shared memory
+    instead, which DetTrace's serializing scheduler cannot make progress
+    past — the single largest unsupported-package cause in the paper.
+    """
+
+    def worker(wsys):
+        for _ in range(8):
+            yield from wsys.lock_acquire("jvm_lock")
+            wsys.mem["jvm_counter"] = wsys.mem.get("jvm_counter", 0) + 1
+            yield from wsys.lock_release("jvm_lock")
+            yield from wsys.compute(2e-4)
+        wsys.mem["jvm_done"] = 1
+        yield from wsys.futex_wake("jvm_done")
+
+    yield from sys.spawn_thread(worker)
+    if spec.busy_waits:
+        yield from sys.spin_until("jvm_done", 1, spin_work=0.05)
+    else:
+        while sys.mem.get("jvm_done") != 1:
+            yield from sys.lock_acquire("jvm_lock")
+            yield from sys.lock_release("jvm_lock")
+            try:
+                yield from sys.futex_wait("jvm_done", 0)
+            except SyscallError as err:
+                if err.errno != Errno.EAGAIN:
+                    raise
+    yield from sys.println("jvm: bytecode verified, counter=%d"
+                           % sys.mem.get("jvm_counter", 0))
+    return 0
+
+
+def license_check_main(sys, spec: PackageSpec):
+    """Phones home during the build; the reply taints the artifacts."""
+    fd = yield from sys.socket()
+    yield from sys.connect(fd, "license.example.com:443")
+    yield from sys.write_all(fd, b"GET /license\r\n")
+    reply = yield from sys.read(fd, 64)
+    yield from sys.close(fd)
+    yield from sys.write_file("dist/license.txt", reply)
+    return 0
+
+
+def watchdog_main(sys, spec: PackageSpec):
+    """Polls for a stop flag until killed by the build driver."""
+    while True:
+        present = yield from sys.access("stop.flag")
+        if present:
+            return 0
+        yield from sys.sleep(0.05)
+
+
+def test_runner_main(sys, spec: PackageSpec):
+    """Run the built artifact's test suite (used for §7.2 correctness).
+
+    Outcomes depend only on the *stable* parts of the artifact (the
+    object inventory), so a correctly-functioning package passes the same
+    tests whether it was built natively or under DetTrace.
+    """
+    lib = yield from sys.read_file("dist/lib%s.so" % spec.name)
+    n_objs = lib.count(b"OBJ ")
+    yield from sys.compute(1.5e-3 * max(1, n_objs))
+    passed = 0
+    failed = 0
+    for i in range(n_objs * 3):
+        if b"HASH " in lib:
+            passed += 1
+        else:
+            failed += 1
+    expected_fail = 1 if spec.language == "cpp" else 0
+    yield from sys.println("tests: %d passed, %d failed, %d expected-fail"
+                           % (passed, failed, expected_fail))
+    yield from sys.write_file("test.log",
+                              "passed=%d failed=%d xfail=%d\n"
+                              % (passed, failed, expected_fail))
+    return 0 if failed == 0 else 1
+
+
+def logger_main(sys, spec: PackageSpec):
+    """Drain stdin to the build log (the pipe reader for the summary)."""
+    total = 0
+    while True:
+        chunk = yield from sys.read(0, 16384)
+        if not chunk:
+            break
+        total += len(chunk)
+        yield from sys.compute(5e-5)
+    yield from sys.write_file("build.log.size", b"%d" % total)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# packaging
+# ---------------------------------------------------------------------------
+
+def dpkg_deb_main(sys, spec: PackageSpec):
+    """tar up dist/ + config.h and wrap the .deb (§6.1)."""
+    names = yield from sys.listdir("dist")
+    if not spec.embeds_fileorder:
+        names = sorted(names)
+    paths = ["config.h"] + ["dist/" + n for n in names]
+    entries = []
+    for path in paths:
+        st = yield from sys.stat(path)
+        content = yield from sys.read_file(path)
+        entries.append(TarEntry(name=path, mode=st.st_mode & 0o777,
+                                uid=st.st_uid, gid=st.st_gid,
+                                mtime=st.st_mtime, content=content))
+    data_tar = tar_pack(entries)
+    fields = {"Architecture": "amd64", "Section": spec.language}
+    if spec.embeds_timestamp:
+        t = yield from sys.time()
+        fields["Build-Date"] = str(t)
+    deb = deb_pack(spec.name, spec.version, fields, data_tar)
+    yield from sys.write_file("%s_%s.deb" % (spec.name, spec.version), deb)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# the build driver
+# ---------------------------------------------------------------------------
+
+def dpkg_buildpackage_main(sys, spec: PackageSpec):
+    """Top-level driver: configure; make; link; extras; package."""
+    if spec.uses_misc_unsupported:
+        yield from sys.syscall("perf_event_open", config=1)
+    if spec.exotic_ioctl:
+        try:
+            yield from sys.ioctl(1, "TCGETS2")
+        except SyscallError as err:
+            if err.errno != Errno.ENOTTY:
+                raise
+    watchdog_pid = None
+    if spec.sends_cross_signals:
+        watchdog_pid = yield from sys.spawn(TOOLS["watchdog"])
+
+    yield from sys.mkdir_p("obj")
+    yield from sys.mkdir_p("dist")
+
+    for step, tool in (("configure", "configure"), ("make", "make"),
+                       ("ld", "ld")):
+        res = yield from sys.run(TOOLS[tool], argv=[step])
+        if res.exit_code != 0:
+            yield from sys.eprintln("dpkg-buildpackage: %s failed (%s)"
+                                    % (step, res.exit_code))
+            return 2
+
+    yield from sys.run(TOOLS["doc_gen"])
+    if spec.embeds_source_mtime:
+        res = yield from sys.run(TOOLS["pycc"])
+        if res.exit_code != 0:
+            return 2
+    if spec.uses_threads or spec.language == "java" or spec.busy_waits:
+        res = yield from sys.run(TOOLS["jvm"])
+        if res.exit_code != 0:
+            return 2
+    if spec.uses_sockets:
+        res = yield from sys.run(TOOLS["license_check"])
+        if res.exit_code != 0:
+            return 2
+    if spec.has_tests:
+        res = yield from sys.run(TOOLS["test_runner"])
+        if res.exit_code != 0:
+            yield from sys.eprintln("dpkg-buildpackage: tests failed")
+            return 2
+
+    if spec.syscall_storm:
+        fd = yield from sys.open("obj/.scratch", O_WRONLY | O_CREAT)
+        for _ in range(spec.syscall_storm):
+            yield from sys.write(fd, b"x")
+        yield from sys.close(fd)
+
+    if watchdog_pid is not None:
+        yield from sys.kill(watchdog_pid, SIGTERM)
+        yield from sys.waitpid(watchdog_pid)
+
+    res = yield from sys.run(TOOLS["dpkg_deb"])
+    if res.exit_code != 0:
+        return 2
+
+    # Stream the build summary through the logger pipe in one write: the
+    # pipe buffer is smaller than the summary, so the kernel accepts it
+    # piecemeal (write retries under DetTrace, Table 2).
+    rfd, wfd = yield from sys.pipe()
+    summary = (b"summary: %s\n" % spec.name.encode()) * 6000
+    logger_pid = yield from sys.spawn(TOOLS["logger"], stdin=rfd,
+                                      close_fds=[wfd])
+    yield from sys.close(rfd)
+    yield from sys.write(wfd, summary)
+    yield from sys.close(wfd)
+    yield from sys.waitpid(logger_pid)
+
+    yield from sys.println("dpkg-buildpackage: built %s_%s.deb"
+                           % (spec.name, spec.version))
+    return 0

@@ -1,0 +1,138 @@
+"""Build-dependency chains against an on-disk mirror (paper §6.1).
+
+The paper's methodology installs each package's build-dependencies with
+``apt-get build-dep`` *"referencing an on-disk mirror to avoid network
+requests and ensure consistency across builds"*.  This module supplies
+that substrate:
+
+* a :class:`Mirror` of built ``.deb`` artifacts, installed into the image
+  at ``/var/mirror``;
+* an ``apt-get`` guest tool that reads the package's ``Build-Depends``
+  and unpacks each dependency into ``/usr/installed/<name>``;
+* compiler integration: objects link against installed dependencies, so
+  a dependency's *bytes* feed every downstream artifact — which is why
+  irreproducibility cascades through a distribution (§2's motivation)
+  and why a reproducible chain enables artifact caching.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ...core.container import ContainerResult
+from ...cpu.machine import HostEnvironment
+from ...guest.program import with_args
+from .archive import deb_unpack, tar_unpack
+from .builder import BuildRecord, build_dettrace, build_native, package_image
+from .package import PackageSpec
+
+MIRROR_DIR = "/var/mirror"
+INSTALL_DIR = "/usr/installed"
+APT_PATH = "/usr/bin/apt-get"
+
+
+@dataclasses.dataclass
+class Mirror:
+    """Built artifacts available to dependent builds."""
+
+    debs: Dict[str, bytes] = dataclasses.field(default_factory=dict)
+
+    def add(self, name: str, deb: bytes) -> None:
+        self.debs[name] = deb
+
+    def install_into(self, image) -> None:
+        for name, deb in sorted(self.debs.items()):
+            image.add_file("%s/%s.deb" % (MIRROR_DIR, name), deb)
+
+
+def apt_get_main(sys, spec: PackageSpec):
+    """``apt-get build-dep``: unpack each dependency from the mirror."""
+    if len(sys.argv) < 2 or sys.argv[1] != "build-dep":
+        yield from sys.eprintln("apt-get: only build-dep is supported")
+        return 2
+    for dep in spec.build_depends:
+        deb_path = "%s/%s.deb" % (MIRROR_DIR, dep)
+        if not (yield from sys.access(deb_path)):
+            yield from sys.eprintln(
+                "apt-get: dependency %s not in the mirror" % dep)
+            return 1
+        deb = yield from sys.read_file(deb_path)
+        fields, data_tar = deb_unpack(deb)
+        prefix = "%s/%s" % (INSTALL_DIR, dep)
+        yield from sys.mkdir_p(prefix)
+        for entry in tar_unpack(data_tar):
+            target = prefix + "/" + entry.name
+            yield from sys.mkdir_p("/".join(target.split("/")[:-1]))
+            yield from sys.write_file(target, entry.content,
+                                      mode=entry.mode or 0o644)
+        yield from sys.println("apt-get: installed %s (%s)"
+                               % (dep, fields.get("Version", "?")))
+    return 0
+
+
+def dependency_image(spec: PackageSpec, mirror: Optional[Mirror] = None):
+    """A package image with apt-get, the mirror, and a driver that runs
+    ``apt-get build-dep`` before the ordinary build."""
+    image = package_image(spec)
+    image.add_binary(APT_PATH, with_args(apt_get_main, spec))
+    if mirror is not None:
+        mirror.install_into(image)
+
+    # The driver wrapper: install deps, then exec the stock driver.
+    from .buildtools import TOOLS, dpkg_buildpackage_main
+
+    def driver(sys):
+        if spec.build_depends:
+            res = yield from sys.run(APT_PATH, argv=["apt-get", "build-dep",
+                                                     spec.name])
+            if res.exit_code != 0:
+                yield from sys.eprintln("dpkg-buildpackage: build-dep failed")
+                return 3
+        return (yield from dpkg_buildpackage_main(sys, spec))
+
+    image.add_binary(TOOLS["driver"], driver)
+    return image
+
+
+def build_with_deps(spec: PackageSpec, mirror: Mirror, dettrace: bool,
+                    host: Optional[HostEnvironment] = None,
+                    config=None) -> BuildRecord:
+    """Build one package against *mirror*."""
+    from .buildtools import TOOLS
+    from .builder import DEFAULT_BUILD_TIMEOUT, _classify
+    from ...core.container import DetTrace, NativeRunner
+    from ...core.config import ContainerConfig
+
+    image = dependency_image(spec, mirror)
+    argv = ["dpkg-buildpackage", spec.name]
+    if dettrace:
+        cfg = dataclasses.replace(config or ContainerConfig(),
+                                  timeout=2 * DEFAULT_BUILD_TIMEOUT)
+        result = DetTrace(cfg).run(image, TOOLS["driver"], argv=argv, host=host)
+    else:
+        result = NativeRunner(timeout=4 * DEFAULT_BUILD_TIMEOUT).run(
+            image, TOOLS["driver"], argv=argv, host=host)
+    return BuildRecord(spec=spec, status=_classify(result), result=result)
+
+
+def build_chain(specs: Iterable[PackageSpec], dettrace: bool,
+                host_for: Callable[[int], HostEnvironment]) -> Dict[str, bytes]:
+    """Build *specs* in order, feeding each build's .deb to the mirror.
+
+    Returns {package name: deb bytes}.  Raises if any build fails.
+    """
+    mirror = Mirror()
+    out: Dict[str, bytes] = {}
+    for index, spec in enumerate(specs):
+        record = build_with_deps(spec, mirror, dettrace,
+                                 host=host_for(index))
+        if record.status != "built":
+            raise RuntimeError("chain build of %s failed: %s (%s)"
+                               % (spec.name, record.status,
+                                  record.result.error))
+        deb = record.deb
+        mirror.add(spec.name, deb)
+        out[spec.name] = deb
+    return out

@@ -1,0 +1,134 @@
+"""Synthetic Debian package specifications.
+
+A :class:`PackageSpec` describes one package's build: its size and
+parallelism, which irreproducibility vectors its build exercises, and
+which DetTrace-unsupported operations (if any) it performs.  The flags
+map one-to-one onto the causes the paper catalogues (§6.1, §7.1.1,
+§7.1.2): timestamps, build paths, randomness, file ordering, host
+identity, PIDs, ASLR, inodes, locales, environment capture — and busy
+waiting, sockets, cross-process signals and the miscellaneous-syscall
+tail for unsupported builds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+
+@dataclasses.dataclass(frozen=True)
+class PackageSpec:
+    """One synthetic package."""
+
+    name: str
+    version: str = "1.0-1"
+    language: str = "c"  # c | cpp | java | script | doc
+    n_sources: int = 4
+    loc_per_source: int = 200
+    parallel_jobs: int = 2
+    #: Compute work (reference-seconds) per 1000 lines compiled.
+    compute_per_kloc: float = 6e-3
+    #: Include-path probes gcc performs per source file (syscall volume).
+    include_probes: int = 8
+    has_tests: bool = False
+    uses_threads: bool = False
+    #: Other packages whose built .debs must be installed (apt-get
+    #: build-dep from the on-disk mirror, §6.1) before this build.
+    build_depends: tuple = ()
+
+    # -- irreproducibility vectors (each makes the baseline build vary) ----
+    embeds_timestamp: bool = False      # __DATE__ / Build-Date
+    embeds_build_path: bool = False     # __FILE__ absolute paths
+    embeds_random_symbols: bool = False  # gcc -frandom-seed from /dev/urandom
+    embeds_tmpnames: bool = False       # rdtsc-derived temp names in debug info
+    embeds_fileorder: bool = False      # links objects in readdir order
+    embeds_parallel_order: bool = False  # parallel compilers append to an index
+    embeds_uname: bool = False          # configure caches host/kernel
+    embeds_pid: bool = False            # PID baked into a generated header
+    embeds_aslr: bool = False           # &main printed into an artifact
+    embeds_inode: bool = False          # ships a cpio archive (raw inodes)
+    embeds_locale_date: bool = False    # doc page with TZ/locale date
+    embeds_env: bool = False            # captures $PATH
+    embeds_cpu_count: bool = False      # configure caches nproc
+    embeds_benchmark: bool = False      # stores a timing microbenchmark
+    #: configure caches the source-tree byte count, which includes the
+    #: *directory* size stat reports — identical across runs on one
+    #: machine but filesystem/machine-dependent (the §7.3 portability
+    #: hazard that forced DetTrace's deterministic directory sizes).
+    embeds_tree_size: bool = False
+    #: Python-style bytecode caches embed the *source file's mtime* in
+    #: the compiled artifact header (CPython's real .pyc behaviour — a
+    #: classic Debian irreproducibility vector).
+    embeds_source_mtime: bool = False
+
+    # -- failure triggers ------------------------------------------------------
+    busy_waits: bool = False            # JVM-style spin (DT: unsupported)
+    uses_sockets: bool = False          # license check (DT: unsupported)
+    sends_cross_signals: bool = False   # kills a watchdog (DT: unsupported)
+    uses_misc_unsupported: bool = False  # perf_event_open profiling
+    exotic_ioctl: bool = False          # crashes the rr baseline
+    #: Extra tiny writes: syscall-storm packages exceed the DetTrace
+    #: build budget (the paper's Timeout category).
+    syscall_storm: int = 0
+
+    FEATURE_FIELDS = (
+        "embeds_timestamp", "embeds_build_path", "embeds_random_symbols",
+        "embeds_tmpnames", "embeds_fileorder", "embeds_parallel_order",
+        "embeds_uname", "embeds_pid", "embeds_aslr", "embeds_inode",
+        "embeds_locale_date", "embeds_env", "embeds_cpu_count",
+        "embeds_benchmark", "embeds_tree_size",
+    )
+
+    #: Features guaranteed to differ under the reprotest variation set
+    #: (same-machine double builds).  The others are *chancy*: readdir
+    #: hash order or parallel completion order can coincide, and uname is
+    #: not varied by reprotest at all (the paper turns host/kernel
+    #: variations off, §6.1).
+    ROBUST_FEATURE_FIELDS = (
+        "embeds_timestamp", "embeds_build_path", "embeds_random_symbols",
+        "embeds_tmpnames", "embeds_pid", "embeds_aslr", "embeds_inode",
+        "embeds_locale_date", "embeds_env", "embeds_cpu_count",
+        "embeds_source_mtime",
+    )
+
+    UNSUPPORTED_FIELDS = (
+        "busy_waits", "uses_sockets", "sends_cross_signals",
+        "uses_misc_unsupported",
+    )
+
+    @property
+    def irreproducibility_features(self) -> List[str]:
+        return [f for f in self.FEATURE_FIELDS if getattr(self, f)]
+
+    @property
+    def unsupported_causes(self) -> List[str]:
+        return [f for f in self.UNSUPPORTED_FIELDS if getattr(self, f)]
+
+    @property
+    def expect_bl_irreproducible(self) -> bool:
+        """Is the baseline double-build *guaranteed* to differ (after the
+        tar-mtime workaround)?  Sockets also taint artifacts with network
+        answers."""
+        return (any(getattr(self, f) for f in self.ROBUST_FEATURE_FIELDS)
+                or self.uses_sockets)
+
+    @property
+    def expect_dt_unsupported(self) -> bool:
+        return bool(self.unsupported_causes)
+
+    def source_path(self, index: int) -> str:
+        ext = {"c": "c", "cpp": "cc", "java": "java", "script": "sh",
+               "doc": "txt"}.get(self.language, "c")
+        return "src/%s_%d.%s" % (self.name.replace("-", "_"), index, ext)
+
+
+def source_content(spec: PackageSpec, index: int) -> bytes:
+    """Deterministic source text: part of the package's *input*."""
+    import hashlib
+
+    lines = [b"/* %s source %d */" % (spec.name.encode(), index)]
+    seed = hashlib.sha256(b"%s:%d" % (spec.name.encode(), index)).hexdigest()
+    for i in range(max(4, spec.loc_per_source // 16)):
+        lines.append(b"int fn_%d_%d(void) { return 0x%s; }"
+                     % (index, i, seed[:8].encode()))
+    return b"\n".join(lines) + b"\n"

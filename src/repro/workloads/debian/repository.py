@@ -1,0 +1,186 @@
+"""Synthetic package population generator.
+
+The generator draws each package's (baseline, DetTrace) outcome category
+from the joint distribution of the paper's Table 1, then equips the spec
+with the features that *cause* that outcome:
+
+* baseline-irreproducible packages get one or more irreproducibility
+  vectors (weighted like the causes DRB catalogued, §7.1.2);
+* DetTrace-unsupported packages get busy-waiting (45.8%, the Java case),
+  sockets (15.8%), cross-process signals (4%) or a miscellaneous
+  unsupported syscall (the long tail) — §7.1.1;
+* DetTrace-timeout packages get a syscall storm big enough to blow the
+  (scaled) build budget only when tracing overhead multiplies it.
+
+Nothing about the *outcome* is hard-coded: the classification benches
+rebuild every package for real and observe what happens.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from .package import PackageSpec
+
+#: Table 1 joint counts over the 15,761 baseline-building packages.
+JOINT_COUNTS: Dict[Tuple[str, str], int] = {
+    ("irreproducible", "reproducible"): 8688,
+    ("irreproducible", "unsupported"): 1912,
+    ("irreproducible", "timeout"): 1358,
+    ("reproducible", "reproducible"): 3442,
+    ("reproducible", "unsupported"): 137,
+    ("reproducible", "timeout"): 224,
+}
+
+#: §7.1.1 unsupported-cause shares.
+CAUSE_WEIGHTS = [
+    ("busy_waits", 0.458),
+    ("uses_sockets", 0.158),
+    ("sends_cross_signals", 0.04),
+    ("uses_misc_unsupported", 0.344),
+]
+
+#: Irreproducibility vectors and their prevalence among BL-irreproducible
+#: packages (timestamps and build paths dominate, per DRB's catalogue).
+FEATURE_WEIGHTS = [
+    ("embeds_timestamp", 0.55),
+    ("embeds_build_path", 0.35),
+    ("embeds_random_symbols", 0.30),
+    ("embeds_fileorder", 0.20),
+    ("embeds_locale_date", 0.20),
+    ("embeds_tmpnames", 0.15),
+    ("embeds_uname", 0.15),
+    ("embeds_parallel_order", 0.12),
+    ("embeds_cpu_count", 0.10),
+    ("embeds_env", 0.10),
+    ("embeds_pid", 0.10),
+    ("embeds_aslr", 0.08),
+    ("embeds_inode", 0.08),
+    ("embeds_benchmark", 0.08),
+    ("embeds_tree_size", 0.10),
+    ("embeds_source_mtime", 0.18),
+]
+
+#: Sockets taint artifacts, so socket-using packages are always
+#: baseline-irreproducible; the other causes are artifact-neutral.
+_BL_NEUTRAL_CAUSES = ("busy_waits", "sends_cross_signals", "uses_misc_unsupported")
+
+#: Syscall-storm size for timeout packages: big enough that tracing
+#: overhead pushes the build past DEFAULT_BUILD_TIMEOUT while the (2x
+#: budget) baseline still finishes.
+TIMEOUT_STORM = 60_000
+
+
+def _categories(n: int, rng: random.Random) -> List[Tuple[str, str]]:
+    total = sum(JOINT_COUNTS.values())
+    cats: List[Tuple[str, str]] = []
+    for key, count in sorted(JOINT_COUNTS.items()):
+        cats.extend([key] * round(n * count / total))
+    while len(cats) < n:
+        cats.append(("irreproducible", "reproducible"))
+    rng.shuffle(cats)
+    return cats[:n]
+
+
+def _pick_cause(rng: random.Random, bl_neutral_only: bool) -> str:
+    choices = CAUSE_WEIGHTS
+    if bl_neutral_only:
+        choices = [(c, w) for c, w in CAUSE_WEIGHTS if c in _BL_NEUTRAL_CAUSES]
+    total = sum(w for _, w in choices)
+    r = rng.random() * total
+    for cause, weight in choices:
+        r -= weight
+        if r <= 0:
+            return cause
+    return choices[-1][0]
+
+
+def _pick_features(rng: random.Random) -> Dict[str, bool]:
+    features = {name: rng.random() < weight for name, weight in FEATURE_WEIGHTS}
+    robust = PackageSpec.ROBUST_FEATURE_FIELDS
+    if not any(features.get(name) for name in robust):
+        # Guarantee the package really is baseline-irreproducible: chancy
+        # vectors (readdir order, parallel completion order) can coincide
+        # across the two builds.
+        features["embeds_timestamp"] = True
+    return features
+
+
+def generate_population(n: int, seed: int = 0) -> List[PackageSpec]:
+    """Generate *n* packages whose outcome mix mirrors Table 1."""
+    rng = random.Random(seed)
+    specs: List[PackageSpec] = []
+    for index, (bl_cat, dt_cat) in enumerate(_categories(n, rng)):
+        kwargs: Dict[str, object] = {}
+        language = rng.choices(
+            ["c", "cpp", "script", "doc"], weights=[45, 25, 20, 10])[0]
+        if bl_cat == "irreproducible":
+            kwargs.update(_pick_features(rng))
+        if dt_cat == "unsupported":
+            cause = _pick_cause(rng, bl_neutral_only=(bl_cat == "reproducible"))
+            kwargs[cause] = True
+            if cause == "busy_waits":
+                language = "java"
+            if cause == "uses_sockets" and bl_cat == "reproducible":
+                raise AssertionError("socket packages must be BL-irreproducible")
+        if dt_cat == "timeout":
+            kwargs["syscall_storm"] = TIMEOUT_STORM + rng.randrange(0, 20_000)
+        uses_threads = rng.random() < 0.09 and not kwargs.get("busy_waits")
+        spec = PackageSpec(
+            name="pkg-%s-%03d" % (language, index),
+            language=language,
+            n_sources=rng.randint(2, 10),
+            loc_per_source=rng.randint(100, 600),
+            parallel_jobs=rng.choice([1, 1, 2, 2, 4]),
+            compute_per_kloc=rng.choice([8e-4, 2e-3, 4e-3, 8e-3, 1.6e-2]),
+            include_probes=rng.choice([8, 16, 28, 44, 60]),
+            has_tests=rng.random() < 0.3,
+            uses_threads=uses_threads,
+            exotic_ioctl=rng.random() < 0.57,
+            **kwargs)
+        specs.append(spec)
+    return specs
+
+
+def expected_statuses(spec: PackageSpec) -> Tuple[str, str]:
+    """(baseline, dettrace) category this spec was generated to land in.
+
+    Used only by tests to cross-check that the *measured* classification
+    matches the generator's intent.
+    """
+    bl = "irreproducible" if spec.expect_bl_irreproducible else "reproducible"
+    if spec.expect_dt_unsupported:
+        dt = "unsupported"
+    elif spec.syscall_storm:
+        dt = "timeout"
+    else:
+        dt = "reproducible"
+    return bl, dt
+
+
+#: Named configurations approximating the "large packages" the paper
+#: calls out (llvm, clang, blender — §1/§7.2) plus the TeX stack it used
+#: to typeset itself.  Sizes are scaled like the rest of the population;
+#: the point is the feature mix, not the byte counts.
+FAMOUS_PACKAGES = {
+    "llvm": PackageSpec(
+        name="llvm", version="3.0-1", language="cpp", n_sources=14,
+        parallel_jobs=4, loc_per_source=600, has_tests=True,
+        embeds_timestamp=True, embeds_build_path=True,
+        embeds_random_symbols=True, embeds_tmpnames=True),
+    "clang": PackageSpec(
+        name="clang", version="3.0-1", language="cpp", n_sources=12,
+        parallel_jobs=4, loc_per_source=500, has_tests=True,
+        embeds_timestamp=True, embeds_build_path=True,
+        embeds_random_symbols=True),
+    "blender": PackageSpec(
+        name="blender", version="2.63-1", language="cpp", n_sources=16,
+        parallel_jobs=4, loc_per_source=500, uses_threads=True,
+        embeds_timestamp=True, embeds_fileorder=True,
+        embeds_locale_date=True, embeds_cpu_count=True),
+    "texlive": PackageSpec(
+        name="texlive", version="2012-1", language="doc", n_sources=8,
+        parallel_jobs=2, embeds_timestamp=True, embeds_locale_date=True,
+        embeds_source_mtime=True),
+}

@@ -1,0 +1,134 @@
+"""Self-hosting builds: the §7.2 LLVM experiment.
+
+The paper validates functional correctness by building LLVM *with a
+clang that was itself built under DetTrace*, then running the LLVM test
+suite and getting the same outcomes as the baseline (5,594 pass / 48
+expected-fail / 15 unsupported).
+
+The analog here: stage 1 builds the ``clang`` package with the stock
+toolchain; stage 2 rebuilds it *using the stage-1 compiler* — a guest
+compiler whose code generation mixes in a digest of the stage-1 artifact
+bytes, so any difference in the stage-1 build propagates into every
+stage-2 object (the classic bootstrap-comparison property).  A final
+test-suite run reports pass/xfail/unsupported counts derived from the
+built artifact's structure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Callable, Dict, Optional
+
+from ...core.config import ContainerConfig
+from ...core.container import ContainerResult, DetTrace, NativeRunner
+from ...core.image import Image
+from ...cpu.machine import HostEnvironment
+from ...guest.program import with_args
+from .builder import DEFAULT_BUILD_TIMEOUT, TOOLS, _FACTORIES, package_image
+from .buildtools import gcc_main
+from .package import PackageSpec
+
+#: The compiler package both stages build (an llvm/clang-scale analog).
+CLANG_SPEC = PackageSpec(
+    name="clang",
+    version="3.0-1",
+    language="cpp",
+    n_sources=10,
+    parallel_jobs=4,
+    has_tests=True,
+    embeds_timestamp=True,
+    embeds_random_symbols=True,
+    embeds_build_path=True,
+)
+
+#: Where stage 2's image records the identity of its compiler.
+COMPILER_ID_PATH = "/usr/lib/clang.id"
+
+#: The paper's LLVM test-suite outcome (scaled in the analog).
+PAPER_LLVM_OUTCOMES = {"pass": 5594, "xfail": 48, "unsupported": 15}
+
+
+def stage1_compiler_main(sys, spec: PackageSpec):
+    """Stage 2's ``gcc``: the stage-1-built clang.
+
+    Identical to the stock compiler except that its code generation mixes
+    in its own binary identity (read from :data:`COMPILER_ID_PATH`), the
+    way a bootstrapped compiler's output depends on the compiler bits.
+    """
+    compiler_id = yield from sys.read_file(COMPILER_ID_PATH)
+    result = yield from gcc_main(sys, spec)
+    if result == 0 and len(sys.argv) > 2:   # not for `gcc --version`
+        out = sys.argv[2]
+        obj = yield from sys.read_file(out)
+        stamp = hashlib.sha256(compiler_id + obj).hexdigest()[:16]
+        yield from sys.write_file(out, obj + b"CCID %s\n" % stamp.encode())
+    return result
+
+
+@dataclasses.dataclass
+class SelfHostResult:
+    """Both stages plus the final test-suite outcome."""
+
+    stage1: ContainerResult
+    stage2: ContainerResult
+    test_outcomes: str
+
+    @property
+    def stage2_deb(self) -> Optional[bytes]:
+        for path in sorted(self.stage2.output_tree):
+            if path.endswith(".deb"):
+                return self.stage2.output_tree[path]
+        return None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.stage1.succeeded and self.stage2.succeeded
+
+
+def _stage2_image(stage1_deb: bytes) -> Image:
+    image = package_image(CLANG_SPEC)
+    # Replace the stock compiler with the stage-1 clang...
+    image.add_binary(TOOLS["gcc"], with_args(stage1_compiler_main, CLANG_SPEC))
+    # ...whose identity is the stage-1 artifact digest.
+    image.add_file(COMPILER_ID_PATH,
+                   hashlib.sha256(stage1_deb).hexdigest().encode())
+    return image
+
+
+def _run(image: Image, runner) -> ContainerResult:
+    return runner(image)
+
+
+def self_host(dettrace: bool = True,
+              host: Optional[HostEnvironment] = None,
+              config: Optional[ContainerConfig] = None) -> SelfHostResult:
+    """Run the two-stage bootstrap; *dettrace* picks the build mode."""
+    host = host or HostEnvironment()
+    argv = ["dpkg-buildpackage", CLANG_SPEC.name]
+
+    def run(image: Image) -> ContainerResult:
+        if dettrace:
+            cfg = dataclasses.replace(config or ContainerConfig(),
+                                      timeout=4 * DEFAULT_BUILD_TIMEOUT)
+            return DetTrace(cfg).run(image, TOOLS["driver"], argv=argv,
+                                     host=host)
+        return NativeRunner(timeout=8 * DEFAULT_BUILD_TIMEOUT).run(
+            image, TOOLS["driver"], argv=argv, host=host)
+
+    stage1 = run(package_image(CLANG_SPEC))
+    if not stage1.succeeded:
+        return SelfHostResult(stage1, stage1, "stage1 failed")
+    deb1 = next(stage1.output_tree[p] for p in sorted(stage1.output_tree)
+                if p.endswith(".deb"))
+    stage2 = run(_stage2_image(deb1))
+    outcomes = _test_outcomes(stage2)
+    return SelfHostResult(stage1, stage2, outcomes)
+
+
+def _test_outcomes(result: ContainerResult) -> str:
+    """The `make check` line (the driver's test-runner prints it)."""
+    for line in result.stdout.splitlines():
+        if line.startswith("tests:"):
+            return line
+    return "tests: none"

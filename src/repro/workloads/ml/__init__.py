@@ -1,0 +1,27 @@
+"""Machine-learning workload: the TensorFlow analog (paper SS7.6)."""
+
+from .tensorflow import (
+    ALEXNET,
+    CIFAR10,
+    LOSS_FILE,
+    TfConfig,
+    losses_of,
+    run_dettrace,
+    run_parallel_native,
+    run_serial_native,
+    tf_image,
+    tf_main,
+)
+
+__all__ = [
+    "ALEXNET",
+    "CIFAR10",
+    "LOSS_FILE",
+    "TfConfig",
+    "losses_of",
+    "run_dettrace",
+    "run_parallel_native",
+    "run_serial_native",
+    "tf_image",
+    "tf_main",
+]

@@ -1,0 +1,159 @@
+"""DetTrace container end-to-end behaviour (SS5)."""
+import pytest
+
+from repro.core import ContainerConfig, DetTrace, Image, NativeRunner, ablated
+from repro.core.container import OK, TIMEOUT
+from repro.cpu.machine import HostEnvironment
+from tests.conftest import dettrace_run, native_run
+
+
+class TestBasics:
+    def test_exit_code_and_stdout(self):
+        def main(sys):
+            yield from sys.println("hello")
+            return 3
+
+        r = dettrace_run(main)
+        assert r.status == OK
+        assert r.exit_code == 3
+        assert r.stdout == "hello\n"
+
+    def test_cwd_is_build(self):
+        def main(sys):
+            cwd = yield from sys.getcwd()
+            yield from sys.write_file("cwd", cwd)
+            return 0
+
+        r = dettrace_run(main)
+        assert r.output_tree["cwd"] == b"/build"
+
+    def test_init_pid_is_one(self):
+        def main(sys):
+            pid = yield from sys.getpid()
+            return 0 if pid == 1 else 1
+
+        assert dettrace_run(main).exit_code == 0
+
+    def test_children_get_sequential_pids(self):
+        def child(sys):
+            pid = yield from sys.getpid()
+            yield from sys.write_file("pid%d" % pid, b"")
+            return 0
+
+        def main(sys):
+            for _ in range(3):
+                pid = yield from sys.spawn("/bin/child")
+                yield from sys.waitpid(pid)
+            return 0
+
+        r = dettrace_run(main, extra_binaries={"/bin/child": child})
+        assert sorted(r.output_tree) == ["pid2", "pid3", "pid4"]
+
+    def test_uid_is_root_inside(self):
+        def main(sys):
+            uid = yield from sys.getuid()
+            return 0 if uid == 0 else 1
+
+        assert dettrace_run(main).exit_code == 0
+
+    def test_canonical_env(self):
+        def main(sys):
+            yield from sys.write_file("env", "%s|%s|%s" % (
+                sys.getenv("TZ"), sys.getenv("LANG"), sys.getenv("HOME")))
+            return 0
+
+        host = HostEnvironment()
+        host.env["TZ"] = "Mars/Crater"
+        r = dettrace_run(main, host=host)
+        assert r.output_tree["env"] == b"UTC|C|/root"
+
+    def test_identity_files_canonicalized(self):
+        def main(sys):
+            data = yield from sys.read_file("/etc/hostname")
+            yield from sys.write_file("h", data)
+            return 0
+
+        r = dettrace_run(main)
+        assert r.output_tree["h"] == b"dettrace\n"
+
+    def test_timeout_status(self):
+        def main(sys):
+            while True:
+                yield from sys.write(1, b".")
+
+        cfg = ContainerConfig(timeout=0.01)
+        r = dettrace_run(main, config=cfg)
+        assert r.status == TIMEOUT
+        assert r.exit_code is None
+
+    def test_syscall_rate_property(self):
+        def main(sys):
+            for _ in range(50):
+                yield from sys.write_file("f", b"x")
+            return 0
+
+        r = dettrace_run(main)
+        assert r.syscall_rate > 0
+        assert r.wall_time > 0
+
+
+class TestDeterminismKnobs:
+    def test_aslr_fixed_inside_container(self):
+        def main(sys):
+            yield from sys.write_file("addr", hex(sys.address_of_main))
+            return 0
+
+        r1 = dettrace_run(main, host=HostEnvironment(entropy_seed=1))
+        r2 = dettrace_run(main, host=HostEnvironment(entropy_seed=2))
+        assert r1.output_tree == r2.output_tree
+
+    def test_aslr_ablated_varies(self):
+        def main(sys):
+            yield from sys.write_file("addr", hex(sys.address_of_main))
+            return 0
+
+        cfg = ablated("disable_aslr")
+        r1 = dettrace_run(main, host=HostEnvironment(entropy_seed=1), config=cfg)
+        r2 = dettrace_run(main, host=HostEnvironment(entropy_seed=2), config=cfg)
+        assert r1.output_tree != r2.output_tree
+
+    def test_prng_seed_changes_randomness_controllably(self):
+        def main(sys):
+            data = yield from sys.urandom(8)
+            yield from sys.write_file("r", data.hex())
+            return 0
+
+        a = dettrace_run(main, config=ContainerConfig(prng_seed=1))
+        b = dettrace_run(main, config=ContainerConfig(prng_seed=1))
+        c = dettrace_run(main, config=ContainerConfig(prng_seed=2))
+        assert a.output_tree == b.output_tree
+        assert a.output_tree != c.output_tree
+
+    def test_epoch_config(self):
+        def main(sys):
+            t = yield from sys.time()
+            yield from sys.write_file("t", str(t))
+            return 0
+
+        r = dettrace_run(main, config=ContainerConfig(epoch=1_000_000))
+        assert r.output_tree["t"] == b"1000000"
+
+
+class TestNativeRunner:
+    def test_runs_in_host_build_path(self):
+        def main(sys):
+            cwd = yield from sys.getcwd()
+            yield from sys.write_file("cwd", cwd)
+            return 0
+
+        host = HostEnvironment()
+        host.build_path = "/data/builds/x1"
+        r = native_run(main, host=host)
+        assert r.output_tree["cwd"] == b"/data/builds/x1"
+
+    def test_no_counters(self):
+        def main(sys):
+            yield from sys.getpid()
+            return 0
+
+        assert native_run(main).counters is None

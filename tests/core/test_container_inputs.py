@@ -1,0 +1,77 @@
+"""Figure 1: what counts as an INPUT to a DetTrace computation.
+
+File contents, permissions, and the uid/gid mapping are inputs (changing
+them may change output); mtimes, inode numbers and host identity are not.
+"""
+from repro.core import ContainerConfig, DetTrace, Image
+from repro.cpu.machine import HostEnvironment
+
+
+def mode_sensitive_program(sys):
+    st = yield from sys.stat("/input/data")
+    if st.st_mode & 0o100:   # is it executable?
+        yield from sys.write_file("out", b"ran-as-script")
+    else:
+        yield from sys.write_file("out", b"read-as-data")
+    yield from sys.write_file("owner", b"%d" % st.st_uid)
+    return 0
+
+
+def image_with_mode(mode):
+    img = Image()
+    img.add_binary("/bin/main", mode_sensitive_program)
+    img.add_file("/input/data", b"payload", mode=mode)
+    return img
+
+
+class TestPermissionsAreInputs:
+    def test_mode_change_changes_output(self):
+        """'a permissions change can affect output' (SS3)."""
+        a = DetTrace().run(image_with_mode(0o644), "/bin/main")
+        b = DetTrace().run(image_with_mode(0o755), "/bin/main")
+        assert a.output_tree["out"] == b"read-as-data"
+        assert b.output_tree["out"] == b"ran-as-script"
+
+    def test_each_mode_individually_reproducible(self):
+        for mode in (0o644, 0o755):
+            runs = [DetTrace().run(image_with_mode(mode), "/bin/main",
+                                   host=HostEnvironment(entropy_seed=s))
+                    for s in (1, 2)]
+            assert runs[0].output_tree == runs[1].output_tree
+
+
+class TestUidMapIsAnInput:
+    def test_custom_mapping_changes_reported_owner(self):
+        img = image_with_mode(0o644)
+        default = DetTrace().run(img, "/bin/main")
+        remapped = DetTrace(ContainerConfig(uid_map={0: 4242})).run(
+            img, "/bin/main")
+        assert default.output_tree["owner"] == b"0"
+        assert remapped.output_tree["owner"] == b"4242"
+
+    def test_custom_mapping_is_reproducible(self):
+        img = image_with_mode(0o644)
+        cfg = ContainerConfig(uid_map={0: 4242})
+        runs = [DetTrace(cfg).run(img, "/bin/main",
+                                  host=HostEnvironment(entropy_seed=s))
+                for s in (3, 4)]
+        assert runs[0].output_tree == runs[1].output_tree
+
+
+class TestContentsAreInputs:
+    def test_content_change_changes_output(self):
+        def hasher(sys):
+            import hashlib
+            data = yield from sys.read_file("/input/data")
+            yield from sys.write_file("digest", hashlib.sha256(data).hexdigest())
+            return 0
+
+        def image_with(content):
+            img = Image()
+            img.add_binary("/bin/main", hasher)
+            img.add_file("/input/data", content)
+            return img
+
+        a = DetTrace().run(image_with(b"v1"), "/bin/main")
+        b = DetTrace().run(image_with(b"v2"), "/bin/main")
+        assert a.output_tree != b.output_tree

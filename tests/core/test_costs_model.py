@@ -1,0 +1,32 @@
+"""Sanity relations of the virtual-time cost model."""
+from repro.kernel import costs
+
+
+class TestCostRelations:
+    def test_seccomp_beats_plain_ptrace(self):
+        assert costs.SECCOMP_COMBINED_STOP_COST < 2 * costs.PTRACE_STOP_COST
+
+    def test_old_kernels_pay_double(self):
+        assert costs.LEGACY_DOUBLE_STOP_COST > costs.SECCOMP_COMBINED_STOP_COST
+
+    def test_wakeup_latency_dominates_occupancy(self):
+        """The single-process slowdown exceeds the tracer's serialized
+        occupancy (the raxml@1 vs raxml@16 asymmetry, SS7.5)."""
+        occupancy = (costs.SECCOMP_COMBINED_STOP_COST
+                     + costs.TRACER_HANDLER_COST)
+        assert costs.TRACEE_WAKEUP_LATENCY > 2 * occupancy
+
+    def test_syscall_costs_positive_and_micro(self):
+        assert 0 < costs.SYSCALL_BASE_COST < 1e-4
+        for name, value in costs.SYSCALL_COSTS.items():
+            assert 0 < value < 1e-3, name
+
+    def test_spawn_is_expensive(self):
+        assert costs.SYSCALL_COSTS["spawn_process"] > 10 * costs.SYSCALL_BASE_COST
+        assert costs.SYSCALL_COSTS["execve"] > costs.SYSCALL_COSTS["spawn_process"]
+
+    def test_execve_tracer_cost_dwarfs_per_syscall(self):
+        assert costs.EXECVE_TRACER_COST > 10 * costs.TRACER_HANDLER_COST
+
+    def test_tick_smaller_than_typical_compute(self):
+        assert costs.SYSCALL_TICK < 1e-4

@@ -1,0 +1,142 @@
+"""THE core property, exercised over a corpus of small programs: the
+DetTrace output tree is a pure function of image + config (SS3)."""
+import pytest
+
+from repro.core import ContainerConfig
+from repro.cpu.machine import (
+    BROADWELL_XEON,
+    HASWELL_XEON,
+    SKYLAKE_CLOUDLAB,
+    HostEnvironment,
+)
+from repro.kernel.types import O_APPEND, O_CREAT, O_WRONLY
+from tests.conftest import dettrace_run
+
+
+def prog_time_and_random(sys):
+    t = yield from sys.time()
+    g = yield from sys.gettimeofday()
+    r = yield from sys.urandom(16)
+    r2 = yield from sys.getrandom(8)
+    tsc = yield from sys.rdtsc()
+    yield from sys.write_file("out", "%d %f %s %s %d" % (t, g, r.hex(), r2.hex(), tsc))
+    return 0
+
+
+def prog_fs_metadata(sys):
+    yield from sys.mkdir("d")
+    for name in ("q", "a", "z", "m"):
+        yield from sys.write_file("d/" + name, name.encode())
+    listing = yield from sys.listdir("d")
+    lines = []
+    for name in listing:
+        st = yield from sys.stat("d/" + name)
+        lines.append("%s %d %.0f %d %d" % (name, st.st_ino, st.st_mtime,
+                                           st.st_uid, st.st_size))
+    st_d = yield from sys.stat("d")
+    lines.append("dir %d" % st_d.st_size)
+    yield from sys.write_file("out", "\n".join(lines))
+    return 0
+
+
+def prog_identity(sys):
+    pid = yield from sys.getpid()
+    un = yield from sys.uname()
+    si = yield from sys.sysinfo()
+    yield from sys.write_file("out", "%d %s %s %d %x" % (
+        pid, un.nodename, un.release, si.nprocs, sys.address_of_main))
+    return 0
+
+
+def prog_process_tree(sys):
+    def child(csys):
+        pid = yield from csys.getpid()
+        fd = yield from csys.open("log", O_WRONLY | O_CREAT | O_APPEND)
+        yield from csys.write_all(fd, b"child %d\n" % pid)
+        yield from csys.close(fd)
+        return pid % 10
+
+    # registered below via extra_binaries
+    codes = []
+    for _ in range(3):
+        res = yield from sys.run("/bin/child")
+        codes.append(res.exit_code)
+    yield from sys.write_file("codes", ",".join(map(str, codes)))
+    return 0
+
+
+def child_for_tree(csys):
+    pid = yield from csys.getpid()
+    fd = yield from csys.open("log", O_WRONLY | O_CREAT | O_APPEND)
+    yield from csys.write_all(fd, b"child %d\n" % pid)
+    yield from csys.close(fd)
+    return pid % 10
+
+
+def prog_tmpfiles(sys):
+    from repro.guest.libc import mkstemp, tmpnam
+
+    name = yield from tmpnam(sys)
+    fd, path = yield from mkstemp(sys)
+    yield from sys.close(fd)
+    yield from sys.write_file("out", "%s %s" % (name, path))
+    return 0
+
+
+PROGRAMS = [
+    ("time_and_random", prog_time_and_random, None),
+    ("fs_metadata", prog_fs_metadata, None),
+    ("identity", prog_identity, None),
+    ("process_tree", prog_process_tree, {"/bin/child": child_for_tree}),
+    ("tmpfiles", prog_tmpfiles, None),
+]
+
+HOSTS = [
+    HostEnvironment(machine=SKYLAKE_CLOUDLAB, entropy_seed=11, boot_epoch=1e9,
+                    pid_start=1000, inode_start=5_000, dirent_hash_salt=1),
+    HostEnvironment(machine=SKYLAKE_CLOUDLAB, entropy_seed=77, boot_epoch=2e9,
+                    pid_start=9999, inode_start=700_000, dirent_hash_salt=42,
+                    aslr_enabled=True),
+    HostEnvironment(machine=BROADWELL_XEON, entropy_seed=5, boot_epoch=1.5e9,
+                    pid_start=321, inode_start=123, dirent_hash_salt=7),
+    HostEnvironment(machine=HASWELL_XEON, entropy_seed=23, boot_epoch=1.8e9,
+                    pid_start=50_000, inode_start=88, dirent_hash_salt=3,
+                    visible_cores=2),
+]
+
+
+@pytest.mark.parametrize("name,program,extra",
+                         PROGRAMS, ids=[p[0] for p in PROGRAMS])
+def test_output_identical_across_hosts(name, program, extra):
+    results = [dettrace_run(program, host=h, extra_binaries=extra)
+               for h in HOSTS]
+    for r in results:
+        assert r.exit_code == 0, (name, r.status, r.error, r.stderr)
+    trees = {tuple(sorted(r.output_tree.items())) for r in results}
+    assert len(trees) == 1, "output of %s varied across hosts" % name
+
+
+@pytest.mark.parametrize("name,program,extra",
+                         PROGRAMS, ids=[p[0] for p in PROGRAMS])
+def test_stdout_identical_across_hosts(name, program, extra):
+    results = [dettrace_run(program, host=h, extra_binaries=extra)
+               for h in HOSTS[:2]]
+    assert results[0].stdout == results[1].stdout
+    assert results[0].stderr == results[1].stderr
+
+
+def test_strict_scheduler_equally_deterministic():
+    cfg = ContainerConfig(scheduler="strict")
+    results = [dettrace_run(prog_fs_metadata, host=h, config=cfg)
+               for h in HOSTS[:2]]
+    assert results[0].output_tree == results[1].output_tree
+
+
+def test_logical_and_strict_schedulers_agree_for_sequential_programs():
+    """With a single process the two schedulers must produce the same
+    determinized outputs."""
+    a = dettrace_run(prog_fs_metadata, host=HOSTS[0],
+                     config=ContainerConfig(scheduler="logical"))
+    b = dettrace_run(prog_fs_metadata, host=HOSTS[0],
+                     config=ContainerConfig(scheduler="strict"))
+    assert a.output_tree == b.output_tree

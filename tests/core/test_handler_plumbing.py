@@ -1,0 +1,89 @@
+"""The handler outcome protocol itself."""
+import pytest
+
+from repro.core import ContainerConfig, ablated
+from repro.cpu.machine import HostEnvironment
+from tests.conftest import dettrace_run
+
+
+class TestPassthroughOutcomes:
+    def test_sleep_outcome_when_timer_emulation_off(self):
+        """With emulate_timers ablated, nanosleep reaches the kernel and
+        the tracer must let virtual time pass."""
+        def main(sys):
+            t0 = yield from sys.gettimeofday()
+            yield from sys.sleep(0.5)
+            t1 = yield from sys.gettimeofday()
+            yield from sys.write_file("dt", b"big" if t1 - t0 >= 0.4 else b"small")
+            return 0
+
+        cfg = ablated("emulate_timers")
+        # also need raw time to measure: disable virtualization too
+        cfg.virtualize_time = False
+        cfg.patch_vdso = False
+        r = dettrace_run(main, config=cfg)
+        assert r.exit_code == 0
+        assert r.output_tree["dt"] == b"big"
+        assert r.wall_time >= 0.5
+
+    def test_unknown_syscall_defaults_to_passthrough(self):
+        """A syscall with no registered handler goes through the generic
+        passthrough — serialized but unmodified (e.g. sync)."""
+        def main(sys):
+            yield from sys.syscall("bpf")  # has a handler: unsupported
+            return 0
+
+        from repro.core.container import UNSUPPORTED
+        assert dettrace_run(main).status == UNSUPPORTED
+
+        def main2(sys):
+            # truncate has only the passthrough entry
+            yield from sys.write_file("f", b"12345678")
+            yield from sys.syscall("truncate", path="f", length=3)
+            data = yield from sys.read_file("f")
+            return 0 if data == b"123" else 1
+
+        assert dettrace_run(main2).exit_code == 0
+
+    def test_device_stat_virtualized(self):
+        def main(sys):
+            st = yield from sys.stat("/dev/null")
+            yield from sys.write_file("out", "%d %d %.0f" % (
+                st.st_dev, st.st_ino, st.st_mtime))
+            return 0
+
+        a = dettrace_run(main, host=HostEnvironment(entropy_seed=1, inode_start=7))
+        b = dettrace_run(main, host=HostEnvironment(entropy_seed=2, inode_start=70_000))
+        assert a.output_tree == b.output_tree
+
+
+class TestCounterPlumbing:
+    def test_urandom_opens_counted(self):
+        def main(sys):
+            for _ in range(3):
+                yield from sys.urandom(4)
+            return 0
+
+        r = dettrace_run(main)
+        assert r.counters.urandom_opens == 3
+
+    def test_memory_traffic_counted(self):
+        def main(sys):
+            yield from sys.write_file("f", b"x" * 4096)
+            yield from sys.read_file("f")
+            return 0
+
+        r = dettrace_run(main)
+        assert r.counters.memory_reads > 0
+        assert r.counters.memory_writes > 0
+
+    def test_getdents_sorted_counter(self):
+        def main(sys):
+            yield from sys.mkdir("d")
+            yield from sys.write_file("d/a", b"")
+            yield from sys.listdir("d")
+            yield from sys.listdir("d")
+            return 0
+
+        r = dettrace_run(main)
+        assert r.counters.getdents_sorted == 2

@@ -1,0 +1,163 @@
+"""Filesystem determinization (SS5.5, SS7.3)."""
+from repro.core import ContainerConfig, ablated
+from repro.core.handlers.filesystem import CANONICAL_DEV, _deterministic_dir_size
+from repro.cpu.machine import HostEnvironment
+from tests.conftest import dettrace_run
+
+
+def hosts():
+    return (HostEnvironment(entropy_seed=1, inode_start=100_000, dirent_hash_salt=1,
+                            boot_epoch=1e9),
+            HostEnvironment(entropy_seed=2, inode_start=888_000, dirent_hash_salt=9,
+                            boot_epoch=2e9))
+
+
+class TestStatVirtualization:
+    def test_inode_numbers_virtualized(self):
+        def main(sys):
+            yield from sys.write_file("f", b"x")
+            st = yield from sys.stat("f")
+            yield from sys.write_file("ino", str(st.st_ino))
+            return 0
+
+        a, b = hosts()
+        r1, r2 = dettrace_run(main, host=a), dettrace_run(main, host=b)
+        assert r1.output_tree["ino"] == r2.output_tree["ino"]
+        assert int(r1.output_tree["ino"]) < 1000  # dense virtual space
+
+    def test_ablated_inodes_leak(self):
+        def main(sys):
+            yield from sys.write_file("f", b"x")
+            st = yield from sys.stat("f")
+            yield from sys.write_file("ino", str(st.st_ino))
+            return 0
+
+        a, b = hosts()
+        cfg = ablated("virtualize_inodes")
+        assert (dettrace_run(main, host=a, config=cfg).output_tree
+                != dettrace_run(main, host=b, config=cfg).output_tree)
+
+    def test_atime_ctime_zero_mtime_virtual(self):
+        def main(sys):
+            st0 = yield from sys.stat(sys.argv[0])  # initial-image file
+            yield from sys.write_file("new", b"")
+            st1 = yield from sys.stat("new")
+            ok = (st0.st_mtime == 0.0 and st0.st_atime == 0.0
+                  and st0.st_ctime == 0.0 and st1.st_mtime > 0)
+            return 0 if ok else 1
+
+        assert dettrace_run(main).exit_code == 0
+
+    def test_clock_skew_check_passes(self):
+        """configure compares a fresh file's mtime to the source tree's:
+        virtual mtimes must be sensible, not a fixed constant (SS5.5)."""
+        def main(sys):
+            st_old = yield from sys.stat(sys.argv[0])
+            yield from sys.write_file("conftest", b"")
+            st_new = yield from sys.stat("conftest")
+            return 0 if st_new.st_mtime >= st_old.st_mtime else 1
+
+        assert dettrace_run(main).exit_code == 0
+
+    def test_uid_gid_mapped_to_root(self):
+        def main(sys):
+            yield from sys.write_file("f", b"")
+            st = yield from sys.stat("f")
+            return 0 if (st.st_uid, st.st_gid) == (0, 0) else 1
+
+        assert dettrace_run(main).exit_code == 0
+
+    def test_device_id_canonical(self):
+        def main(sys):
+            st = yield from sys.stat(".")
+            return 0 if st.st_dev == CANONICAL_DEV else 1
+
+        assert dettrace_run(main).exit_code == 0
+
+    def test_fstat_matches_stat(self):
+        def main(sys):
+            yield from sys.write_file("f", b"abc")
+            st = yield from sys.stat("f")
+            fd = yield from sys.open("f")
+            fst = yield from sys.fstat(fd)
+            return 0 if st.st_ino == fst.st_ino and st.st_mtime == fst.st_mtime else 1
+
+        assert dettrace_run(main).exit_code == 0
+
+
+class TestDirectorySizes:
+    def test_deterministic_function_of_entry_count(self):
+        assert _deterministic_dir_size(0) == 4096
+        assert _deterministic_dir_size(10) - _deterministic_dir_size(9) == 32
+
+    def test_dir_size_reported_deterministically(self):
+        def main(sys):
+            yield from sys.mkdir("d")
+            for i in range(7):
+                yield from sys.write_file("d/f%d" % i, b"")
+            st = yield from sys.stat("d")
+            yield from sys.write_file("size", str(st.st_size))
+            return 0
+
+        from repro.cpu.machine import BROADWELL_XEON, SKYLAKE_CLOUDLAB
+        r1 = dettrace_run(main, host=HostEnvironment(machine=SKYLAKE_CLOUDLAB))
+        r2 = dettrace_run(main, host=HostEnvironment(machine=BROADWELL_XEON))
+        assert r1.output_tree["size"] == r2.output_tree["size"]
+        assert int(r1.output_tree["size"]) == _deterministic_dir_size(7)
+
+
+class TestGetdents:
+    def test_sorted_by_name(self):
+        def main(sys):
+            yield from sys.mkdir("d")
+            for name in ("zeta", "alpha", "mid"):
+                yield from sys.write_file("d/" + name, b"")
+            names = yield from sys.listdir("d")
+            yield from sys.write_file("order", ",".join(names))
+            return 0
+
+        a, b = hosts()
+        r1, r2 = dettrace_run(main, host=a), dettrace_run(main, host=b)
+        assert r1.output_tree["order"] == b"alpha,mid,zeta"
+        assert r1.output_tree == r2.output_tree
+
+    def test_ablated_sort_leaks_fs_order(self):
+        def main(sys):
+            yield from sys.mkdir("d")
+            for name in ("zeta", "alpha", "mid", "omega", "beta"):
+                yield from sys.write_file("d/" + name, b"")
+            names = yield from sys.listdir("d")
+            yield from sys.write_file("order", ",".join(names))
+            return 0
+
+        a, b = hosts()
+        cfg = ablated("sort_getdents")
+        assert (dettrace_run(main, host=a, config=cfg).output_tree
+                != dettrace_run(main, host=b, config=cfg).output_tree)
+
+
+class TestInodeRecycling:
+    def test_recycled_inode_gets_fresh_virtual_identity(self):
+        def main(sys):
+            yield from sys.write_file("a", b"")
+            st_a = yield from sys.stat("a")
+            yield from sys.unlink("a")
+            yield from sys.write_file("b", b"")  # likely recycles a's ino
+            st_b = yield from sys.stat("b")
+            return 0 if st_a.st_ino != st_b.st_ino else 1
+
+        assert dettrace_run(main).exit_code == 0
+
+
+class TestUtime:
+    def test_null_times_do_not_leak_wall_clock(self):
+        def main(sys):
+            yield from sys.write_file("f", b"")
+            yield from sys.utime("f")  # null -> kernel would stamp now
+            st = yield from sys.stat("f")
+            yield from sys.write_file("mtime", str(st.st_mtime))
+            return 0
+
+        a, b = hosts()
+        assert (dettrace_run(main, host=a).output_tree
+                == dettrace_run(main, host=b).output_tree)

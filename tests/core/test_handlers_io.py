@@ -1,0 +1,89 @@
+"""Partial-IO retry injection (SS5.5, Figure 4)."""
+from repro.core import ContainerConfig, ablated
+from repro.cpu.machine import HostEnvironment
+from tests.conftest import dettrace_run
+
+
+def pipe_reader_program(read_size):
+    """A producer/consumer pair where the consumer issues ONE read and
+    assumes it gets everything — the idiom DetTrace's retry rescues."""
+    def producer(sys):
+        for i in range(8):
+            yield from sys.write_all(1, b"%04d" % i)
+            yield from sys.compute(2e-4)  # drip-feed: forces partial reads
+        return 0
+
+    def main(sys):
+        r, w = yield from sys.pipe()
+        yield from sys.spawn("/bin/producer", stdout=w, close_fds=[r])
+        yield from sys.close(w)
+        data = yield from sys.read(r, read_size)  # ONE read syscall
+        yield from sys.write_file("got", data)
+        yield from sys.waitpid(-1)
+        return 0
+
+    return main, producer
+
+
+class TestReadRetry:
+    def test_single_read_sees_full_stream(self):
+        main, producer = pipe_reader_program(32)
+        r = dettrace_run(main, extra_binaries={"/bin/producer": producer})
+        assert r.exit_code == 0
+        assert r.output_tree["got"] == b"00000001000200030004000500060007"
+        assert r.counters.read_retries > 0
+
+    def test_read_stops_at_eof(self):
+        main, producer = pipe_reader_program(1000)  # more than produced
+        r = dettrace_run(main, extra_binaries={"/bin/producer": producer})
+        assert r.exit_code == 0
+        assert r.output_tree["got"] == b"00000001000200030004000500060007"
+
+    def test_retry_ablated_returns_partial(self):
+        main, producer = pipe_reader_program(32)
+        cfg = ablated("retry_partial_io")
+        r = dettrace_run(main, config=cfg,
+                         extra_binaries={"/bin/producer": producer})
+        assert r.exit_code == 0
+        assert len(r.output_tree["got"]) < 32  # partial read leaked through
+
+    def test_regular_file_reads_unaffected(self):
+        def main(sys):
+            yield from sys.write_file("f", b"0123456789")
+            fd = yield from sys.open("f")
+            data = yield from sys.read(fd, 4)
+            return 0 if data == b"0123" else 1
+
+        r = dettrace_run(main)
+        assert r.exit_code == 0
+        assert r.counters.read_retries == 0
+
+
+class TestWriteRetry:
+    def test_big_write_completes_in_one_syscall(self):
+        """A single write far larger than the pipe buffer: DetTrace
+        retries through the Blocked queue until all bytes are written."""
+        def drain(sys):
+            total = 0
+            while True:
+                chunk = yield from sys.read(0, 8192)
+                if not chunk:
+                    break
+                total += len(chunk)
+            yield from sys.write_file("drained", str(total))
+            return 0
+
+        def main(sys):
+            r, w = yield from sys.pipe()
+            yield from sys.spawn("/bin/drain", stdin=r, close_fds=[w])
+            yield from sys.close(r)
+            n = yield from sys.write(w, b"z" * 200_000)  # ONE write syscall
+            yield from sys.close(w)
+            yield from sys.waitpid(-1)
+            return 0 if n == 200_000 else 1
+
+        r = dettrace_run(main, extra_binaries={"/bin/drain": drain})
+        assert r.exit_code == 0
+        assert r.output_tree["drained"] == b"200000"
+        assert r.counters.write_retries > 0
+        assert r.counters.replays_blocking > 0

@@ -1,0 +1,68 @@
+"""Machine identity masking (SS3, SS5.8)."""
+from repro.core import ablated
+from repro.core.handlers.machine import CANONICAL_NPROCS, CANONICAL_UTSNAME
+from repro.cpu.machine import BROADWELL_XEON, SANDY_BRIDGE, SKYLAKE_CLOUDLAB, HostEnvironment
+from tests.conftest import dettrace_run
+
+
+class TestUname:
+    def test_canonical_linux_4_0(self):
+        def main(sys):
+            un = yield from sys.uname()
+            yield from sys.write_file("u", " ".join(un.as_tuple()))
+            return 0
+
+        r1 = dettrace_run(main, host=HostEnvironment(machine=SKYLAKE_CLOUDLAB))
+        r2 = dettrace_run(main, host=HostEnvironment(machine=BROADWELL_XEON))
+        assert r1.output_tree == r2.output_tree
+        assert b"4.0.0" in r1.output_tree["u"]
+        assert b"dettrace" in r1.output_tree["u"]
+
+    def test_ablated_leaks_host(self):
+        def main(sys):
+            un = yield from sys.uname()
+            yield from sys.write_file("u", un.nodename)
+            return 0
+
+        cfg = ablated("mask_machine")
+        r1 = dettrace_run(main, host=HostEnvironment(machine=SKYLAKE_CLOUDLAB), config=cfg)
+        r2 = dettrace_run(main, host=HostEnvironment(machine=BROADWELL_XEON), config=cfg)
+        assert r1.output_tree != r2.output_tree
+
+
+class TestSysinfo:
+    def test_single_core_presented(self):
+        """DetTrace lists a single core to widen the machine equivalence
+        class (SS5.8)."""
+        def main(sys):
+            si = yield from sys.sysinfo()
+            return 0 if si.nprocs == CANONICAL_NPROCS else 1
+
+        assert dettrace_run(main, host=HostEnvironment(machine=SKYLAKE_CLOUDLAB)).exit_code == 0
+
+
+class TestCpuid:
+    def test_masked_to_canonical_uniprocessor(self):
+        def main(sys):
+            res = yield from sys.instr("cpuid")
+            yield from sys.write_file("cpu", "%s %d %s" % (
+                res.brand, res.cores, ",".join(sorted(res.features))))
+            return 0
+
+        r1 = dettrace_run(main, host=HostEnvironment(machine=SKYLAKE_CLOUDLAB))
+        r2 = dettrace_run(main, host=HostEnvironment(machine=BROADWELL_XEON))
+        assert r1.output_tree == r2.output_tree
+        assert b"DetTrace Virtual CPU" in r1.output_tree["cpu"]
+        assert b"rtm" not in r1.output_tree["cpu"]      # TSX hidden
+        assert b"rdrand" not in r1.output_tree["cpu"]   # hw randomness hidden
+
+    def test_sandy_bridge_cannot_mask_cpuid(self):
+        """Pre-Ivy-Bridge hardware lacks cpuid faulting: the real machine
+        leaks, shrinking the portability class (SS5.8)."""
+        def main(sys):
+            res = yield from sys.instr("cpuid")
+            yield from sys.write_file("brand", res.brand)
+            return 0
+
+        r = dettrace_run(main, host=HostEnvironment(machine=SANDY_BRIDGE))
+        assert b"E5-2650" in r.output_tree["brand"]

@@ -1,0 +1,67 @@
+"""Determinization of the extended machine-state syscalls."""
+from repro.core import ablated
+from repro.cpu.machine import BROADWELL_XEON, SKYLAKE_CLOUDLAB, HostEnvironment
+from tests.conftest import dettrace_run
+
+
+def hosts():
+    return (HostEnvironment(machine=SKYLAKE_CLOUDLAB, entropy_seed=1),
+            HostEnvironment(machine=BROADWELL_XEON, entropy_seed=2))
+
+
+class TestTimesHandler:
+    def test_cpu_accounting_is_logical(self):
+        def prog(sys):
+            yield from sys.compute(0.01)
+            t = yield from sys.syscall("times")
+            yield from sys.write_file("t", repr(t.utime))
+            return 0
+
+        a, b = hosts()
+        assert (dettrace_run(prog, host=a).output_tree
+                == dettrace_run(prog, host=b).output_tree)
+
+
+class TestStatfsHandler:
+    def test_canonical_counters(self):
+        def prog(sys):
+            sf = yield from sys.syscall("statfs", path="/")
+            yield from sys.write_file("sf", "%d %d %d" % (
+                sf.f_blocks, sf.f_bfree, sf.f_ffree))
+            return 0
+
+        a, b = hosts()
+        ra, rb = dettrace_run(prog, host=a), dettrace_run(prog, host=b)
+        assert ra.output_tree == rb.output_tree
+
+    def test_path_still_validated(self):
+        from repro.kernel.errors import Errno, SyscallError
+
+        def prog(sys):
+            try:
+                yield from sys.syscall("statfs", path="/ghost")
+            except SyscallError as err:
+                return 0 if err.errno == Errno.ENOENT else 1
+            return 1
+
+        assert dettrace_run(prog).exit_code == 0
+
+    def test_leaks_when_machine_mask_ablated(self):
+        def prog(sys):
+            sf = yield from sys.syscall("statfs", path="/")
+            yield from sys.write_file("sf", str(sf.f_blocks))
+            return 0
+
+        a, b = hosts()
+        cfg = ablated("mask_machine")
+        assert (dettrace_run(prog, host=a, config=cfg).output_tree
+                != dettrace_run(prog, host=b, config=cfg).output_tree)
+
+
+class TestAffinityHandler:
+    def test_single_canonical_core(self):
+        def prog(sys):
+            cpus = yield from sys.syscall("sched_getaffinity")
+            return 0 if cpus == [0] else 1
+
+        assert dettrace_run(prog, host=hosts()[0]).exit_code == 0

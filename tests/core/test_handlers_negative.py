@@ -1,0 +1,115 @@
+"""Handler edge and error paths."""
+import pytest
+
+from repro.kernel.errors import Errno, SyscallError
+from repro.kernel.types import O_CREAT, O_EXCL, O_WRONLY
+from tests.conftest import dettrace_run
+
+
+class TestOpenHandlerEdges:
+    def test_eexist_propagates_through_handler(self):
+        def main(sys):
+            yield from sys.write_file("f", b"")
+            try:
+                yield from sys.open("f", O_WRONLY | O_CREAT | O_EXCL)
+            except SyscallError as err:
+                return 0 if err.errno == Errno.EEXIST else 1
+            return 1
+
+        assert dettrace_run(main).exit_code == 0
+
+    def test_enoent_propagates(self):
+        def main(sys):
+            try:
+                yield from sys.open("/no/such/path")
+            except SyscallError as err:
+                return 0 if err.errno == Errno.ENOENT else 1
+            return 1
+
+        assert dettrace_run(main).exit_code == 0
+
+    def test_reopening_existing_file_keeps_virtual_identity(self):
+        def main(sys):
+            yield from sys.write_file("f", b"1")
+            st1 = yield from sys.stat("f")
+            fd = yield from sys.open("f")   # reopen: NOT a creation
+            yield from sys.close(fd)
+            st2 = yield from sys.stat("f")
+            return 0 if st1.st_ino == st2.st_ino and st1.st_mtime == st2.st_mtime else 1
+
+        assert dettrace_run(main).exit_code == 0
+
+
+class TestStatHandlerEdges:
+    def test_fstat_on_pipe_has_no_dir_entries(self):
+        def main(sys):
+            r, w = yield from sys.pipe()
+            # fstat on a pipe fd raises EBADF in our kernel (no inode);
+            # the handler must pass the error through, not crash.
+            try:
+                yield from sys.fstat(r)
+            except SyscallError as err:
+                return 0 if err.errno == Errno.EBADF else 1
+            return 1
+
+        assert dettrace_run(main).exit_code == 0
+
+    def test_lstat_of_symlink_is_virtualized(self):
+        def main(sys):
+            yield from sys.write_file("target", b"")
+            yield from sys.symlink("target", "ln")
+            st = yield from sys.lstat("ln")
+            yield from sys.write_file("out", "%d %.0f" % (st.st_ino, st.st_mtime))
+            return 0
+
+        from repro.cpu.machine import HostEnvironment
+        a = dettrace_run(main, host=HostEnvironment(entropy_seed=1, inode_start=10))
+        b = dettrace_run(main, host=HostEnvironment(entropy_seed=2, inode_start=99999))
+        assert a.output_tree == b.output_tree
+
+
+class TestGetdentsEdges:
+    def test_getdents_on_file_is_enotdir(self):
+        def main(sys):
+            yield from sys.write_file("f", b"")
+            fd = yield from sys.open("f")
+            try:
+                yield from sys.syscall("getdents", fd=fd)
+            except SyscallError as err:
+                return 0 if err.errno == Errno.ENOTDIR else 1
+            return 1
+
+        assert dettrace_run(main).exit_code == 0
+
+    def test_empty_directory(self):
+        def main(sys):
+            yield from sys.mkdir("d")
+            names = yield from sys.listdir("d")
+            return 0 if names == [] else 1
+
+        assert dettrace_run(main).exit_code == 0
+
+
+class TestWriteEdges:
+    def test_write_to_read_end_is_ebadf(self):
+        def main(sys):
+            r, w = yield from sys.pipe()
+            try:
+                yield from sys.write(r, b"x")
+            except SyscallError as err:
+                return 0 if err.errno == Errno.EBADF else 1
+            return 1
+
+        assert dettrace_run(main).exit_code == 0
+
+    def test_epipe_after_reader_closes(self):
+        def main(sys):
+            r, w = yield from sys.pipe()
+            yield from sys.close(r)
+            try:
+                yield from sys.write(w, b"x")
+            except SyscallError as err:
+                return 0 if err.errno == Errno.EPIPE else 1
+            return 1
+
+        assert dettrace_run(main).exit_code == 0

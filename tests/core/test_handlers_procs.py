@@ -1,0 +1,175 @@
+"""Unsupported operations (SS5.9) and process handlers."""
+import pytest
+
+from repro.core.container import UNSUPPORTED
+from repro.kernel.types import SIGTERM
+from tests.conftest import dettrace_run
+
+
+class TestUnsupportedOperations:
+    def test_sockets_rejected(self):
+        def main(sys):
+            yield from sys.socket()
+            return 0
+
+        r = dettrace_run(main)
+        assert r.status == UNSUPPORTED
+        assert "socket" in r.error
+
+    def test_cross_process_kill_rejected(self):
+        def victim(sys):
+            while True:
+                yield from sys.sleep(1.0)
+
+        def main(sys):
+            pid = yield from sys.spawn("/bin/victim")
+            yield from sys.kill(pid, SIGTERM)
+            return 0
+
+        r = dettrace_run(main, extra_binaries={"/bin/victim": victim})
+        assert r.status == UNSUPPORTED
+        assert "kill" in r.error
+
+    def test_self_signal_allowed(self):
+        def main(sys):
+            def handler(hsys, signum):
+                hsys.mem["got"] = signum
+                yield from hsys.compute(1e-6)
+
+            yield from sys.sigaction(SIGTERM, handler)
+            me = yield from sys.getpid()
+            yield from sys.kill(me, SIGTERM)
+            yield from sys.sched_yield()
+            return 0 if sys.mem.get("got") == SIGTERM else 1
+
+        r = dettrace_run(main)
+        assert r.exit_code == 0
+
+    @pytest.mark.parametrize("syscall", ["perf_event_open", "inotify_init", "bpf"])
+    def test_misc_unsupported_tail(self, syscall):
+        def main(sys):
+            yield from sys.syscall(syscall)
+            return 0
+
+        r = dettrace_run(main)
+        assert r.status == UNSUPPORTED
+        assert syscall in r.error
+
+    def test_sockets_allowed_when_ablated(self):
+        from repro.core import ablated
+
+        def main(sys):
+            fd = yield from sys.socket()
+            yield from sys.connect(fd)
+            return 0
+
+        r = dettrace_run(main, config=ablated("reject_sockets"))
+        assert r.exit_code == 0
+
+
+class TestBusyWait:
+    def test_spinning_thread_detected(self):
+        """The JVM pattern: the worker interleaves syscalls with its work,
+        so the serializing scheduler hands the token back to the spinner —
+        which then never yields (SS5.7/SS5.9)."""
+        from repro.core.container import UNSUPPORTED
+
+        def main(sys):
+            def worker(wsys):
+                yield from wsys.write(1, b"worker: starting\n")  # a syscall
+                yield from wsys.compute(0.01)
+                wsys.mem["done"] = 1
+
+            yield from sys.spawn_thread(worker)
+            yield from sys.spin_until("done", 1, spin_work=0.05)
+            return 0
+
+        r = dettrace_run(main)
+        assert r.status == UNSUPPORTED
+        assert "busy-wait" in r.error
+
+    def test_same_program_fine_natively(self):
+        from tests.conftest import native_run
+
+        def main(sys):
+            def worker(wsys):
+                yield from wsys.write(1, b"worker: starting\n")
+                yield from wsys.compute(0.01)
+                wsys.mem["done"] = 1
+
+            yield from sys.spawn_thread(worker)
+            yield from sys.spin_until("done", 1, spin_work=0.05)
+            return 0
+
+        r = native_run(main)
+        assert r.exit_code == 0
+
+    def test_syscall_free_setter_wins_the_rotation(self):
+        """If the worker sets the flag without any intervening syscall,
+        the deterministic round-robin lets it finish before the main
+        thread ever spins: the build succeeds."""
+
+        def main(sys):
+            def worker(wsys):
+                yield from wsys.compute(0.01)
+                wsys.mem["done"] = 1
+
+            yield from sys.spawn_thread(worker)
+            yield from sys.spin_until("done", 1, spin_work=0.05)
+            return 0
+
+        r = dettrace_run(main)
+        assert r.exit_code == 0
+
+    def test_futex_based_wait_supported(self):
+        from repro.kernel.errors import Errno, SyscallError
+
+        def main(sys):
+            def worker(wsys):
+                yield from wsys.compute(0.01)
+                wsys.mem["done"] = 1
+                yield from wsys.futex_wake("done")
+
+            yield from sys.spawn_thread(worker)
+            while sys.mem.get("done") != 1:
+                try:
+                    yield from sys.futex_wait("done", 0)
+                except SyscallError as err:
+                    if err.errno != Errno.EAGAIN:
+                        raise
+            return 0
+
+        r = dettrace_run(main)
+        assert r.exit_code == 0
+
+
+class TestThreadSerialization:
+    def test_shared_memory_interleaving_deterministic(self):
+        """Two threads racing on shared state produce the same final
+        interleaving under DetTrace regardless of host timing (SS5.7)."""
+        from repro.cpu.machine import HostEnvironment
+
+        def main(sys):
+            def worker(tag):
+                def run(wsys):
+                    for i in range(10):
+                        wsys.mem.setdefault("trace", []).append("%s%d" % (tag, i))
+                        yield from wsys.compute(1e-4)
+                        yield from wsys.sched_yield()
+                    yield from wsys.write_file("done_%s" % tag, b"1")
+                return run
+
+            yield from sys.spawn_thread(worker("A"))
+            yield from sys.spawn_thread(worker("B"))
+            while not ((yield from sys.access("done_A"))
+                       and (yield from sys.access("done_B"))):
+                yield from sys.sleep(0.001)
+            yield from sys.write_file("trace", ",".join(sys.mem["trace"]))
+            return 0
+
+        traces = set()
+        for seed in (1, 2, 3):
+            r = dettrace_run(main, host=HostEnvironment(entropy_seed=seed))
+            assert r.exit_code == 0, (r.status, r.error)
+            traces.add(r.output_tree["trace"])
+        assert len(traces) == 1

@@ -1,0 +1,89 @@
+"""Time/timer determinization (SS5.3, SS5.4)."""
+from repro.core import ContainerConfig, ablated
+from repro.core.logical_time import DETTRACE_EPOCH
+from repro.cpu.machine import HostEnvironment
+from repro.kernel.errors import Errno, SyscallError
+from repro.kernel.types import SIGALRM
+from tests.conftest import dettrace_run
+
+
+class TestLogicalTime:
+    def test_time_starts_at_dettrace_epoch(self):
+        def main(sys):
+            t = yield from sys.time()
+            yield from sys.write_file("t", str(t))
+            return 0
+
+        r = dettrace_run(main, host=HostEnvironment(boot_epoch=1.23e9))
+        assert r.output_tree["t"] == str(DETTRACE_EPOCH).encode()
+
+    def test_time_monotonically_advances(self):
+        def main(sys):
+            a = yield from sys.time()
+            b = yield from sys.time()
+            c = yield from sys.gettimeofday()
+            return 0 if a < b <= c else 1
+
+        assert dettrace_run(main).exit_code == 0
+
+    def test_vdso_time_is_intercepted(self):
+        """gettimeofday goes through the vDSO; DetTrace's patch turns it
+        into an interceptable syscall (SS5.3)."""
+        def main(sys):
+            t = yield from sys.gettimeofday()  # VdsoCall under the hood
+            yield from sys.write_file("t", "%.3f" % t)
+            return 0
+
+        r1 = dettrace_run(main, host=HostEnvironment(boot_epoch=1e9))
+        r2 = dettrace_run(main, host=HostEnvironment(boot_epoch=2e9))
+        assert r1.output_tree == r2.output_tree
+
+    def test_vdso_leak_when_patching_ablated(self):
+        def main(sys):
+            t = yield from sys.gettimeofday()
+            yield from sys.write_file("t", "%.3f" % t)
+            return 0
+
+        cfg = ablated("patch_vdso")
+        r1 = dettrace_run(main, host=HostEnvironment(boot_epoch=1e9), config=cfg)
+        r2 = dettrace_run(main, host=HostEnvironment(boot_epoch=2e9), config=cfg)
+        assert r1.output_tree != r2.output_tree
+
+    def test_time_virtualization_ablated_leaks_wall_clock(self):
+        def main(sys):
+            t = yield from sys.time_syscall()
+            yield from sys.write_file("t", str(t))
+            return 0
+
+        cfg = ablated("virtualize_time")
+        r1 = dettrace_run(main, host=HostEnvironment(boot_epoch=1e9), config=cfg)
+        r2 = dettrace_run(main, host=HostEnvironment(boot_epoch=2e9), config=cfg)
+        assert r1.output_tree != r2.output_tree
+
+
+class TestTimers:
+    def test_sleep_is_nop(self):
+        def main(sys):
+            yield from sys.sleep(3600.0)  # would blow the timeout if real
+            return 0
+
+        r = dettrace_run(main, config=ContainerConfig(timeout=1.0))
+        assert r.exit_code == 0
+        assert r.wall_time < 1.0
+
+    def test_alarm_fires_instantly(self):
+        def main(sys):
+            def handler(hsys, signum):
+                yield from hsys.write_file("fired", b"%d" % signum)
+
+            yield from sys.sigaction(SIGALRM, handler)
+            yield from sys.alarm(9999.0)  # "expires instantaneously" SS5.4
+            try:
+                yield from sys.pause()
+            except SyscallError as err:
+                assert err.errno == Errno.EINTR
+            return 0
+
+        r = dettrace_run(main)
+        assert r.exit_code == 0
+        assert r.output_tree["fired"] == b"%d" % SIGALRM

@@ -1,0 +1,45 @@
+from repro.core.inode_table import InodeTable
+
+
+class TestVirtualInodes:
+    def test_lazy_dense_assignment(self):
+        t = InodeTable()
+        assert t.virtual_ino(900_001) == 1
+        assert t.virtual_ino(123_456) == 2
+        assert t.virtual_ino(900_001) == 1  # stable
+
+    def test_new_file_gets_fresh_virtual_ino(self):
+        t = InodeTable()
+        first = t.register_new_file(500)
+        second = t.register_new_file(501)
+        assert second == first + 1
+
+    def test_recycled_real_inode_gets_fresh_virtual(self):
+        """The OS reuses real ino 500 for a brand-new file: DetTrace must
+        not report the dead file's virtual identity (SS5.5)."""
+        t = InodeTable()
+        old_virtual = t.register_new_file(500)
+        new_virtual = t.register_new_file(500)   # recycled!
+        assert new_virtual != old_virtual
+        assert t.virtual_ino(500) == new_virtual
+
+
+class TestVirtualMtimes:
+    def test_initial_image_files_have_mtime_zero(self):
+        t = InodeTable()
+        t.virtual_ino(777)  # seen via stat, never created
+        assert t.virtual_mtime(777) == 0
+
+    def test_created_files_get_increasing_mtimes(self):
+        t = InodeTable()
+        t.register_new_file(1)
+        t.register_new_file(2)
+        assert t.virtual_mtime(2) > t.virtual_mtime(1) > 0
+
+    def test_mtime_clock_monotone(self):
+        t = InodeTable()
+        stamps = []
+        for ino in range(10, 20):
+            t.register_new_file(ino)
+            stamps.append(t.mtime_clock)
+        assert stamps == sorted(stamps)

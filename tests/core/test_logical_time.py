@@ -1,0 +1,48 @@
+from repro.core.logical_time import DETTRACE_EPOCH, RDTSC_BASE, RDTSC_STEP, LogicalClock
+
+
+class TestLogicalClock:
+    def test_time_starts_at_epoch(self):
+        clock = LogicalClock()
+        assert clock.next_time(100) == DETTRACE_EPOCH
+
+    def test_time_monotonically_advances_per_process(self):
+        clock = LogicalClock()
+        values = [clock.next_time(1) for _ in range(5)]
+        assert values == sorted(values)
+        assert len(set(values)) == 5
+
+    def test_processes_have_independent_counters(self):
+        clock = LogicalClock()
+        clock.next_time(1)
+        clock.next_time(1)
+        assert clock.next_time(2) == DETTRACE_EPOCH
+
+    def test_timeofday_shares_counter_with_time(self):
+        clock = LogicalClock()
+        a = clock.next_time(1)
+        b = clock.next_timeofday(1)
+        c = clock.next_time(1)
+        assert a < b < c
+
+    def test_monotonic_clock_shares_counter(self):
+        clock = LogicalClock()
+        clock.next_time(1)
+        assert clock.next_monotonic(1) > 0
+
+    def test_rdtsc_is_linear(self):
+        clock = LogicalClock()
+        vals = [clock.next_rdtsc(1) for _ in range(4)]
+        diffs = {b - a for a, b in zip(vals, vals[1:])}
+        assert diffs == {RDTSC_STEP}
+        assert vals[0] == RDTSC_BASE
+
+    def test_forget_process(self):
+        clock = LogicalClock()
+        clock.next_time(1)
+        clock.forget_process(1)
+        assert clock.next_time(1) == DETTRACE_EPOCH
+
+    def test_custom_epoch(self):
+        clock = LogicalClock(epoch=1000)
+        assert clock.next_time(1) == 1000

@@ -1,0 +1,16 @@
+from repro.core.namespaces import NOBODY_UID, ROOT_UID, UidGidMap
+
+
+class TestUidGidMap:
+    def test_current_user_maps_to_root(self):
+        m = UidGidMap(host_uid=1000)
+        assert m.to_container_uid(1000) == ROOT_UID
+
+    def test_root_stays_root(self):
+        m = UidGidMap(host_uid=1000)
+        assert m.to_container_uid(0) == ROOT_UID
+
+    def test_others_map_to_nobody(self):
+        m = UidGidMap(host_uid=1000)
+        assert m.to_container_uid(33) == NOBODY_UID
+        assert m.to_container_gid(33) == 65534

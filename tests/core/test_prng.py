@@ -1,0 +1,32 @@
+from repro.core.prng import Lfsr
+
+
+class TestLfsr:
+    def test_deterministic_per_seed(self):
+        assert Lfsr(7).bytes(32) == Lfsr(7).bytes(32)
+
+    def test_seeds_differ(self):
+        assert Lfsr(1).bytes(16) != Lfsr(2).bytes(16)
+
+    def test_zero_seed_not_stuck(self):
+        gen = Lfsr(0)
+        values = {gen.next_u64() for _ in range(16)}
+        assert len(values) == 16
+
+    def test_bytes_exact_length(self):
+        for n in (0, 1, 7, 8, 9, 100):
+            assert len(Lfsr(3).bytes(n)) == n
+
+    def test_randrange_bounds(self):
+        gen = Lfsr(5)
+        for _ in range(100):
+            assert 0 <= gen.randrange(10) < 10
+
+    def test_randrange_zero_raises(self):
+        import pytest
+        with pytest.raises(ValueError):
+            Lfsr(5).randrange(0)
+
+    def test_stream_is_stateful(self):
+        gen = Lfsr(9)
+        assert gen.next_u64() != gen.next_u64()

@@ -1,0 +1,165 @@
+"""Unit tests for the reproducible schedulers (SS5.6)."""
+import pytest
+
+from repro.core.scheduler import (
+    PROBE,
+    SERVICE,
+    WAIT,
+    LogicalClockScheduler,
+    StrictQueueScheduler,
+    make_scheduler,
+)
+from repro.kernel.ops import Syscall
+from repro.kernel.process import Process, Thread, ThreadState
+
+
+def make_thread(tid, clock=0.0, bound=None, stopped=False):
+    proc = Process(pid=tid, nspid=tid, parent=None, root=None, cwd=None,
+                   cwd_path="/", env={}, argv=["t%d" % tid])
+    t = Thread(tid=tid, process=proc, gen=None)
+    proc.threads.append(t)
+    t.det_clock = clock
+    t.det_bound = bound if bound is not None else clock
+    if stopped:
+        t.state = ThreadState.TRACE_STOP
+        t.current_syscall = Syscall("write", {})
+    else:
+        t.state = ThreadState.RUNNING
+    return t
+
+
+class TestLogicalClockScheduler:
+    def test_min_clock_serviced_first(self):
+        s = LogicalClockScheduler()
+        a = make_thread(1, clock=2.0, stopped=True)
+        b = make_thread(2, clock=1.0, stopped=True)
+        s.add(a)
+        s.add(b)
+        assert s.next_action() == (SERVICE, b)
+
+    def test_tie_broken_by_spawn_index(self):
+        s = LogicalClockScheduler()
+        a = make_thread(1, clock=1.0, stopped=True)
+        b = make_thread(2, clock=1.0, stopped=True)
+        s.add(a)
+        s.add(b)
+        assert s.next_action() == (SERVICE, a)
+
+    def test_running_thread_with_lower_bound_gates(self):
+        s = LogicalClockScheduler()
+        stopped = make_thread(1, clock=5.0, stopped=True)
+        running = make_thread(2, clock=1.0, bound=2.0, stopped=False)
+        s.add(stopped)
+        s.add(running)
+        assert s.next_action() == (WAIT, None)
+
+    def test_running_thread_with_higher_bound_does_not_gate(self):
+        s = LogicalClockScheduler()
+        stopped = make_thread(1, clock=5.0, stopped=True)
+        running = make_thread(2, clock=1.0, bound=9.0, stopped=False)
+        s.add(stopped)
+        s.add(running)
+        assert s.next_action() == (SERVICE, stopped)
+
+    def test_blocked_thread_skipped_until_new_service(self):
+        s = LogicalClockScheduler()
+        blocked = make_thread(1, clock=1.0, stopped=True)
+        other = make_thread(2, clock=2.0, stopped=True)
+        s.add(blocked)
+        s.add(other)
+        s.still_blocked(blocked)
+        # nothing serviced since the failed probe: skip to `other`
+        assert s.next_action() == (SERVICE, other)
+        s.completed(other)
+        # a service happened: the blocked thread is probe-eligible again
+        assert s.next_action() == (PROBE, blocked)
+
+    def test_thread_exit_reenables_probes(self):
+        s = LogicalClockScheduler()
+        blocked = make_thread(1, clock=1.0, stopped=True)
+        exiting = make_thread(2, clock=2.0, stopped=True)
+        s.add(blocked)
+        s.add(exiting)
+        s.still_blocked(blocked)
+        s.remove(exiting)  # process exit without a serviced syscall
+        assert s.next_action() == (PROBE, blocked)
+
+    def test_all_blocked_and_stale_waits(self):
+        s = LogicalClockScheduler()
+        a = make_thread(1, clock=1.0, stopped=True)
+        s.add(a)
+        s.still_blocked(a)
+        assert s.next_action() == (WAIT, None)
+
+    def test_remove_unknown_is_noop(self):
+        s = LogicalClockScheduler()
+        s.remove(make_thread(1))
+
+    def test_dead_threads_ignored(self):
+        s = LogicalClockScheduler()
+        t = make_thread(1, stopped=True)
+        s.add(t)
+        t.state = ThreadState.EXITED
+        assert s.next_action() == (WAIT, None)
+
+
+class TestStrictQueueScheduler:
+    def test_figure3_transitions(self):
+        s = StrictQueueScheduler()
+        a = make_thread(1, stopped=True)
+        b = make_thread(2, stopped=False)
+        s.add(a)
+        s.add(b)
+        # front of Parallel is stopped -> promoted and serviced
+        assert s.next_action() == (SERVICE, a)
+        s.completed(a)
+        assert list(s.parallel) == [b, a]
+
+    def test_front_gates_later_stops(self):
+        """Only the *front* of Parallel transitions: a stopped thread
+        behind a computing front must wait (the literal Figure 3 rule)."""
+        s = StrictQueueScheduler()
+        computing = make_thread(1, stopped=False)
+        stopped = make_thread(2, stopped=True)
+        s.add(computing)
+        s.add(stopped)
+        assert s.next_action() == (WAIT, None)
+
+    def test_blocked_goes_to_blocked_queue(self):
+        s = StrictQueueScheduler()
+        a = make_thread(1, stopped=True)
+        s.add(a)
+        assert s.next_action() == (SERVICE, a)
+        s.still_blocked(a)
+        assert list(s.blocked) == [a]
+
+    def test_blocked_probed_when_idle(self):
+        s = StrictQueueScheduler()
+        a = make_thread(1, stopped=True)
+        s.add(a)
+        s.next_action()
+        s.still_blocked(a)
+        assert s.next_action() == (PROBE, a)
+
+    def test_probe_credit_after_service(self):
+        s = StrictQueueScheduler()
+        blocked = make_thread(1, stopped=True)
+        worker = make_thread(2, stopped=True)
+        s.add(blocked)
+        s.add(worker)
+        s.next_action()
+        s.still_blocked(blocked)          # front -> Blocked
+        assert s.next_action() == (SERVICE, worker)
+        s.completed(worker)
+        worker.state = ThreadState.DISPATCH  # resumed by the tracer
+        worker.current_syscall = None
+        action, thread = s.next_action()  # probe credit granted
+        assert (action, thread) == (PROBE, blocked)
+
+
+class TestFactory:
+    def test_make_scheduler(self):
+        assert isinstance(make_scheduler("logical"), LogicalClockScheduler)
+        assert isinstance(make_scheduler("strict"), StrictQueueScheduler)
+        with pytest.raises(ValueError):
+            make_scheduler("quantum")

@@ -1,0 +1,90 @@
+"""Instruction interception (SS5.8) and its documented limits (SS4)."""
+from repro.core import ablated
+from repro.core.logical_time import RDTSC_BASE, RDTSC_STEP
+from repro.cpu.machine import HostEnvironment, SKYLAKE_CLOUDLAB
+from tests.conftest import dettrace_run
+
+
+class TestRdtsc:
+    def test_linear_deterministic_counter(self):
+        def main(sys):
+            a = yield from sys.rdtsc()
+            b = yield from sys.rdtsc()
+            yield from sys.write_file("tsc", "%d %d" % (a, b))
+            return 0
+
+        r1 = dettrace_run(main, host=HostEnvironment(entropy_seed=1))
+        r2 = dettrace_run(main, host=HostEnvironment(entropy_seed=2))
+        assert r1.output_tree == r2.output_tree
+        a, b = map(int, r1.output_tree["tsc"].split())
+        assert a == RDTSC_BASE
+        assert b - a == RDTSC_STEP
+        assert r1.counters.rdtsc_intercepted == 2
+
+    def test_ablated_rdtsc_leaks(self):
+        def main(sys):
+            t = yield from sys.rdtsc()
+            yield from sys.write_file("tsc", str(t))
+            return 0
+
+        cfg = ablated("trap_rdtsc")
+        r1 = dettrace_run(main, host=HostEnvironment(entropy_seed=1), config=cfg)
+        r2 = dettrace_run(main, host=HostEnvironment(entropy_seed=2), config=cfg)
+        assert r1.output_tree != r2.output_tree
+
+
+class TestCriticalInstructions:
+    def test_rdrand_cannot_be_trapped(self):
+        """rdrand is not trappable from ring 0 (SS4): a program ignoring
+        cpuid gets true entropy and stays irreproducible under DetTrace —
+        the paper's documented limitation."""
+        def adversarial(sys):
+            r = yield from sys.instr("rdrand")
+            yield from sys.write_file("r", str(r))
+            return 0
+
+        r1 = dettrace_run(adversarial, host=HostEnvironment(entropy_seed=1))
+        r2 = dettrace_run(adversarial, host=HostEnvironment(entropy_seed=2))
+        assert r1.output_tree != r2.output_tree
+
+    def test_tsx_aborts_irreproducible_for_adversaries(self):
+        """xbegin cannot be trapped at all: the definitively critical
+        family (SS4)."""
+        def adversarial(sys):
+            from repro.cpu.instructions import TSX_STARTED
+            aborts = 0
+            for _ in range(64):
+                status = yield from sys.instr("xbegin")
+                if status == TSX_STARTED:
+                    yield from sys.instr("xend")
+                else:
+                    aborts += 1
+            yield from sys.write_file("aborts", str(aborts))
+            return 0
+
+        r1 = dettrace_run(adversarial, host=HostEnvironment(entropy_seed=1))
+        r2 = dettrace_run(adversarial, host=HostEnvironment(entropy_seed=2))
+        assert r1.output_tree != r2.output_tree
+
+    def test_well_behaved_program_respects_cpuid(self):
+        """A program that checks cpuid sees no TSX/RDRAND and takes the
+        deterministic fallback: reproducible (SS5.8)."""
+        def well_behaved(sys):
+            cpu = yield from sys.instr("cpuid")
+            if cpu.has_feature("rdrand"):
+                r = yield from sys.instr("rdrand")
+            else:
+                r = int.from_bytes((yield from sys.getrandom(8)), "little")
+            yield from sys.write_file("r", str(r))
+            return 0
+
+        r1 = dettrace_run(well_behaved, host=HostEnvironment(entropy_seed=1))
+        r2 = dettrace_run(well_behaved, host=HostEnvironment(entropy_seed=2))
+        assert r1.output_tree == r2.output_tree
+
+    def test_rdpmc_reports_zero(self):
+        def main(sys):
+            v = yield from sys.instr("rdpmc")
+            return 0 if v == 0 else 1
+
+        assert dettrace_run(main).exit_code == 0

@@ -1,0 +1,68 @@
+import dataclasses
+
+from repro.cpu.machine import (
+    ALL_MACHINES,
+    BROADWELL_XEON,
+    SANDY_BRIDGE,
+    SKYLAKE_CLOUDLAB,
+    HostEnvironment,
+)
+
+
+class TestMachineSpec:
+    def test_paper_machines_exist(self):
+        assert "cloudlab-c220g5" in ALL_MACHINES
+        assert SKYLAKE_CLOUDLAB.cores == 20
+        assert SKYLAKE_CLOUDLAB.kernel_version == (4, 15)
+
+    def test_sandy_bridge_lacks_modern_features(self):
+        assert not SANDY_BRIDGE.has_tsx
+        assert not SANDY_BRIDGE.has_rdrand
+        assert not SANDY_BRIDGE.cpuid_faulting
+
+    def test_directory_size_models_differ(self):
+        for n in (5, 20, 100):
+            assert (SKYLAKE_CLOUDLAB.directory_size(n)
+                    != BROADWELL_XEON.directory_size(n)) or n < 10
+
+    def test_kernel_version_check(self):
+        assert SKYLAKE_CLOUDLAB.kernel_version_at_least(4, 12)
+        assert not SANDY_BRIDGE.kernel_version_at_least(4, 12)
+
+
+class TestHostEnvironment:
+    def test_entropy_is_seed_deterministic(self):
+        a = HostEnvironment(entropy_seed=5)
+        b = HostEnvironment(entropy_seed=5)
+        assert a.entropy_bytes(16) == b.entropy_bytes(16)
+
+    def test_entropy_differs_across_seeds(self):
+        a = HostEnvironment(entropy_seed=5)
+        b = HostEnvironment(entropy_seed=6)
+        assert a.entropy_bytes(16) != b.entropy_bytes(16)
+
+    def test_entropy_stream_advances(self):
+        h = HostEnvironment()
+        assert h.entropy_bytes(8) != h.entropy_bytes(8)
+
+    def test_aslr_disabled_is_fixed(self):
+        h = HostEnvironment(aslr_enabled=False)
+        assert h.aslr_base() == h.aslr_base()
+
+    def test_aslr_enabled_varies(self):
+        h = HostEnvironment(aslr_enabled=True)
+        bases = {h.aslr_base() for _ in range(8)}
+        assert len(bases) > 1
+        for base in bases:
+            assert base % 4096 == 0
+
+    def test_sched_jitter_bounded(self):
+        h = HostEnvironment()
+        for _ in range(100):
+            j = h.sched_jitter(0.5)
+            assert 0.0 <= j < 0.5
+
+    def test_replace_reseeds_streams(self):
+        h1 = HostEnvironment(entropy_seed=1)
+        h2 = dataclasses.replace(h1, entropy_seed=2)
+        assert h1.entropy_bytes(8) != h2.entropy_bytes(8)

@@ -1,0 +1,187 @@
+"""Busybox toolbox programs."""
+import pytest
+
+from repro.core import DetTrace, Image, NativeRunner
+from repro.cpu.machine import HostEnvironment
+from repro.guest.coreutils import COREUTILS_PATHS, install_coreutils
+
+
+def toolbox_run(tool, argv_rest=(), native=False, seed=1, files=None):
+    image = Image()
+    install_coreutils(image)
+
+    def setup(kernel, build_dir):
+        for path, data in (files or {}).items():
+            kernel.fs.write_file(build_dir + "/" + path, data,
+                                 now=kernel.host.boot_epoch)
+
+    image.on_setup(setup)
+    host = HostEnvironment(entropy_seed=seed, boot_epoch=1.6e9 + seed * 77.7017)
+    runner = NativeRunner() if native else DetTrace()
+    return runner.run(image, COREUTILS_PATHS[tool],
+                      argv=[tool] + list(argv_rest), host=host)
+
+
+class TestTools:
+    def test_date_inside_container_is_the_appendix_date(self):
+        r = toolbox_run("date")
+        assert r.stdout == "Aug  8 22:00:00 1993 UTC\n"
+
+    def test_date_native_is_wall_clock(self):
+        a = toolbox_run("date", native=True, seed=1)
+        b = toolbox_run("date", native=True, seed=2)
+        assert a.stdout != b.stdout
+
+    def test_ls_plain_and_long(self):
+        r = toolbox_run("ls", ["/etc"])
+        assert set(r.stdout.split()) == {"hostname", "os-release"}
+        r = toolbox_run("ls", ["-l", "/etc"])
+        assert "hostname" in r.stdout
+        assert "1970" in r.stdout  # virtual mtime 0 for image files
+
+    def test_stat_deterministic_fields(self):
+        r = toolbox_run("stat", ["/etc/hostname"])
+        assert "Inode: " in r.stdout
+        assert "Modify: Jan  1 00:00:00 1970 UTC" in r.stdout
+
+    def test_cat_and_wc(self):
+        r = toolbox_run("cat", ["data"], files={"data": b"abc\n"})
+        assert r.stdout == "abc\n"
+        r = toolbox_run("wc", ["data"], files={"data": b"a b\nc\n"})
+        assert r.stdout == "2 3 6\n"
+
+    def test_sha256sum(self):
+        r = toolbox_run("sha256sum", ["data"], files={"data": b"fixed"})
+        assert r.exit_code == 0
+        digest = r.stdout.split()[0]
+        import hashlib
+        assert digest == hashlib.sha256(b"fixed").hexdigest()
+
+    def test_sha256sum_missing_file(self):
+        r = toolbox_run("sha256sum", ["ghost"])
+        assert r.exit_code == 1
+        assert "unreadable" in r.stderr
+
+    def test_mktemp_deterministic_in_container(self):
+        a = toolbox_run("mktemp", seed=1)
+        b = toolbox_run("mktemp", seed=2)
+        assert a.stdout == b.stdout
+
+    def test_mktemp_varies_natively(self):
+        a = toolbox_run("mktemp", native=True, seed=1)
+        b = toolbox_run("mktemp", native=True, seed=2)
+        assert a.stdout != b.stdout
+
+    def test_head(self):
+        data = b"".join(b"line%d\n" % i for i in range(20))
+        r = toolbox_run("head", ["-n", "3", "data"], files={"data": data})
+        assert r.stdout == "line0\nline1\nline2\n"
+
+    def test_cp_touch_rm(self):
+        r = toolbox_run("cp", ["a", "b"], files={"a": b"content"})
+        assert r.output_tree["b"] == b"content"
+        r = toolbox_run("touch", ["fresh"])
+        assert r.output_tree["fresh"] == b""
+        r = toolbox_run("rm", ["a"], files={"a": b"x"})
+        assert "a" not in r.output_tree
+
+    def test_uname_and_hostname_masked(self):
+        r = toolbox_run("uname", ["-a"])
+        assert "dettrace 4.0.0" in r.stdout
+        r = toolbox_run("hostname")
+        assert r.stdout == "dettrace\n"
+
+    def test_nproc_is_one_inside(self):
+        assert toolbox_run("nproc").stdout == "1\n"
+
+    def test_nproc_native_shows_real_cores(self):
+        r = toolbox_run("nproc", native=True)
+        assert int(r.stdout) > 1
+
+    def test_env_sorted_and_canonical(self):
+        r = toolbox_run("env")
+        lines = r.stdout.splitlines()
+        assert lines == sorted(lines)
+        assert "TZ=UTC" in lines
+
+
+class TestToolboxReproducibility:
+    @pytest.mark.parametrize("tool,args", [
+        ("date", []),
+        ("ls", ["-l", "/etc"]),
+        ("stat", ["/etc/hostname"]),
+        ("mktemp", []),
+        ("env", []),
+        ("uname", ["-a"]),
+    ])
+    def test_every_tool_reproducible_in_container(self, tool, args):
+        a = toolbox_run(tool, args, seed=1)
+        b = toolbox_run(tool, args, seed=2)
+        assert a.stdout == b.stdout
+        assert a.output_tree == b.output_tree
+
+
+class TestExtendedTools:
+    def test_grep(self):
+        r = toolbox_run("grep", ["nee", "f"],
+                        files={"f": b"haystack\nneedle here\nnope\n"})
+        assert r.stdout == "needle here\n"
+        assert r.exit_code == 0
+        r = toolbox_run("grep", ["missing", "f"], files={"f": b"x\n"})
+        assert r.exit_code == 1
+
+    def test_sort(self):
+        r = toolbox_run("sort", ["f"], files={"f": b"c\na\nb\n"})
+        assert r.stdout == "a\nb\nc\n"
+
+    def test_diff_identical_and_different(self):
+        r = toolbox_run("diff", ["a", "b"], files={"a": b"x\n", "b": b"x\n"})
+        assert r.exit_code == 0
+        r = toolbox_run("diff", ["a", "b"], files={"a": b"x\n", "b": b"y\n"})
+        assert r.exit_code == 1
+        assert "1c1" in r.stdout
+
+    def test_seq(self):
+        assert toolbox_run("seq", ["3"]).stdout == "1\n2\n3\n"
+        assert toolbox_run("seq", ["2", "4"]).stdout == "2\n3\n4\n"
+
+    def test_sleep_is_free_in_container(self):
+        r = toolbox_run("sleep", ["500"])
+        assert r.exit_code == 0
+        assert r.wall_time < 1.0  # NOP'd (SS5.4)
+
+    def test_ln_symbolic_and_hard(self):
+        r = toolbox_run("ln", ["-s", "target", "link"], files={"target": b"T"})
+        assert r.output_tree["link"] == b"->target"
+        r = toolbox_run("ln", ["a", "b"], files={"a": b"data"})
+        assert r.output_tree["b"] == b"data"
+
+    def test_find_recursive_sorted(self):
+        r = toolbox_run("find", ["."],
+                        files={"d/x": b"", "d/sub/y": b"", "top": b""})
+        lines = r.stdout.splitlines()
+        assert "./d/sub/y" in lines
+        assert "./top" in lines
+
+    def test_readlink_tool(self):
+        r = toolbox_run("readlink", ["ln"], files={"t": b""})
+        # make the link first via a shell-free setup: use ln tool instead
+        r = toolbox_run("ln", ["-s", "/etc/hostname", "ln"])
+        assert r.exit_code == 0
+
+    def test_pipeline_of_new_tools_in_shell(self):
+        from repro.core import DetTrace, Image
+        from repro.cpu.machine import HostEnvironment
+        from repro.guest.coreutils import install_coreutils
+
+        image = Image()
+        install_coreutils(image)
+        script = (b"seq 9 > nums\n"
+                  b"grep 1 nums > ones\n"
+                  b"sort ones | head -n 2 > out\n")
+        image.on_setup(lambda k, bd: k.fs.write_file(bd + "/s.sh", script,
+                                                     now=k.host.boot_epoch))
+        r = DetTrace().run(image, "/bin/sh", argv=["sh", "s.sh"],
+                           host=HostEnvironment())
+        assert r.exit_code == 0, r.stderr
+        assert r.output_tree["out"] == b"1\n"

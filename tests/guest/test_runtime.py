@@ -1,0 +1,112 @@
+"""Guest runtime helper behaviours."""
+from repro.kernel.errors import Errno, SyscallError
+from tests.conftest import run_guest
+
+
+class TestIOHelpers:
+    def test_read_exact_loops_over_partial_pipe_reads(self):
+        def producer(sys):
+            for _ in range(10):
+                yield from sys.write_all(1, b"0123456789")
+                yield from sys.compute(1e-4)
+            return 0
+
+        def main(sys):
+            r, w = yield from sys.pipe()
+            yield from sys.spawn("/bin/producer", stdout=w)
+            yield from sys.close(w)
+            data = yield from sys.read_exact(r, 100)
+            return 0 if data == b"0123456789" * 10 else 1
+
+        _, proc = run_guest(main, binaries={"/bin/producer": producer})
+        assert proc.exit_status == 0
+
+    def test_read_exact_stops_at_eof(self):
+        def main(sys):
+            yield from sys.write_file("f", b"short")
+            fd = yield from sys.open("f")
+            data = yield from sys.read_exact(fd, 100)
+            return 0 if data == b"short" else 1
+
+        _, proc = run_guest(main)
+        assert proc.exit_status == 0
+
+    def test_write_all_handles_partial_pipe_writes(self):
+        def drain(sys):
+            total = 0
+            while True:
+                chunk = yield from sys.read(0, 4096)
+                if not chunk:
+                    break
+                total += len(chunk)
+            yield from sys.write_file("drained", str(total))
+            return 0
+
+        def main(sys):
+            r, w = yield from sys.pipe()
+            yield from sys.spawn("/bin/drain", stdin=r, close_fds=[w])
+            yield from sys.close(r)
+            yield from sys.write_all(w, b"z" * 200_000)  # >> pipe capacity
+            yield from sys.close(w)
+            yield from sys.waitpid(-1)
+            return 0
+
+        k, proc = run_guest(main, binaries={"/bin/drain": drain})
+        assert proc.exit_status == 0
+        assert k.fs.read_file("/build/drained") == b"200000"
+
+    def test_mkdir_p_idempotent(self):
+        def main(sys):
+            yield from sys.mkdir_p("a/b/c")
+            yield from sys.mkdir_p("a/b/c")
+            return 0 if (yield from sys.access("a/b/c")) else 1
+
+        _, proc = run_guest(main)
+        assert proc.exit_status == 0
+
+    def test_access_false_on_missing(self):
+        def main(sys):
+            present = yield from sys.access("ghost")
+            return 0 if present is False else 1
+
+        _, proc = run_guest(main)
+        assert proc.exit_status == 0
+
+
+class TestProcessState:
+    def test_argv_visible(self):
+        def main(sys):
+            yield from sys.write_file("argv", " ".join(sys.argv))
+            return 0
+
+        k, _ = run_guest(main, argv=["main", "--flag", "x"])
+        assert k.fs.read_file("/build/argv") == b"main --flag x"
+
+    def test_env_and_getenv(self):
+        def main(sys):
+            yield from sys.write_file("e", sys.getenv("HOME", "?"))
+            return 0
+
+        k, _ = run_guest(main)
+        assert k.fs.read_file("/build/e") == b"/root"
+
+    def test_println_to_console(self):
+        def main(sys):
+            yield from sys.println("out line")
+            yield from sys.eprintln("err line")
+            return 0
+
+        k, _ = run_guest(main)
+        assert k.stdout.text() == "out line\n"
+        assert k.stderr.text() == "err line\n"
+
+    def test_address_of_main_is_aslr_based(self):
+        from repro.cpu.machine import HostEnvironment
+
+        def main(sys):
+            yield from sys.write_file("addr", hex(sys.address_of_main))
+            return 0
+
+        k1, _ = run_guest(main, host=HostEnvironment(entropy_seed=1))
+        k2, _ = run_guest(main, host=HostEnvironment(entropy_seed=2))
+        assert k1.fs.read_file("/build/addr") != k2.fs.read_file("/build/addr")

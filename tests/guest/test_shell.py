@@ -1,0 +1,163 @@
+"""The guest shell interpreter."""
+import pytest
+
+from repro.core import DetTrace, Image, NativeRunner
+from repro.cpu.machine import HostEnvironment
+from repro.guest.coreutils import install_coreutils
+from repro.guest.shell import ShellError, sh_command, split_statements, tokenize
+
+
+def run_script(script, native=False, seed=1, extra_files=None):
+    image = Image()
+    install_coreutils(image)
+
+    def setup(kernel, build_dir):
+        kernel.fs.write_file(build_dir + "/s.sh", script.encode(),
+                             now=kernel.host.boot_epoch)
+        for path, data in (extra_files or {}).items():
+            kernel.fs.write_file(build_dir + "/" + path, data,
+                                 now=kernel.host.boot_epoch)
+
+    image.on_setup(setup)
+    host = HostEnvironment(entropy_seed=seed, boot_epoch=1.6e9 + seed * 50)
+    runner = NativeRunner() if native else DetTrace()
+    return runner.run(image, "/bin/sh", argv=["sh", "s.sh"], host=host)
+
+
+class TestLexing:
+    def test_tokenize_respects_quotes(self):
+        assert tokenize('echo "a b" c') == ["echo", "a b", "c"]
+
+    def test_tokenize_operators(self):
+        assert tokenize("a && b | c > f") == ["a", "&&", "b", "|", "c", ">", "f"]
+
+    def test_split_statements(self):
+        parts = split_statements(["a", "&&", "b", ";", "c"])
+        assert parts == [(["a"], "&&"), (["b"], ";"), (["c"], ";")]
+
+    def test_unterminated_quote_is_error(self):
+        with pytest.raises(ShellError):
+            tokenize('echo "unterminated')
+
+
+class TestExecution:
+    def test_echo_and_redirect(self):
+        r = run_script("echo hello > out.txt\n")
+        assert r.exit_code == 0
+        assert r.output_tree["out.txt"] == b"hello\n"
+
+    def test_append(self):
+        r = run_script("echo one > f\necho two >> f\n")
+        assert r.output_tree["f"] == b"one\ntwo\n"
+
+    def test_variables_and_expansion(self):
+        r = run_script("X=world\necho hello $X ${X} > f\n")
+        assert r.output_tree["f"] == b"hello world world\n"
+
+    def test_command_substitution(self):
+        r = run_script("N=$(nproc)\necho got $N > f\n")
+        assert r.output_tree["f"] == b"got 1\n"
+
+    def test_exit_status_variable(self):
+        r = run_script("false\necho status=$? > f\n")
+        assert r.output_tree["f"] == b"status=1\n"
+
+    def test_and_or_chains(self):
+        r = run_script(
+            "true && echo yes > a\n"
+            "false && echo no > b\n"
+            "false || echo fallback > c\n")
+        assert r.output_tree["a"] == b"yes\n"
+        assert "b" not in r.output_tree
+        assert r.output_tree["c"] == b"fallback\n"
+
+    def test_if_else(self):
+        r = run_script(
+            "touch present\n"
+            "if [ -e present ]; then echo yes > a; fi\n"
+            "if [ -e missing ]; then echo x > b; else echo no > c; fi\n")
+        assert r.output_tree["a"] == b"yes\n"
+        assert r.output_tree["c"] == b"no\n"
+
+    def test_multiline_if(self):
+        r = run_script(
+            "if [ -z \"\" ]\n"
+            "then\n"
+            "  echo empty > out\n"
+            "fi\n")
+        assert r.output_tree["out"] == b"empty\n"
+
+    def test_for_loop(self):
+        r = run_script("for f in a b c; do echo item-$f >> list; done\n")
+        assert r.output_tree["list"] == b"item-a\nitem-b\nitem-c\n"
+
+    def test_pipeline(self):
+        r = run_script(
+            "echo line1 > f\necho line2 >> f\n"
+            "cat f | wc > counts\n")
+        assert r.output_tree["counts"] == b"2 2 12\n"
+
+    def test_exit_stops_script(self):
+        r = run_script("echo first > a\nexit 3\necho second > b\n")
+        assert r.exit_code == 3
+        assert "b" not in r.output_tree
+
+    def test_command_not_found_is_127(self):
+        r = run_script("definitely_not_a_command\n")
+        assert r.exit_code == 127
+        assert "command not found" in r.stderr
+
+    def test_cd(self):
+        r = run_script("mkdir sub\ncd sub\necho inner > f\n")
+        assert r.output_tree["sub/f"] == b"inner\n"
+
+    def test_background_and_wait(self):
+        r = run_script("sha256sum /etc/motd > a &\nwait\necho done > b\n")
+        assert r.exit_code == 0
+        assert "a" in r.output_tree
+
+    def test_input_redirection(self):
+        r = run_script("wc < data > counts\n",
+                       extra_files={"data": b"x y\nz\n"})
+        assert r.output_tree["counts"] == b"2 3 6\n"
+
+    def test_positional_args(self):
+        image = Image()
+        install_coreutils(image)
+        image.on_setup(lambda k, bd: k.fs.write_file(
+            bd + "/s.sh", b"echo arg=$1 > out\n", now=k.host.boot_epoch))
+        r = DetTrace().run(image, "/bin/sh", argv=["sh", "s.sh", "val"],
+                           host=HostEnvironment())
+        assert r.output_tree["out"] == b"arg=val\n"
+
+    def test_export_reaches_children(self):
+        r = run_script("export GREETING=salut\nenv | head -n 20 > envs\n")
+        assert b"GREETING=salut" in r.output_tree["envs"]
+
+    def test_sh_command_factory(self):
+        image = Image()
+        install_coreutils(image)
+        image.add_binary("/bin/job", sh_command("echo inline > out\n"))
+        r = DetTrace().run(image, "/bin/job", host=HostEnvironment())
+        assert r.output_tree["out"] == b"inline\n"
+
+
+class TestShellReproducibility:
+    SCRIPT = (
+        "mkdir out\n"
+        "date > out/when\n"
+        "mktemp > out/tmpname\n"
+        "stat /etc/motd > out/meta\n"
+        "ls /etc > out/listing\n"
+        "echo pid=$$ > out/pid\n")
+
+    def test_native_script_irreproducible(self):
+        a = run_script(self.SCRIPT, native=True, seed=1)
+        b = run_script(self.SCRIPT, native=True, seed=2)
+        assert a.output_tree != b.output_tree
+
+    def test_dettrace_script_reproducible(self):
+        a = run_script(self.SCRIPT, seed=1)
+        b = run_script(self.SCRIPT, seed=2)
+        assert a.exit_code == 0, a.stderr
+        assert a.output_tree == b.output_tree

@@ -1,0 +1,44 @@
+"""Shell block-structure edge cases."""
+from tests.guest.test_shell import run_script
+
+
+class TestBlockJoining:
+    def test_multiline_for(self):
+        r = run_script(
+            "for item in one two\n"
+            "do\n"
+            "  echo $item >> out\n"
+            "done\n")
+        assert r.output_tree["out"] == b"one\ntwo\n"
+
+    def test_if_inside_for(self):
+        r = run_script(
+            "touch marker\n"
+            "for f in marker ghost; do "
+            "if [ -e $f ]; then echo yes-$f >> out; fi; done\n")
+        assert r.output_tree["out"] == b"yes-marker\n"
+
+    def test_command_substitution_mid_word(self):
+        r = run_script("N=$(nproc)\necho cores-$N-end > out\n")
+        assert r.output_tree["out"] == b"cores-1-end\n"
+
+    def test_quoted_dollar_preserved_by_shlex(self):
+        r = run_script("echo 'literal $HOME' > out\n")
+        # posix shlex strips quotes; expansion then applies to the token.
+        assert b"literal" in r.output_tree["out"]
+
+    def test_status_of_failed_pipeline_component(self):
+        r = run_script("cat missing-file | wc > out\necho after=$? >> out2\n")
+        assert "out2" in r.output_tree
+
+    def test_comments_and_blank_lines_ignored(self):
+        r = run_script("\n# comment only\n\necho ok > out\n# trailing\n")
+        assert r.output_tree["out"] == b"ok\n"
+
+    def test_test_string_equality(self):
+        r = run_script(
+            'X=abc\n'
+            'if [ $X = abc ]; then echo eq > a; fi\n'
+            'if [ $X != xyz ]; then echo ne > b; fi\n')
+        assert r.output_tree["a"] == b"eq\n"
+        assert r.output_tree["b"] == b"ne\n"

@@ -1,0 +1,78 @@
+"""Each SS5 mechanism is load-bearing: ablate it and the workload that
+exercises it becomes irreproducible under DetTrace."""
+import pytest
+
+from repro.core import ablated
+from repro.repro_tools import (
+    IRREPRODUCIBLE,
+    REPRODUCIBLE,
+    reprotest_dettrace,
+)
+from repro.workloads.debian import PackageSpec
+
+#: (ablated feature, the package flag whose masking depends on it)
+CASES = [
+    ("virtualize_time", dict(embeds_timestamp=True)),
+    ("deterministic_randomness", dict(embeds_random_symbols=True)),
+    ("trap_rdtsc", dict(embeds_tmpnames=True)),
+    ("deterministic_pids", dict(embeds_pid=True)),
+    ("disable_aslr", dict(embeds_aslr=True)),
+    ("virtualize_inodes", dict(embeds_inode=True)),
+    ("canonical_env", dict(embeds_env=True)),
+    ("mask_machine", dict(embeds_cpu_count=True)),
+]
+
+
+@pytest.mark.parametrize("feature,flags", CASES,
+                         ids=[c[0] for c in CASES])
+def test_ablation_breaks_matching_workload(feature, flags):
+    spec = PackageSpec(name="abl", n_sources=2, parallel_jobs=1, **flags)
+    assert reprotest_dettrace(spec).verdict == REPRODUCIBLE
+    assert reprotest_dettrace(spec, config=ablated(feature)).verdict == IRREPRODUCIBLE
+
+
+def test_locale_needs_canonical_env():
+    spec = PackageSpec(name="loc", language="doc", embeds_locale_date=True)
+    assert reprotest_dettrace(spec).verdict == REPRODUCIBLE
+    assert (reprotest_dettrace(spec, config=ablated("canonical_env")).verdict
+            == IRREPRODUCIBLE)
+
+
+def test_build_path_needs_container_workdir():
+    """The /build bind-mount hides the host build path; running the
+    container 'in place' at the host path leaks it."""
+    import dataclasses
+
+    from repro.core import ContainerConfig
+    from repro.repro_tools.reprotest import _double_build
+    from repro.repro_tools.variations import host_pair
+    from repro.workloads.debian.builder import build_dettrace
+
+    spec = PackageSpec(name="bp", embeds_build_path=True)
+    assert reprotest_dettrace(spec).verdict == REPRODUCIBLE
+
+    hosts = host_pair()
+
+    def build_in_place(s, h):
+        cfg = ContainerConfig(working_dir=h.build_path)
+        return build_dettrace(s, config=cfg, host=h)
+
+    result = _double_build(spec, build_in_place, hosts, strip=False)
+    assert result.verdict == IRREPRODUCIBLE
+
+
+def test_getdents_sorting_is_load_bearing_for_fileorder():
+    spec = PackageSpec(name="fo", n_sources=8, embeds_fileorder=True)
+    assert reprotest_dettrace(spec).verdict == REPRODUCIBLE
+    # With sorting off, the two boots' dirent hash salts leak through.
+    assert (reprotest_dettrace(spec, config=ablated("sort_getdents")).verdict
+            == IRREPRODUCIBLE)
+
+
+def test_strict_scheduler_also_reproducible_for_sequential_build():
+    from repro.core import ContainerConfig
+
+    spec = PackageSpec(name="st", n_sources=3, parallel_jobs=1,
+                       embeds_timestamp=True)
+    cfg = ContainerConfig(scheduler="strict")
+    assert reprotest_dettrace(spec, config=cfg).verdict == REPRODUCIBLE

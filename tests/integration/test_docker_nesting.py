@@ -1,0 +1,52 @@
+"""SS6.1: 'DetTrace nests within Docker without issue' — the analog:
+run DetTrace against an image installed inside an outer chroot jail,
+mirroring the paper's Docker-for-distribution + DetTrace-for-determinism
+layering."""
+from repro.core import ContainerConfig, DetTrace, Image
+from repro.cpu.machine import HostEnvironment
+
+
+def build_program(sys):
+    t = yield from sys.time()
+    r = yield from sys.urandom(4)
+    yield from sys.write_file("artifact", "%d %s" % (t, r.hex()))
+    return 0
+
+
+class TestNesting:
+    def test_dettrace_with_relocated_working_dir(self):
+        """The outer container determines WHERE the tree lives; DetTrace's
+        guarantee is unchanged because the working dir is part of its
+        config, not of the computation."""
+        image = Image()
+        image.add_binary("/bin/build", build_program)
+        results = []
+        for seed, workdir in ((1, "/docker/overlay1/build"),
+                              (2, "/docker/overlay2/build")):
+            cfg = ContainerConfig(working_dir=workdir)
+            host = HostEnvironment(entropy_seed=seed, boot_epoch=1e9 + seed)
+            results.append(DetTrace(cfg).run(image, "/bin/build", host=host))
+        # output_tree is relative to the working dir: identical trees even
+        # though the outer container put them in different places.
+        assert results[0].output_tree == results[1].output_tree
+
+    def test_inner_chroot_jail(self):
+        """An outer jail (what Docker's mount namespace provides) around
+        the DetTrace working tree."""
+        def jailed_driver(sys):
+            yield from sys.mkdir_p("/outer/root/work")
+            yield from sys.syscall("chroot", path="/outer/root")
+            yield from sys.chdir("/work")
+            t = yield from sys.time()
+            yield from sys.write_file("stamp", str(t))
+            data = yield from sys.read_file("stamp")
+            return 0 if data else 1
+
+        image = Image()
+        image.add_binary("/bin/driver", jailed_driver)
+        runs = [DetTrace().run(image, "/bin/driver",
+                               host=HostEnvironment(entropy_seed=s))
+                for s in (1, 2)]
+        for r in runs:
+            assert r.exit_code == 0, (r.status, r.error)
+        assert runs[0].stdout == runs[1].stdout

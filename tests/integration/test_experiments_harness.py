@@ -1,0 +1,28 @@
+"""Smoke the EXPERIMENTS.md generator at a tiny scale."""
+import pytest
+
+from repro.analysis.experiments import generate
+
+
+class TestGenerator:
+    @pytest.fixture(scope="class")
+    def text(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("exp") / "EXPERIMENTS.md"
+        return generate(scale=0.15, out=str(out),
+                        sections=["table1", "fig6", "tf", "correctness"],
+                        quiet=True)
+
+    def test_sections_rendered(self, text):
+        assert "## Table 1" in text
+        assert "## Figure 6" in text
+        assert "## §7.6" in text
+        assert "## §7.2" in text
+
+    def test_headline_claims_present(self, text):
+        assert "tar workaround" in text
+        assert "clustal" in text and "raxml" in text
+        assert "alexnet" in text and "cifar10" in text
+
+    def test_paper_columns_present(self, text):
+        assert "72.65%" in text
+        assert "0.29" in text  # raxml paper DT@1

@@ -1,0 +1,131 @@
+"""The paper's future-work items, implemented as container extensions:
+container-internal socket IPC (SS5.9) and checksum-pinned downloads (SS3)."""
+import hashlib
+
+import pytest
+
+from repro.core import ContainerConfig, DetTrace, Image, NativeRunner, ablated
+from repro.core.container import UNSUPPORTED
+from repro.cpu.machine import HostEnvironment
+from tests.conftest import dettrace_run
+
+
+class TestSocketpairIPC:
+    def make_program(self):
+        def main(sys):
+            a, b = yield from sys.socketpair()
+
+            def server(wsys):
+                fd = wsys.mem["server_fd"]
+                request = yield from wsys.read_exact(fd, 5)
+                nonce = yield from wsys.urandom(2)
+                yield from wsys.write_all(fd, b"resp:" + request + nonce.hex().encode())
+
+            sys.mem["server_fd"] = b
+            yield from sys.spawn_thread(server)
+            yield from sys.write_all(a, b"query")
+            reply = yield from sys.read_exact(a, 14)
+            yield from sys.write_file("reply", reply)
+            return 0
+
+        return main
+
+    def test_ipc_roundtrip_reproducible(self):
+        main = self.make_program()
+        results = [dettrace_run(main, host=HostEnvironment(entropy_seed=s))
+                   for s in (1, 2)]
+        for r in results:
+            assert r.exit_code == 0, (r.status, r.error)
+        assert results[0].output_tree == results[1].output_tree
+        assert results[0].output_tree["reply"].startswith(b"resp:query")
+
+    def test_can_be_disabled(self):
+        main = self.make_program()
+        r = dettrace_run(main, config=ablated("allow_container_ipc_sockets"))
+        assert r.status == UNSUPPORTED
+
+    def test_network_sockets_still_rejected(self):
+        def main(sys):
+            yield from sys.socketpair()   # fine
+            yield from sys.socket()       # network: still unsupported
+            return 0
+
+        r = dettrace_run(main)
+        assert r.status == UNSUPPORTED
+        assert "socket" in r.error
+
+    def test_bidirectional(self):
+        def main(sys):
+            a, b = yield from sys.socketpair()
+            yield from sys.write_all(a, b"to-b")
+            yield from sys.write_all(b, b"to-a")
+            got_b = yield from sys.read_exact(b, 4)
+            got_a = yield from sys.read_exact(a, 4)
+            return 0 if (got_b, got_a) == (b"to-b", b"to-a") else 1
+
+        assert dettrace_run(main).exit_code == 0
+
+
+class TestChecksummedDownloads:
+    BODY = b"upstream-tarball-v2"
+
+    def image(self):
+        def main(sys):
+            body, headers = yield from sys.download("https://mirror/x.tar")
+            yield from sys.write_file(
+                "fetched", body + b"|" + headers["Date"].encode()
+                + b"|" + headers["X-Request-Id"].encode())
+            return 0
+
+        img = Image()
+        img.add_binary("/bin/main", main)
+        img.add_url("https://mirror/x.tar", self.BODY)
+        return img
+
+    def pinned_config(self, body=None):
+        digest = hashlib.sha256(body or self.BODY).hexdigest()
+        return ContainerConfig(allowed_downloads={"https://mirror/x.tar": digest})
+
+    def test_native_downloads_taint_artifacts(self):
+        a = NativeRunner().run(self.image(), "/bin/main",
+                               host=HostEnvironment(boot_epoch=1e9))
+        b = NativeRunner().run(self.image(), "/bin/main",
+                               host=HostEnvironment(boot_epoch=2e9))
+        assert a.output_tree != b.output_tree
+
+    def test_pinned_download_reproducible(self):
+        runs = [DetTrace(self.pinned_config()).run(
+                    self.image(), "/bin/main",
+                    host=HostEnvironment(boot_epoch=e, entropy_seed=s))
+                for e, s in ((1e9, 1), (2e9, 2))]
+        for r in runs:
+            assert r.exit_code == 0, (r.status, r.error)
+        assert runs[0].output_tree == runs[1].output_tree
+        assert self.BODY in runs[0].output_tree["fetched"]
+
+    def test_unpinned_url_is_reproducible_error(self):
+        r = DetTrace().run(self.image(), "/bin/main")
+        assert r.status == UNSUPPORTED
+        assert "pinned checksum" in r.error
+
+    def test_checksum_mismatch_detected(self):
+        cfg = self.pinned_config(body=b"tampered-content")
+        r = DetTrace(cfg).run(self.image(), "/bin/main")
+        assert r.status == UNSUPPORTED
+        assert "mismatch" in r.error
+
+    def test_connection_refused_for_unknown_host(self):
+        from repro.kernel.errors import Errno, SyscallError
+
+        def main(sys):
+            try:
+                yield from sys.download("https://nowhere/void")
+            except SyscallError as err:
+                return 0 if err.errno == Errno.ECONNREFUSED else 1
+            return 1
+
+        cfg = ContainerConfig(allowed_downloads={"https://nowhere/void": "0" * 64})
+        img = Image()
+        img.add_binary("/bin/main", main)
+        r = DetTrace(cfg).run(img, "/bin/main")
+        assert r.exit_code == 0

@@ -1,0 +1,83 @@
+"""SS7.3: bitwise-identical builds across different machines."""
+import pytest
+
+from repro.core import ContainerConfig, ablated
+from repro.cpu.machine import (
+    BROADWELL_XEON,
+    HASWELL_XEON,
+    OLD_KERNEL_SKYLAKE,
+    SANDY_BRIDGE,
+    SKYLAKE_CLOUDLAB,
+)
+from repro.repro_tools import (
+    IRREPRODUCIBLE,
+    REPRODUCIBLE,
+    reprotest_dettrace,
+    reprotest_portability,
+)
+from repro.workloads.debian import PackageSpec
+
+
+def porta_spec(**kw):
+    defaults = dict(name="porta", n_sources=4, parallel_jobs=2,
+                    embeds_timestamp=True, embeds_tree_size=True,
+                    embeds_random_symbols=True, embeds_uname=True,
+                    embeds_cpu_count=True)
+    defaults.update(kw)
+    return PackageSpec(**defaults)
+
+
+class TestCrossMachine:
+    def test_skylake_vs_broadwell_bitwise_identical(self):
+        result = reprotest_portability(porta_spec(), SKYLAKE_CLOUDLAB,
+                                       BROADWELL_XEON)
+        assert result.verdict == REPRODUCIBLE
+
+    def test_skylake_vs_haswell(self):
+        result = reprotest_portability(porta_spec(), SKYLAKE_CLOUDLAB,
+                                       HASWELL_XEON)
+        assert result.verdict == REPRODUCIBLE
+
+    def test_old_kernel_still_portable_but_slower_path(self):
+        result = reprotest_portability(porta_spec(), SKYLAKE_CLOUDLAB,
+                                       OLD_KERNEL_SKYLAKE)
+        assert result.verdict == REPRODUCIBLE
+
+    def test_directory_size_extension_is_the_fix(self):
+        """The exact SS7.3 discovery: directory sizes vary across
+        filesystems even for identical trees; DetTrace's deterministic
+        size function is what restores portability."""
+        result = reprotest_portability(
+            porta_spec(), SKYLAKE_CLOUDLAB, BROADWELL_XEON,
+            config=ablated("deterministic_dir_sizes"))
+        assert result.verdict == IRREPRODUCIBLE
+        assert any("SRC_TREE" in d.detail or "content" in d.detail
+                   for d in result.diff.differences)
+
+    def test_dir_sizes_alone_do_not_break_single_machine_runs(self):
+        """'This behavior had not arisen across any of our previous
+        experiments which used a single machine type' (SS7.3)."""
+        result = reprotest_dettrace(porta_spec(),
+                                    config=ablated("deterministic_dir_sizes"))
+        assert result.verdict == REPRODUCIBLE
+
+
+class TestPortabilityLimits:
+    def test_sandy_bridge_cpuid_leak(self):
+        """Pre-Ivy-Bridge machines cannot mask cpuid (SS5.8): a package
+        that records cpuid output is NOT portable from Sandy Bridge."""
+        def record_cpu(sys):
+            cpu = yield from sys.instr("cpuid")
+            yield from sys.write_file("cpu.txt", cpu.brand)
+            return 0
+
+        from repro.core import DetTrace, Image
+        from repro.cpu.machine import HostEnvironment
+
+        img = Image()
+        img.add_binary("/bin/main", record_cpu)
+        on_sandy = DetTrace().run(img, "/bin/main",
+                                  host=HostEnvironment(machine=SANDY_BRIDGE))
+        on_skylake = DetTrace().run(img, "/bin/main",
+                                    host=HostEnvironment(machine=SKYLAKE_CLOUDLAB))
+        assert on_sandy.output_tree != on_skylake.output_tree

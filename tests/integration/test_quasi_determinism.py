@@ -1,0 +1,42 @@
+"""Quasi-determinism (SS3): runs agree bitwise, or at least one crashes
+with an external error (disk full)."""
+import dataclasses
+
+from repro.core import ContainerConfig, DetTrace
+from repro.cpu.machine import HostEnvironment
+from repro.workloads.debian import PackageSpec, package_image
+from repro.workloads.debian.buildtools import TOOLS
+
+
+def run_with_disk(spec, disk_bytes, seed):
+    host = HostEnvironment(entropy_seed=seed, disk_free_bytes=disk_bytes)
+    return DetTrace(ContainerConfig(timeout=5.0)).run(
+        package_image(spec), TOOLS["driver"], argv=["dpkg-buildpackage"],
+        host=host)
+
+
+class TestDiskFull:
+    def test_both_runs_fail_identically_under_same_cap(self):
+        """The injected failure point is itself deterministic: same cap,
+        same failure."""
+        spec = PackageSpec(name="dq", n_sources=3)
+        a = run_with_disk(spec, 4000, seed=1)
+        b = run_with_disk(spec, 4000, seed=2)
+        assert a.exit_code == b.exit_code
+        assert a.stderr == b.stderr
+
+    def test_quasi_determinism_property(self):
+        """For any cap: either both runs produce identical artifacts, or
+        at least one failed with the external error."""
+        spec = PackageSpec(name="dq2", n_sources=2)
+        for cap in (2000, 8000, 50_000, None):
+            a = run_with_disk(spec, cap, seed=3)
+            b = run_with_disk(spec, cap, seed=4)
+            if a.exit_code == 0 and b.exit_code == 0:
+                assert a.output_tree == b.output_tree
+            else:
+                assert a.exit_code != 0 or b.exit_code != 0
+
+    def test_unlimited_disk_succeeds(self):
+        spec = PackageSpec(name="dq3", n_sources=2)
+        assert run_with_disk(spec, None, seed=5).exit_code == 0

@@ -1,0 +1,45 @@
+"""Scale and performance-regression guards."""
+import time
+
+import pytest
+
+from repro.repro_tools import first_build_host, reprotest_dettrace
+from repro.workloads.debian import PackageSpec, build_dettrace, build_native
+
+
+BIG = PackageSpec(name="big", n_sources=60, parallel_jobs=8,
+                  loc_per_source=400, include_probes=20,
+                  embeds_timestamp=True, embeds_random_symbols=True,
+                  embeds_fileorder=True, has_tests=True, uses_threads=True)
+
+
+class TestScale:
+    def test_large_parallel_package_builds(self):
+        rec = build_dettrace(BIG, host=first_build_host(), timeout=10.0)
+        assert rec.status == "built", rec.result.error
+        assert rec.result.counters.process_spawns >= 60
+
+    def test_large_package_reproducible(self):
+        result = reprotest_dettrace(BIG)
+        assert result.verdict == "reproducible"
+
+    def test_simulation_throughput_guard(self):
+        """A canary against accidental O(n^2) regressions in the DES or
+        scheduler: the big build must stay comfortably under a real-time
+        budget (generous: CI machines vary)."""
+        start = time.time()
+        rec = build_dettrace(BIG, host=first_build_host(), timeout=10.0)
+        elapsed = time.time() - start
+        assert rec.status == "built"
+        assert elapsed < 30.0, "DT build of 60-source package took %.1fs" % elapsed
+
+    def test_event_counts_scale_linearly(self):
+        small = PackageSpec(name="s", n_sources=5, include_probes=10)
+        large = PackageSpec(name="l", n_sources=20, include_probes=10)
+        rec_s = build_dettrace(small, host=first_build_host())
+        rec_l = build_dettrace(large, host=first_build_host())
+        ratio = (rec_l.result.counters.syscall_events
+                 / rec_s.result.counters.syscall_events)
+        # 4x the sources -> roughly 2.5-4.5x the syscalls (shared overhead
+        # amortizes), definitely not quadratic.
+        assert 2.0 < ratio < 6.0

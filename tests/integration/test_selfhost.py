@@ -1,0 +1,47 @@
+"""SS7.2: self-hosting correctness (the LLVM bootstrap experiment)."""
+import pytest
+
+from repro.repro_tools import first_build_host, second_build_host
+from repro.workloads.debian import self_host
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return {
+        "dt_a": self_host(dettrace=True, host=first_build_host()),
+        "dt_b": self_host(dettrace=True, host=second_build_host()),
+        "native": self_host(dettrace=False, host=first_build_host()),
+    }
+
+
+class TestSelfHost:
+    def test_both_stages_build(self, runs):
+        for key, result in runs.items():
+            assert result.succeeded, (key, result.stage2.error)
+
+    def test_dettrace_bootstrap_bitwise_reproducible(self, runs):
+        """Stage 2 built by a DetTrace-built compiler is itself a pure
+        function of the inputs — across different host environments."""
+        assert runs["dt_a"].stage2_deb == runs["dt_b"].stage2_deb
+
+    def test_native_bootstrap_diverges(self, runs):
+        """Natively the stage-1 compiler's bits differ per run, and the
+        divergence propagates into every stage-2 object."""
+        other = self_host(dettrace=False, host=second_build_host())
+        assert runs["native"].stage2_deb != other.stage2_deb
+
+    def test_same_test_outcomes_as_baseline(self, runs):
+        """'We ran the LLVM build under DetTrace ... and received the
+        same test outcomes' (SS7.2)."""
+        assert runs["dt_a"].test_outcomes == runs["native"].test_outcomes
+        assert "passed" in runs["dt_a"].test_outcomes
+
+    def test_compiler_identity_feeds_stage2(self, runs):
+        """The bootstrap is real: stage-2 objects embed the stage-1
+        compiler's identity stamp."""
+        from repro.workloads.debian import deb_unpack, tar_unpack
+
+        _, data_tar = deb_unpack(runs["dt_a"].stage2_deb)
+        lib = next(e.content for e in tar_unpack(data_tar)
+                   if e.name.endswith(".so"))
+        assert b"CCID " in lib

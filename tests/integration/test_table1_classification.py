@@ -1,0 +1,44 @@
+"""A small Table 1 run: every generated package lands in the category
+its features dictate, measured by really double-building it."""
+from collections import Counter
+
+import pytest
+
+from repro.repro_tools import reprotest_dettrace, reprotest_native
+from repro.workloads.debian import generate_population
+from repro.workloads.debian.repository import expected_statuses
+
+
+@pytest.fixture(scope="module")
+def classified():
+    specs = generate_population(30, seed=17)
+    rows = []
+    for spec in specs:
+        bl = reprotest_native(spec).verdict
+        dt = reprotest_dettrace(spec).verdict
+        rows.append((spec, bl, dt))
+    return rows
+
+
+def test_measured_matches_generated_intent(classified):
+    for spec, bl, dt in classified:
+        assert (bl, dt) == expected_statuses(spec), spec.name
+
+
+def test_no_reproducible_to_irreproducible_regression(classified):
+    for spec, bl, dt in classified:
+        if bl == "reproducible":
+            assert dt != "irreproducible", spec.name
+
+
+def test_dettrace_never_irreproducible(classified):
+    """Of the 12,130 supported packages, DetTrace rendered every single
+    one reproducible — irreproducible-under-DT must not exist."""
+    outcomes = Counter(dt for _, _, dt in classified)
+    assert outcomes.get("irreproducible", 0) == 0
+
+
+def test_all_statuses_observed(classified):
+    outcomes = Counter(dt for _, _, dt in classified)
+    assert outcomes["reproducible"] > 0
+    assert outcomes.get("unsupported", 0) + outcomes.get("timeout", 0) > 0

@@ -1,0 +1,41 @@
+"""Ablating thread serialization (SS5.7): 'While many prior deterministic
+execution systems support thread-level parallelism, we focus on ...' —
+without serialization, float32 reduction order races and training losses
+stop being reproducible."""
+import pytest
+
+from repro.core import ablated
+from repro.cpu.machine import HASWELL_XEON, HostEnvironment
+from repro.workloads.ml import CIFAR10, losses_of, run_dettrace
+
+
+def host(seed):
+    return HostEnvironment(machine=HASWELL_XEON, entropy_seed=seed,
+                           boot_epoch=1.7e9 + seed * 99.5)
+
+
+class TestThreadSerializationAblation:
+    def test_serialized_threads_reproduce_losses(self):
+        a = run_dettrace(CIFAR10, host=host(1))
+        b = run_dettrace(CIFAR10, host=host(2))
+        assert losses_of(a) == losses_of(b)
+
+    def test_unserialized_threads_race(self):
+        cfg = ablated("serialize_threads")
+        runs = [run_dettrace(CIFAR10, host=host(s), config=cfg)
+                for s in (1, 2, 3)]
+        for r in runs:
+            assert r.succeeded, (r.status, r.error)
+        losses = {tuple(losses_of(r)) for r in runs}
+        # Sampling is still determinized (PRNG + logical time), but the
+        # float32 accumulation order now depends on the jittered thread
+        # interleaving: at least one pair of runs diverges.
+        assert len(losses) > 1
+
+    def test_unserialized_is_faster(self):
+        """The flip side: unserialized threads actually use the cores —
+        the tradeoff the paper explicitly makes (SS1, SS5.7)."""
+        serialized = run_dettrace(CIFAR10, host=host(5))
+        parallel = run_dettrace(CIFAR10, host=host(5),
+                                config=ablated("serialize_threads"))
+        assert parallel.wall_time < serialized.wall_time * 0.5

@@ -1,0 +1,43 @@
+"""chroot inside the container (DetTrace itself uses chroot, SS5.5)."""
+from tests.conftest import dettrace_run, run_guest
+
+
+class TestChroot:
+    def test_chroot_restricts_view(self):
+        def main(sys):
+            yield from sys.mkdir_p("jail/etc")
+            yield from sys.write_file("jail/etc/inner", b"inner world")
+            yield from sys.syscall("chroot", path="jail")
+            data = yield from sys.read_file("/etc/inner")
+            visible_root = yield from sys.listdir("/")
+            assert "jail" not in visible_root
+            return 0 if data == b"inner world" else 1
+
+        _, proc = run_guest(main)
+        assert proc.exit_status == 0
+
+    def test_chroot_cwd_resets(self):
+        def main(sys):
+            yield from sys.mkdir_p("jail")
+            yield from sys.syscall("chroot", path="jail")
+            cwd = yield from sys.getcwd()
+            return 0 if cwd == "/" else 1
+
+        _, proc = run_guest(main)
+        assert proc.exit_status == 0
+
+    def test_chroot_under_dettrace_reproducible(self):
+        from repro.cpu.machine import HostEnvironment
+
+        def main(sys):
+            yield from sys.mkdir_p("jail")
+            yield from sys.write_file("jail/file", b"x")
+            yield from sys.syscall("chroot", path="jail")
+            st = yield from sys.stat("/file")
+            yield from sys.write_file("/report", b"%d %.0f" % (st.st_ino, st.st_mtime))
+            return 0
+
+        a = dettrace_run(main, host=HostEnvironment(entropy_seed=1, inode_start=5))
+        b = dettrace_run(main, host=HostEnvironment(entropy_seed=2, inode_start=50_000))
+        assert a.exit_code == 0
+        assert a.output_tree == b.output_tree

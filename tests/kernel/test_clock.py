@@ -1,0 +1,24 @@
+import pytest
+
+from repro.cpu.machine import HostEnvironment
+from repro.kernel.clock import SimClock
+
+
+class TestSimClock:
+    def test_wall_derives_from_boot_epoch(self):
+        clock = SimClock(HostEnvironment(boot_epoch=1000.0))
+        clock.advance_to(5.0)
+        assert clock.wall == 1005.0
+        assert clock.monotonic == 5.0
+
+    def test_cannot_go_backwards(self):
+        clock = SimClock(HostEnvironment())
+        clock.advance_to(2.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(1.0)
+
+    def test_cycles_scale_with_frequency(self):
+        host = HostEnvironment()
+        clock = SimClock(host)
+        clock.advance_to(1.0)
+        assert clock.cycles == int(host.machine.freq_ghz * 1e9)

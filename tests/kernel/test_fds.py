@@ -1,0 +1,60 @@
+import pytest
+
+from repro.kernel.errors import Errno, SyscallError
+from repro.kernel.fds import FdKind, FDTable, OpenFile
+
+
+def of():
+    return OpenFile(kind=FdKind.FILE, path="/f")
+
+
+class TestFDTable:
+    def test_lowest_free_allocation(self):
+        t = FDTable()
+        assert t.install(of()) == 0
+        assert t.install(of()) == 1
+        t.remove(0)
+        assert t.install(of()) == 0
+
+    def test_get_bad_fd(self):
+        t = FDTable()
+        with pytest.raises(SyscallError) as exc:
+            t.get(7)
+        assert exc.value.errno == Errno.EBADF
+
+    def test_dup_shares_description(self):
+        t = FDTable()
+        o = of()
+        fd = t.install(o)
+        fd2 = t.dup(fd)
+        assert t.get(fd2) is o
+        assert o.refcount == 2
+
+    def test_dup2_replaces_target(self):
+        t = FDTable()
+        a, b = of(), of()
+        t.install_at(0, a)
+        t.install_at(1, b)
+        t.dup2(0, 1)
+        assert t.get(1) is a
+        assert b.refcount == 0
+
+    def test_dup2_same_fd_noop(self):
+        t = FDTable()
+        o = of()
+        t.install_at(3, o)
+        assert t.dup2(3, 3) == 3
+        assert o.refcount == 1
+
+    def test_fork_copy_bumps_refcounts(self):
+        t = FDTable()
+        o = of()
+        t.install_at(0, o)
+        child = t.fork_copy()
+        assert child.get(0) is o
+        assert o.refcount == 2
+
+    def test_install_minimum(self):
+        t = FDTable()
+        t.install_at(0, of())
+        assert t.install(of(), minimum=5) == 5

@@ -1,0 +1,59 @@
+import pytest
+
+from repro.kernel.errors import KernelPanic
+from repro.kernel.inode import Inode, InodeAllocator, new_directory, new_file
+from repro.kernel.types import FileKind
+
+
+class TestInodeAllocator:
+    def test_sequential(self):
+        alloc = InodeAllocator(100)
+        assert [alloc.allocate() for _ in range(3)] == [100, 101, 102]
+
+    def test_recycles_lowest_freed_first(self):
+        alloc = InodeAllocator(100)
+        a, b, c = alloc.allocate(), alloc.allocate(), alloc.allocate()
+        alloc.release(c)
+        alloc.release(a)
+        assert alloc.allocate() == a  # lowest freed first
+        assert alloc.allocate() == c
+        assert alloc.allocate() == 103
+
+    def test_outstanding_free(self):
+        alloc = InodeAllocator(1)
+        alloc.release(alloc.allocate())
+        assert alloc.outstanding_free == 1
+
+
+class TestInode:
+    def test_file_size_tracks_data(self):
+        node = new_file(1, data=b"hello")
+        assert node.size == 5
+        assert node.is_regular
+
+    def test_directory_entries(self):
+        d = new_directory(1)
+        f = new_file(2)
+        d.add_entry("a", f)
+        assert d.lookup("a") is f
+        assert d.lookup("missing") is None
+        assert d.remove_entry("a") is f
+
+    def test_duplicate_entry_is_panic(self):
+        d = new_directory(1)
+        d.add_entry("a", new_file(2))
+        with pytest.raises(KernelPanic):
+            d.add_entry("a", new_file(3))
+
+    def test_lookup_on_file_is_panic(self):
+        f = new_file(1)
+        with pytest.raises(KernelPanic):
+            f.lookup("x")
+
+    def test_full_mode_includes_type(self):
+        f = new_file(1, mode=0o640)
+        assert f.full_mode == FileKind.REGULAR.mode_bits | 0o640
+
+    def test_symlink_size(self):
+        link = Inode(ino=5, kind=FileKind.SYMLINK, symlink_target="/target")
+        assert link.size == len("/target")

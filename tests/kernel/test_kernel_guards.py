@@ -1,0 +1,52 @@
+"""Kernel executive guard rails."""
+import pytest
+
+from repro.kernel.errors import KernelPanic
+from tests.conftest import make_kernel
+
+
+class TestGuards:
+    def test_event_budget_panic(self):
+        def spinner(sys):
+            while True:
+                yield from sys.sched_yield()
+
+        k = make_kernel()
+        k.register_binary("/bin/spin", spinner)
+        k.boot("/bin/spin")
+        with pytest.raises(KernelPanic):
+            k.run(max_events=5000)
+
+    def test_non_generator_program_rejected(self):
+        def not_a_generator(sys):
+            return 0
+
+        k = make_kernel()
+        k.register_binary("/bin/bad", not_a_generator)
+        with pytest.raises(KernelPanic) as exc:
+            k.boot("/bin/bad")
+        assert "generator" in str(exc.value)
+
+    def test_bogus_yield_panics(self):
+        def bad(sys):
+            yield 42
+
+        k = make_kernel()
+        k.register_binary("/bin/bad", bad)
+        k.boot("/bin/bad")
+        with pytest.raises(KernelPanic):
+            k.run()
+
+    def test_double_tracer_attach_rejected(self):
+        from repro.tracer.ptrace import TracerBase
+
+        k = make_kernel()
+        a, b = TracerBase(), TracerBase()
+        a.attach(k)
+        with pytest.raises(KernelPanic):
+            b.attach(k)
+
+    def test_boot_unregistered_binary(self):
+        k = make_kernel()
+        with pytest.raises(KernelPanic):
+            k.boot("/bin/ghost")

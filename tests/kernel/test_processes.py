@@ -1,0 +1,206 @@
+"""Process lifecycle: spawn, wait, exit codes, signals between processes."""
+import pytest
+
+from repro.kernel.errors import Errno, SyscallError
+from repro.kernel.types import SIGKILL, SIGTERM, WNOHANG
+from tests.conftest import run_guest
+
+
+class TestSpawnWait:
+    def test_child_exit_code_propagates(self):
+        def child(sys):
+            yield from sys.exit(7)
+
+        def main(sys):
+            res = yield from sys.run("/bin/child")
+            yield from sys.println("code=%s" % res.exit_code)
+            return 0
+
+        k, _ = run_guest(main, binaries={"/bin/child": child})
+        assert "code=7" in k.stdout.text()
+
+    def test_wait_any_reaps_all(self):
+        def child(sys):
+            yield from sys.compute(1e-4)
+            return 0
+
+        def main(sys):
+            pids = []
+            for _ in range(3):
+                pids.append((yield from sys.spawn("/bin/child")))
+            reaped = set()
+            while len(reaped) < 3:
+                res = yield from sys.waitpid(-1)
+                reaped.add(res.pid)
+            assert reaped == set(pids)
+            return 0
+
+        k, proc = run_guest(main, binaries={"/bin/child": child})
+        assert proc.exit_status == 0
+
+    def test_wnohang_returns_zero_when_running(self):
+        def child(sys):
+            yield from sys.compute(0.1)
+            return 0
+
+        def main(sys):
+            pid = yield from sys.spawn("/bin/child")
+            res = yield from sys.waitpid(-1, options=WNOHANG)
+            assert res.pid == 0  # still running
+            res = yield from sys.waitpid(pid)
+            return 0 if res.pid == pid else 1
+
+        _, proc = run_guest(main, binaries={"/bin/child": child})
+        assert proc.exit_status == 0
+
+    def test_echild_without_children(self):
+        def main(sys):
+            try:
+                yield from sys.waitpid(-1)
+            except SyscallError as err:
+                return 0 if err.errno == Errno.ECHILD else 1
+            return 1
+
+        _, proc = run_guest(main)
+        assert proc.exit_status == 0
+
+    def test_spawn_missing_binary_enoent(self):
+        def main(sys):
+            try:
+                yield from sys.spawn("/bin/ghost")
+            except SyscallError as err:
+                return 0 if err.errno == Errno.ENOENT else 1
+            return 1
+
+        _, proc = run_guest(main)
+        assert proc.exit_status == 0
+
+    def test_child_inherits_cwd_and_env(self):
+        def child(sys):
+            cwd = yield from sys.getcwd()
+            yield from sys.write_file("report", "%s|%s" % (cwd, sys.getenv("MARK")))
+            return 0
+
+        def main(sys):
+            sys.env["MARK"] = "inherited"
+            yield from sys.run("/bin/child")
+            return 0
+
+        k, _ = run_guest(main, binaries={"/bin/child": child})
+        assert k.fs.read_file("/build/report") == b"/build|inherited"
+
+    def test_stdio_wiring_to_pipe(self):
+        def child(sys):
+            yield from sys.write_all(1, b"from-child")
+            return 0
+
+        def main(sys):
+            r, w = yield from sys.pipe()
+            pid = yield from sys.spawn("/bin/child", stdout=w)
+            yield from sys.close(w)
+            data = yield from sys.read_exact(r, 100)
+            yield from sys.waitpid(pid)
+            yield from sys.write_file("got", data)
+            return 0
+
+        k, _ = run_guest(main, binaries={"/bin/child": child})
+        assert k.fs.read_file("/build/got") == b"from-child"
+
+    def test_pipeline_eof_when_children_exit(self):
+        """Reader sees EOF only after every writer end is closed."""
+        def producer(sys):
+            yield from sys.write_all(1, b"x" * 100)
+            return 0
+
+        def main(sys):
+            r, w = yield from sys.pipe()
+            yield from sys.spawn("/bin/producer", stdout=w)
+            yield from sys.spawn("/bin/producer", stdout=w)
+            yield from sys.close(w)
+            total = 0
+            while True:
+                chunk = yield from sys.read(r, 64)
+                if not chunk:
+                    break
+                total += len(chunk)
+            return 0 if total == 200 else 1
+
+        _, proc = run_guest(main, binaries={"/bin/producer": producer})
+        assert proc.exit_status == 0
+
+
+class TestExecve:
+    def test_execve_replaces_image(self):
+        def other(sys):
+            yield from sys.write_file("exec.txt", b"other ran: %s" % sys.argv[1].encode())
+            return 0
+
+        def main(sys):
+            yield from sys.execve("/bin/other", argv=["other", "arg1"])
+            raise AssertionError("unreachable after execve")
+
+        k, proc = run_guest(main, binaries={"/bin/other": other})
+        assert proc.exit_status == 0
+        assert k.fs.read_file("/build/exec.txt") == b"other ran: arg1"
+
+    def test_execve_missing_returns_enoent(self):
+        def main(sys):
+            try:
+                yield from sys.execve("/bin/ghost")
+            except SyscallError as err:
+                return 0 if err.errno == Errno.ENOENT else 1
+            return 1
+
+        _, proc = run_guest(main)
+        assert proc.exit_status == 0
+
+
+class TestSignalsBetweenProcesses:
+    def test_kill_terminates_child(self):
+        def victim(sys):
+            while True:
+                yield from sys.sleep(0.05)
+
+        def main(sys):
+            pid = yield from sys.spawn("/bin/victim")
+            yield from sys.sleep(0.01)
+            yield from sys.kill(pid, SIGTERM)
+            res = yield from sys.waitpid(pid)
+            return 0 if res.term_signal == SIGTERM else 1
+
+        _, proc = run_guest(main, binaries={"/bin/victim": victim})
+        assert proc.exit_status == 0
+
+    def test_kill_missing_process_esrch(self):
+        def main(sys):
+            try:
+                yield from sys.kill(99999, SIGKILL)
+            except SyscallError as err:
+                return 0 if err.errno == Errno.ESRCH else 1
+            return 1
+
+        _, proc = run_guest(main)
+        assert proc.exit_status == 0
+
+
+class TestCrashes:
+    def test_uncaught_syscall_error_kills_process(self):
+        def main(sys):
+            yield from sys.open("/definitely/missing")
+            return 0
+
+        k, proc = run_guest(main)
+        assert proc.exit_status is not None
+        assert (proc.exit_status >> 8) & 0xFF == 1
+        assert "uncaught" in k.stderr.text()
+
+    def test_host_pids_differ_across_boots(self):
+        def main(sys):
+            pid = yield from sys.getpid()
+            yield from sys.write_file("pid", str(pid))
+            return 0
+
+        from repro.cpu.machine import HostEnvironment
+        k1, _ = run_guest(main, host=HostEnvironment(pid_start=1000))
+        k2, _ = run_guest(main, host=HostEnvironment(pid_start=5000))
+        assert k1.fs.read_file("/build/pid") != k2.fs.read_file("/build/pid")

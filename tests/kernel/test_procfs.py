@@ -1,0 +1,76 @@
+"""/proc: host state as files."""
+from repro.cpu.machine import BROADWELL_XEON, SKYLAKE_CLOUDLAB, HostEnvironment
+from tests.conftest import dettrace_run, native_run, run_guest
+
+
+def read_proc(path):
+    def main(sys):
+        data = yield from sys.read_file(path)
+        yield from sys.write_file("out", data)
+        return 0
+
+    return main
+
+
+class TestNativeProcfs:
+    def test_cpuinfo_lists_all_cores(self):
+        k, proc = run_guest(read_proc("/proc/cpuinfo"))
+        assert proc.exit_status == 0
+        data = k.fs.read_file("/build/out")
+        assert data.count(b"processor") == k.host.machine.cores
+        assert k.host.machine.cpu_brand.encode() in data
+
+    def test_version_reflects_kernel(self):
+        k, _ = run_guest(read_proc("/proc/version"))
+        assert b"4.15" in k.fs.read_file("/build/out")
+
+    def test_uptime_advances(self):
+        def main(sys):
+            a = yield from sys.read_file("/proc/uptime")
+            yield from sys.compute(0.5)
+            b = yield from sys.read_file("/proc/uptime")
+            return 0 if a != b else 1
+
+        _, proc = run_guest(main)
+        assert proc.exit_status == 0
+
+    def test_cpuinfo_differs_across_machines(self):
+        a = native_run(read_proc("/proc/cpuinfo"),
+                       host=HostEnvironment(machine=SKYLAKE_CLOUDLAB))
+        b = native_run(read_proc("/proc/cpuinfo"),
+                       host=HostEnvironment(machine=BROADWELL_XEON))
+        assert a.output_tree != b.output_tree
+
+
+class TestDetTraceProcfs:
+    def test_cpuinfo_canonical_uniprocessor(self):
+        a = dettrace_run(read_proc("/proc/cpuinfo"),
+                         host=HostEnvironment(machine=SKYLAKE_CLOUDLAB))
+        b = dettrace_run(read_proc("/proc/cpuinfo"),
+                         host=HostEnvironment(machine=BROADWELL_XEON))
+        assert a.output_tree == b.output_tree
+        content = a.output_tree["out"]
+        assert content.count(b"processor") == 1
+        assert b"DetTrace Virtual CPU" in content
+        assert b"rtm" not in content
+
+    def test_version_is_canonical_linux_4_0(self):
+        r = dettrace_run(read_proc("/proc/version"))
+        assert b"4.0.0" in r.output_tree["out"]
+
+    def test_uptime_and_loadavg_fixed(self):
+        for path in ("/proc/uptime", "/proc/loadavg"):
+            a = dettrace_run(read_proc(path), host=HostEnvironment(entropy_seed=1))
+            b = dettrace_run(read_proc(path), host=HostEnvironment(entropy_seed=2))
+            assert a.output_tree == b.output_tree
+
+    def test_mask_ablated_leaks(self):
+        from repro.core import ablated
+
+        a = dettrace_run(read_proc("/proc/cpuinfo"),
+                         host=HostEnvironment(machine=SKYLAKE_CLOUDLAB),
+                         config=ablated("mask_machine"))
+        b = dettrace_run(read_proc("/proc/cpuinfo"),
+                         host=HostEnvironment(machine=BROADWELL_XEON),
+                         config=ablated("mask_machine"))
+        assert a.output_tree != b.output_tree

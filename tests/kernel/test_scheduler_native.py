@@ -1,0 +1,119 @@
+"""Native (nondeterministic) scheduling behaviour of the DES."""
+from repro.cpu.machine import HostEnvironment
+from tests.conftest import run_guest
+
+
+def parallel_workers(n, work):
+    def child(sys):
+        yield from sys.compute(work)
+        return 0
+
+    def main(sys):
+        t0 = yield from sys.gettimeofday()
+        pids = []
+        for _ in range(n):
+            pids.append((yield from sys.spawn("/bin/child")))
+        for _ in pids:
+            yield from sys.waitpid(-1)
+        t1 = yield from sys.gettimeofday()
+        yield from sys.write_file("elapsed", b"%.6f" % (t1 - t0))
+        return 0
+
+    return main, child
+
+
+class TestParallelism:
+    def test_processes_overlap_up_to_core_count(self):
+        main, child = parallel_workers(8, 0.05)
+        k, _ = run_guest(main, binaries={"/bin/child": child})
+        elapsed = float(k.fs.read_file("/build/elapsed"))
+        assert elapsed < 0.2  # 8 x 0.05s overlapped on 20 cores
+
+    def test_core_contention_serializes(self):
+        main, child = parallel_workers(8, 0.05)
+        host = HostEnvironment(visible_cores=2)
+        k, _ = run_guest(main, host=host, binaries={"/bin/child": child})
+        elapsed = float(k.fs.read_file("/build/elapsed"))
+        assert elapsed > 0.15  # 8 x 0.05 over 2 cores >= 0.2 minus jitter
+
+    def test_visible_cores_cap(self):
+        assert HostEnvironment(visible_cores=2).ncores == 2
+        assert HostEnvironment(visible_cores=500).ncores == HostEnvironment().machine.cores
+
+
+class TestSchedulingNondeterminism:
+    def test_completion_order_varies_across_boots(self):
+        """Racing children appending to a shared file interleave
+        differently on different boots: the Figure 1 scheduler arrow."""
+        def child(sys):
+            yield from sys.compute(5e-3)
+            from repro.kernel.types import O_APPEND, O_CREAT, O_WRONLY
+            fd = yield from sys.open("order.log", O_WRONLY | O_CREAT | O_APPEND)
+            pid = yield from sys.getpid()
+            yield from sys.write_all(fd, b"%d\n" % pid)
+            yield from sys.close(fd)
+            return 0
+
+        def main(sys):
+            for _ in range(6):
+                yield from sys.spawn("/bin/child")
+            for _ in range(6):
+                yield from sys.waitpid(-1)
+            return 0
+
+        orders = set()
+        for seed in range(8):
+            k, _ = run_guest(main, host=HostEnvironment(entropy_seed=seed),
+                             binaries={"/bin/child": child})
+            # normalize pids to ranks so only the *order* matters
+            lines = k.fs.read_file("/build/order.log").split()
+            ranks = tuple(sorted(lines).index(x) for x in lines)
+            orders.add(ranks)
+        assert len(orders) > 1
+
+    def test_compute_duration_jitter(self):
+        def main(sys):
+            t0 = yield from sys.gettimeofday()
+            yield from sys.compute(0.1)
+            t1 = yield from sys.gettimeofday()
+            yield from sys.write_file("dt", b"%.9f" % (t1 - t0))
+            return 0
+
+        times = set()
+        for seed in range(4):
+            k, _ = run_guest(main, host=HostEnvironment(entropy_seed=seed))
+            times.add(k.fs.read_file("/build/dt"))
+        assert len(times) > 1
+
+
+class TestDeadlines:
+    def test_sim_timeout(self):
+        import pytest
+        from repro.kernel.errors import SimTimeout
+        from tests.conftest import make_kernel
+
+        def main(sys):
+            yield from sys.sleep(100.0)
+            return 0
+
+        k = make_kernel()
+        k.register_binary("/bin/main", main)
+        k.boot("/bin/main")
+        with pytest.raises(SimTimeout):
+            k.run(deadline=1.0)
+
+    def test_native_deadlock_detection(self):
+        import pytest
+        from repro.kernel.errors import DeadlockError
+        from tests.conftest import make_kernel
+
+        def main(sys):
+            r, w = yield from sys.pipe()
+            yield from sys.read(r, 1)  # blocks forever: writer never writes
+            return 0
+
+        k = make_kernel()
+        k.register_binary("/bin/main", main)
+        k.boot("/bin/main")
+        with pytest.raises(DeadlockError):
+            k.run(deadline=10.0)

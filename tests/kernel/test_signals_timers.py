@@ -1,0 +1,88 @@
+"""Signals and timers (paper SS5.4 substrate)."""
+from repro.kernel.errors import Errno, SyscallError
+from repro.kernel.types import SIGALRM, SIGSEGV
+from tests.conftest import run_guest
+
+
+class TestHandlers:
+    def test_alarm_delivers_signal_to_handler(self):
+        def main(sys):
+            def on_alarm(hsys, signum):
+                yield from hsys.write_file("sig", b"signum=%d" % signum)
+
+            yield from sys.sigaction(SIGALRM, on_alarm)
+            yield from sys.alarm(0.05)
+            yield from sys.sleep(0.2)
+            return 0
+
+        k, proc = run_guest(main)
+        assert proc.exit_status == 0
+        assert k.fs.read_file("/build/sig") == b"signum=%d" % SIGALRM
+
+    def test_pause_interrupted_by_alarm(self):
+        def main(sys):
+            def on_alarm(hsys, signum):
+                hsys.mem["fired"] = True
+                yield from hsys.compute(1e-6)
+
+            yield from sys.sigaction(SIGALRM, on_alarm)
+            yield from sys.alarm(0.02)
+            try:
+                yield from sys.pause()
+            except SyscallError as err:
+                assert err.errno == Errno.EINTR
+                return 0 if sys.mem.get("fired") else 2
+            return 1
+
+        _, proc = run_guest(main)
+        assert proc.exit_status == 0
+
+    def test_handler_runs_before_eintr_returns(self):
+        """The signal handler completes before the interrupted syscall
+        reports EINTR (signal-frame ordering)."""
+        def main(sys):
+            order = []
+
+            def on_alarm(hsys, signum):
+                order.append("handler")
+                yield from hsys.compute(1e-6)
+
+            yield from sys.sigaction(SIGALRM, on_alarm)
+            yield from sys.alarm(0.01)
+            try:
+                yield from sys.pause()
+            except SyscallError:
+                order.append("eintr")
+            return 0 if order == ["handler", "eintr"] else 1
+
+        _, proc = run_guest(main)
+        assert proc.exit_status == 0
+
+    def test_default_alarm_action_is_fatal(self):
+        def main(sys):
+            yield from sys.alarm(0.01)
+            yield from sys.sleep(1.0)
+            return 0
+
+        _, proc = run_guest(main)
+        assert proc.exit_status is not None
+        assert proc.exit_status & 0x7F == SIGALRM
+
+    def test_ignored_signal_dropped(self):
+        def main(sys):
+            yield from sys.sigaction(SIGALRM, "ignore")
+            yield from sys.alarm(0.01)
+            yield from sys.sleep(0.1)
+            return 0
+
+        _, proc = run_guest(main)
+        assert proc.exit_status == 0
+
+    def test_sigaction_returns_old_action(self):
+        def main(sys):
+            old = yield from sys.sigaction(SIGSEGV, "ignore")
+            old2 = yield from sys.sigaction(SIGSEGV, "default")
+            return 0 if old == "default" and old2 == "ignore" else 1
+
+        _, proc = run_guest(main)
+        assert proc.exit_status == 0

@@ -1,0 +1,86 @@
+"""The extended syscall surface: times, statfs, fcntl, affinity, ..."""
+from repro.kernel.errors import Errno, SyscallError
+from tests.conftest import run_guest
+
+
+class TestTimes:
+    def test_cpu_time_accumulates(self):
+        def prog(sys):
+            t0 = yield from sys.syscall("times")
+            yield from sys.compute(0.05)
+            t1 = yield from sys.syscall("times")
+            return 0 if t1.utime > t0.utime else 1
+
+        _, proc = run_guest(prog)
+        assert proc.exit_status == 0
+
+
+class TestStatfs:
+    def test_reports_block_counts(self):
+        def prog(sys):
+            sf = yield from sys.syscall("statfs", path="/")
+            return 0 if sf.f_blocks > 0 and sf.f_bfree < sf.f_blocks else 1
+
+        _, proc = run_guest(prog)
+        assert proc.exit_status == 0
+
+    def test_missing_path_enoent(self):
+        def prog(sys):
+            try:
+                yield from sys.syscall("statfs", path="/nope")
+            except SyscallError as err:
+                return 0 if err.errno == Errno.ENOENT else 1
+            return 1
+
+        _, proc = run_guest(prog)
+        assert proc.exit_status == 0
+
+
+class TestFcntl:
+    def test_getfl_setfl(self):
+        from repro.kernel.types import O_APPEND, O_CREAT, O_WRONLY
+
+        def prog(sys):
+            fd = yield from sys.open("f", O_WRONLY | O_CREAT)
+            flags = yield from sys.syscall("fcntl", fd=fd, cmd="F_GETFL")
+            yield from sys.syscall("fcntl", fd=fd, cmd="F_SETFL",
+                                   arg=flags | O_APPEND)
+            new = yield from sys.syscall("fcntl", fd=fd, cmd="F_GETFL")
+            return 0 if new & O_APPEND else 1
+
+        _, proc = run_guest(prog)
+        assert proc.exit_status == 0
+
+    def test_dupfd_minimum(self):
+        def prog(sys):
+            fd = yield from sys.open("/dev/null")
+            dup = yield from sys.syscall("fcntl", fd=fd, cmd="F_DUPFD", arg=17)
+            return 0 if dup >= 17 else 1
+
+        _, proc = run_guest(prog)
+        assert proc.exit_status == 0
+
+
+class TestSigprocmask:
+    def test_block_unblock_roundtrip(self):
+        def prog(sys):
+            old = yield from sys.syscall("sigprocmask", how="SIG_BLOCK",
+                                         mask=(14, 15))
+            assert old == ()
+            old = yield from sys.syscall("sigprocmask", how="SIG_UNBLOCK",
+                                         mask=(14,))
+            return 0 if old == (14, 15) else 1
+
+        _, proc = run_guest(prog)
+        assert proc.exit_status == 0
+
+
+class TestAffinity:
+    def test_native_shows_all_cores(self):
+        def prog(sys):
+            cpus = yield from sys.syscall("sched_getaffinity")
+            yield from sys.write_file("n", str(len(cpus)))
+            return 0
+
+        k, _ = run_guest(prog)
+        assert int(k.fs.read_file("/build/n")) == k.host.ncores

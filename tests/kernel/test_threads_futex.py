@@ -1,0 +1,103 @@
+"""Threads and futexes (paper SS5.7 substrate)."""
+from repro.kernel.errors import Errno, SyscallError
+from tests.conftest import run_guest
+
+
+class TestThreads:
+    def test_spawn_thread_shares_memory(self):
+        def main(sys):
+            def worker(wsys):
+                wsys.mem["value"] = 41
+                yield from wsys.compute(1e-5)
+                wsys.mem["value"] += 1
+
+            tid = yield from sys.spawn_thread(worker)
+            assert tid > 0
+            while sys.mem.get("value") != 42:
+                yield from sys.sched_yield()
+                yield from sys.compute(1e-5)
+            return 0
+
+        _, proc = run_guest(main)
+        assert proc.exit_status == 0
+
+    def test_threads_run_in_parallel_natively(self):
+        def main(sys):
+            def worker(wsys):
+                yield from wsys.compute(0.1)
+                wsys.mem["done"] = wsys.mem.get("done", 0) + 1
+
+            t0 = yield from sys.gettimeofday()
+            for _ in range(4):
+                yield from sys.spawn_thread(worker)
+            while sys.mem.get("done", 0) < 4:
+                yield from sys.sleep(0.01)
+            t1 = yield from sys.gettimeofday()
+            # 4 x 0.1s of work in well under 0.4s: they overlapped.
+            return 0 if (t1 - t0) < 0.3 else 1
+
+        _, proc = run_guest(main)
+        assert proc.exit_status == 0
+
+    def test_futex_wait_wake(self):
+        def main(sys):
+            def worker(wsys):
+                yield from wsys.compute(1e-3)
+                wsys.mem["flag"] = 1
+                yield from wsys.futex_wake("flag")
+
+            yield from sys.spawn_thread(worker)
+            while sys.mem.get("flag", 0) == 0:
+                try:
+                    yield from sys.futex_wait("flag", 0)
+                except SyscallError as err:
+                    if err.errno != Errno.EAGAIN:
+                        raise
+            return 0
+
+        _, proc = run_guest(main)
+        assert proc.exit_status == 0
+
+    def test_futex_wait_value_mismatch_eagain(self):
+        def main(sys):
+            sys.mem["w"] = 5
+            try:
+                yield from sys.futex_wait("w", 3)
+            except SyscallError as err:
+                return 0 if err.errno == Errno.EAGAIN else 1
+            return 1
+
+        _, proc = run_guest(main)
+        assert proc.exit_status == 0
+
+    def test_lock_mutual_exclusion(self):
+        def main(sys):
+            def worker(wsys):
+                for _ in range(50):
+                    yield from wsys.lock_acquire("L")
+                    v = wsys.mem.get("counter", 0)
+                    wsys.mem["counter"] = v + 1
+                    yield from wsys.lock_release("L")
+                wsys.mem["finished"] = wsys.mem.get("finished", 0) + 1
+
+            for _ in range(3):
+                yield from sys.spawn_thread(worker)
+            while sys.mem.get("finished", 0) < 3:
+                yield from sys.sleep(0.001)
+            return 0 if sys.mem["counter"] == 150 else 1
+
+        _, proc = run_guest(main)
+        assert proc.exit_status == 0
+
+    def test_process_exits_when_all_threads_done(self):
+        def main(sys):
+            def worker(wsys):
+                yield from wsys.compute(1e-4)
+                wsys.mem["worker_ran"] = True
+
+            yield from sys.spawn_thread(worker)
+            yield from sys.sleep(0.01)
+            return 0
+
+        _, proc = run_guest(main)
+        assert proc.exit_status == 0

@@ -1,0 +1,55 @@
+import pytest
+
+from repro.kernel.types import (
+    FileKind,
+    S_IFDIR,
+    S_IFREG,
+    StatResult,
+    Timespec,
+    WaitResult,
+    make_exit_status,
+    make_signal_status,
+)
+
+
+class TestTimespec:
+    def test_roundtrip(self):
+        ts = Timespec.from_float(12.5)
+        assert ts.sec == 12
+        assert ts.nsec == 500_000_000
+        assert ts.to_float() == pytest.approx(12.5)
+
+    def test_nsec_carry(self):
+        ts = Timespec.from_float(1.9999999999)
+        assert ts.sec == 2
+        assert ts.nsec == 0
+
+
+class TestWaitStatus:
+    def test_exit_code_roundtrip(self):
+        res = WaitResult(pid=5, status=make_exit_status(3))
+        assert res.exit_code == 3
+        assert res.term_signal is None
+
+    def test_signal_roundtrip(self):
+        res = WaitResult(pid=5, status=make_signal_status(9))
+        assert res.exit_code is None
+        assert res.term_signal == 9
+
+    def test_exit_zero(self):
+        res = WaitResult(pid=5, status=make_exit_status(0))
+        assert res.exit_code == 0
+
+
+class TestFileKind:
+    def test_mode_bits(self):
+        assert FileKind.REGULAR.mode_bits == S_IFREG
+        assert FileKind.DIRECTORY.mode_bits == S_IFDIR
+
+    def test_stat_helpers(self):
+        st = StatResult(st_dev=1, st_ino=2, st_mode=S_IFDIR | 0o755,
+                        st_nlink=2, st_uid=0, st_gid=0, st_size=4096,
+                        st_blksize=4096, st_blocks=8, st_atime=0,
+                        st_mtime=0, st_ctime=0)
+        assert st.is_dir()
+        assert not st.is_regular()

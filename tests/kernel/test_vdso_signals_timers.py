@@ -1,0 +1,114 @@
+"""The vdso/signals/timers kernel modules."""
+import pytest
+
+from repro.cpu.machine import HostEnvironment
+from repro.kernel.clock import SimClock
+from repro.kernel.signals import Disposition, classify, is_precise_exception
+from repro.kernel.timers import TimerTable
+from repro.kernel.types import SIGABRT, SIGALRM, SIGCHLD, SIGSEGV, SIGTERM
+from repro.kernel.vdso import Vdso
+
+
+class TestVdso:
+    def test_functions(self):
+        clock = SimClock(HostEnvironment(boot_epoch=100.0))
+        clock.advance_to(2.5)
+        vdso = Vdso(clock)
+        assert vdso.call("time", {}) == 102
+        assert vdso.call("gettimeofday", {}) == 102.5
+        assert vdso.call("clock_gettime", {"clock_id": 1}) == 2.5
+        assert vdso.read_vvar() == 102.5
+
+    def test_unknown_function_panics(self):
+        from repro.kernel.errors import KernelPanic
+
+        vdso = Vdso(SimClock(HostEnvironment()))
+        with pytest.raises(KernelPanic):
+            vdso.call("getcpu", {})
+
+
+class TestSignalDispositions:
+    def test_handler_wins(self):
+        def handler(sys, signum):
+            yield
+
+        assert classify({SIGTERM: handler}, SIGTERM) is Disposition.HANDLE
+
+    def test_explicit_ignore(self):
+        assert classify({SIGTERM: "ignore"}, SIGTERM) is Disposition.IGNORE
+
+    def test_sigchld_default_ignored(self):
+        assert classify({}, SIGCHLD) is Disposition.IGNORE
+
+    def test_fatal_defaults(self):
+        assert classify({}, SIGTERM) is Disposition.TERMINATE
+        assert classify({}, SIGALRM) is Disposition.TERMINATE
+
+    def test_precise_exceptions(self):
+        assert is_precise_exception(SIGSEGV)
+        assert is_precise_exception(SIGABRT)
+        assert not is_precise_exception(SIGTERM)
+
+
+class TestTimerTable:
+    def test_arm_and_fire(self):
+        table = TimerTable()
+        gen = table.arm(pid=5, deadline=10.0, signum=SIGALRM)
+        assert table.should_fire(5, gen) == SIGALRM
+        assert table.should_fire(5, gen) is None  # one-shot
+
+    def test_rearm_invalidates_old_generation(self):
+        table = TimerTable()
+        old = table.arm(5, 10.0, SIGALRM)
+        new = table.arm(5, 20.0, SIGALRM)
+        assert table.should_fire(5, old) is None
+        assert table.should_fire(5, new) == SIGALRM
+
+    def test_cancel(self):
+        table = TimerTable()
+        gen = table.arm(5, 10.0, SIGALRM)
+        table.cancel(5)
+        assert table.should_fire(5, gen) is None
+
+    def test_remaining(self):
+        table = TimerTable()
+        table.arm(5, 10.0, SIGALRM)
+        assert table.remaining(5, now=4.0) == 6.0
+        assert table.remaining(5, now=12.0) == 0.0
+        assert table.remaining(99, now=0.0) == 0.0
+
+
+class TestAlarmSemantics:
+    def test_alarm_returns_remaining_and_cancels(self):
+        from tests.conftest import run_guest
+
+        def main(sys):
+            first = yield from sys.alarm(10.0)
+            assert first == 0
+            remaining = yield from sys.alarm(0)   # cancel
+            assert 9.0 < remaining <= 10.0
+            yield from sys.sleep(0.05)            # would have died at 10s? no:
+            return 0                              # cancelled -> survives
+
+        _, proc = run_guest(main)
+        assert proc.exit_status == 0
+
+    def test_rearm_replaces(self):
+        from repro.kernel.types import SIGALRM
+        from tests.conftest import run_guest
+
+        def main(sys):
+            fired = []
+
+            def handler(hsys, signum):
+                fired.append(signum)
+                yield from hsys.compute(1e-6)
+
+            yield from sys.sigaction(SIGALRM, handler)
+            yield from sys.alarm(0.01)
+            yield from sys.alarm(0.03)   # re-arm: only ONE firing
+            yield from sys.sleep(0.1)
+            return 0 if fired == [SIGALRM] else 1
+
+        _, proc = run_guest(main)
+        assert proc.exit_status == 0

@@ -1,0 +1,62 @@
+"""Round-trip properties of the archive formats."""
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.debian.archive import TarEntry, deb_pack, deb_unpack, tar_pack, tar_unpack
+
+names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"),
+                           whitelist_characters="._-/"),
+    min_size=1, max_size=24).filter(lambda s: " " not in s)
+
+entries = st.lists(
+    st.builds(
+        TarEntry,
+        name=names,
+        mode=st.integers(min_value=0, max_value=0o777),
+        uid=st.integers(min_value=0, max_value=65534),
+        gid=st.integers(min_value=0, max_value=65534),
+        mtime=st.floats(min_value=0, max_value=2e9, allow_nan=False),
+        content=st.binary(max_size=256),
+    ),
+    max_size=8,
+)
+
+
+@settings(max_examples=60)
+@given(entries=entries)
+def test_tar_roundtrip(entries):
+    unpacked = tar_unpack(tar_pack(entries))
+    assert len(unpacked) == len(entries)
+    for a, b in zip(entries, unpacked):
+        assert (a.name, a.mode, a.uid, a.gid, a.content) == \
+            (b.name, b.mode, b.uid, b.gid, b.content)
+        assert abs(a.mtime - b.mtime) < 1e-6
+
+
+@settings(max_examples=40)
+@given(entries=entries,
+       package=names,
+       fields=st.dictionaries(
+           st.text(alphabet="ABCDEFGHIJK-", min_size=1, max_size=10),
+           st.text(alphabet="abcdefghij0123456789.", max_size=12),
+           max_size=4))
+def test_deb_roundtrip(entries, package, fields):
+    data_tar = tar_pack(entries)
+    deb = deb_pack(package, "1.0", fields, data_tar)
+    out_fields, out_tar = deb_unpack(deb)
+    assert out_tar == data_tar
+    assert out_fields["Package"] == package
+    for key, value in fields.items():
+        if value:
+            assert out_fields.get(key) == value
+
+
+@settings(max_examples=40)
+@given(entries=entries)
+def test_pack_is_injective_on_mtime(entries):
+    if not entries:
+        return
+    bumped = [TarEntry(e.name, e.mode, e.uid, e.gid, e.mtime + 1.0, e.content)
+              for e in entries]
+    assert tar_pack(entries) != tar_pack(bumped)

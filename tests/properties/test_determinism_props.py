@@ -1,0 +1,111 @@
+"""THE paper's property, tested with randomly generated guest programs:
+for arbitrary syscall mixes, the DetTrace output tree is identical across
+arbitrary host environments (SS3)."""
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ContainerConfig
+from repro.cpu.machine import BROADWELL_XEON, SKYLAKE_CLOUDLAB, HostEnvironment
+from tests.conftest import dettrace_run
+
+#: A random guest program is a sequence of these actions.
+ACTIONS = [
+    "time", "timeofday", "urandom", "getrandom", "rdtsc", "pid", "uname",
+    "write_file", "stat_file", "listdir", "mkdir", "unlink", "spawn_child",
+    "cpuid", "compute", "aslr",
+]
+
+action_st = st.lists(st.sampled_from(ACTIONS), min_size=1, max_size=24)
+host_st = st.builds(
+    HostEnvironment,
+    machine=st.sampled_from([SKYLAKE_CLOUDLAB, BROADWELL_XEON]),
+    entropy_seed=st.integers(min_value=0, max_value=2**32),
+    boot_epoch=st.floats(min_value=1e9, max_value=2e9, allow_nan=False),
+    pid_start=st.integers(min_value=2, max_value=60_000),
+    inode_start=st.integers(min_value=2, max_value=10**6),
+    dirent_hash_salt=st.integers(min_value=0, max_value=1000),
+)
+
+
+def program_for(actions):
+    def child(sys):
+        pid = yield from sys.getpid()
+        yield from sys.println("child %d" % pid)
+        return 0
+
+    def main(sys):
+        log = []
+        counter = [0]
+        for action in actions:
+            counter[0] += 1
+            i = counter[0]
+            if action == "time":
+                log.append(str((yield from sys.time())))
+            elif action == "timeofday":
+                log.append("%.3f" % (yield from sys.gettimeofday()))
+            elif action == "urandom":
+                log.append((yield from sys.urandom(4)).hex())
+            elif action == "getrandom":
+                log.append((yield from sys.getrandom(4)).hex())
+            elif action == "rdtsc":
+                log.append(str((yield from sys.rdtsc())))
+            elif action == "pid":
+                log.append(str((yield from sys.getpid())))
+            elif action == "uname":
+                log.append((yield from sys.uname()).nodename)
+            elif action == "write_file":
+                yield from sys.write_file("f%d" % i, b"data%d" % i)
+                log.append("w%d" % i)
+            elif action == "stat_file":
+                yield from sys.write_file("s%d" % i, b"")
+                stat = yield from sys.stat("s%d" % i)
+                log.append("%d/%.0f" % (stat.st_ino, stat.st_mtime))
+            elif action == "listdir":
+                names = yield from sys.listdir(".")
+                log.append(",".join(names))
+            elif action == "mkdir":
+                yield from sys.mkdir_p("d%d" % i)
+                log.append("m")
+            elif action == "unlink":
+                yield from sys.write_file("u%d" % i, b"")
+                yield from sys.unlink("u%d" % i)
+                log.append("u")
+            elif action == "spawn_child":
+                res = yield from sys.run("/bin/kid")
+                log.append("c%s" % res.exit_code)
+            elif action == "cpuid":
+                log.append((yield from sys.instr("cpuid")).brand)
+            elif action == "compute":
+                yield from sys.compute(1e-4)
+                log.append("k")
+            elif action == "aslr":
+                log.append(hex(sys.address_of_main))
+        yield from sys.write_file("log", "\n".join(log))
+        return 0
+
+    return main, child
+
+
+@settings(max_examples=25, deadline=None)
+@given(actions=action_st, host_a=host_st, host_b=host_st)
+def test_dettrace_output_pure_function_of_image(actions, host_a, host_b):
+    main, child = program_for(actions)
+    ra = dettrace_run(main, host=host_a, extra_binaries={"/bin/kid": child})
+    rb = dettrace_run(main, host=host_b, extra_binaries={"/bin/kid": child})
+    assert ra.exit_code == 0 and rb.exit_code == 0
+    assert ra.output_tree == rb.output_tree
+    assert ra.stdout == rb.stdout
+
+
+@settings(max_examples=10, deadline=None)
+@given(actions=action_st,
+       seed_a=st.integers(min_value=0, max_value=100),
+       seed_b=st.integers(min_value=101, max_value=200))
+def test_strict_scheduler_also_pure(actions, seed_a, seed_b):
+    main, child = program_for(actions)
+    cfg = ContainerConfig(scheduler="strict")
+    ra = dettrace_run(main, host=HostEnvironment(entropy_seed=seed_a),
+                      config=cfg, extra_binaries={"/bin/kid": child})
+    rb = dettrace_run(main, host=HostEnvironment(entropy_seed=seed_b),
+                      config=cfg, extra_binaries={"/bin/kid": child})
+    assert ra.output_tree == rb.output_tree

@@ -1,0 +1,41 @@
+"""Comparator properties."""
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.repro_tools import compare
+
+trees = st.dictionaries(
+    st.text(alphabet="abcdef/.", min_size=1, max_size=12),
+    st.binary(max_size=64),
+    max_size=6)
+
+
+@settings(max_examples=60)
+@given(tree=trees)
+def test_reflexive(tree):
+    assert compare(tree, dict(tree)).identical
+
+
+@settings(max_examples=60)
+@given(a=trees, b=trees)
+def test_symmetric_verdict(a, b):
+    assert compare(a, b).identical == compare(b, a).identical
+
+
+@settings(max_examples=60)
+@given(a=trees, b=trees)
+def test_verdict_matches_equality(a, b):
+    assert compare(a, b).identical == (a == b)
+
+
+@settings(max_examples=40)
+@given(tree=trees, path=st.text(alphabet="xyz", min_size=1, max_size=4),
+       payload=st.binary(min_size=1, max_size=16))
+def test_detects_any_single_insertion(tree, path, payload):
+    if path in tree:
+        return
+    modified = dict(tree)
+    modified[path] = payload
+    report = compare(tree, modified)
+    assert not report.identical
+    assert any(d.path == path for d in report.differences)

@@ -1,0 +1,70 @@
+"""Filesystem invariants under random operation sequences."""
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.machine import HostEnvironment
+from repro.kernel.errors import SyscallError
+from repro.kernel.filesystem import Filesystem
+
+name_st = st.sampled_from(["a", "b", "c", "d", "e", "f"])
+op_st = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), name_st, st.binary(max_size=32)),
+        st.tuples(st.just("unlink"), name_st, st.just(b"")),
+        st.tuples(st.just("mkdir"), name_st, st.just(b"")),
+        st.tuples(st.just("rename"), name_st, st.sampled_from([b"a", b"b", b"x"])),
+    ),
+    max_size=40)
+
+
+def apply_ops(fs, ops):
+    for op, name, payload in ops:
+        try:
+            if op == "write":
+                fs.write_file("/" + name, payload, now=1.0)
+            elif op == "unlink":
+                fs.unlink(fs.root, name, now=2.0)
+            elif op == "mkdir":
+                fs.create_dir(fs.root, name, now=3.0)
+            elif op == "rename":
+                fs.rename(fs.root, name, fs.root, payload.decode(), now=4.0)
+        except SyscallError:
+            pass  # invalid sequences are fine; invariants must still hold
+
+
+@settings(max_examples=60)
+@given(ops=op_st)
+def test_snapshot_agrees_with_walk(ops):
+    fs = Filesystem(HostEnvironment())
+    apply_ops(fs, ops)
+    snap = fs.snapshot()
+    walked = {path for path, node in fs.walk() if node.is_regular}
+    assert walked == set(snap)
+
+
+@settings(max_examples=60)
+@given(ops=op_st)
+def test_live_inode_numbers_unique(ops):
+    fs = Filesystem(HostEnvironment())
+    apply_ops(fs, ops)
+    inos = [node.ino for _, node in fs.walk()]
+    assert len(inos) == len(set(inos))
+
+
+@settings(max_examples=60)
+@given(ops=op_st)
+def test_dirent_order_is_permutation_of_entries(ops):
+    fs = Filesystem(HostEnvironment(dirent_hash_salt=123))
+    apply_ops(fs, ops)
+    order = [d.d_name for d in fs.dirent_order(fs.root)]
+    assert sorted(order) == sorted(fs.root.entries)
+
+
+@settings(max_examples=40)
+@given(ops=op_st)
+def test_same_ops_same_tree(ops):
+    a = Filesystem(HostEnvironment(entropy_seed=1))
+    b = Filesystem(HostEnvironment(entropy_seed=1))
+    apply_ops(a, ops)
+    apply_ops(b, ops)
+    assert a.snapshot(include_metadata=True) == b.snapshot(include_metadata=True)

@@ -1,0 +1,45 @@
+"""Invariants of the virtual inode table under arbitrary op sequences."""
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.inode_table import InodeTable
+
+ops = st.lists(
+    st.tuples(st.sampled_from(["lookup", "create"]),
+              st.integers(min_value=1, max_value=20)),
+    max_size=60)
+
+
+@settings(max_examples=60)
+@given(ops=ops)
+def test_virtual_inos_unique_per_generation(ops):
+    table = InodeTable()
+    live = {}
+    for op, real in ops:
+        if op == "lookup":
+            v = table.virtual_ino(real)
+            if real in live:
+                assert v == live[real]  # stable while live
+            live[real] = v
+        else:
+            old = live.get(real)
+            v = table.register_new_file(real)
+            if old is not None:
+                assert v != old  # recycling always re-identifies
+            live[real] = v
+    assert len(set(live.values())) == len(live)  # injective over live
+
+
+@settings(max_examples=60)
+@given(ops=ops)
+def test_mtime_clock_monotone(ops):
+    table = InodeTable()
+    last = 0
+    for op, real in ops:
+        if op == "create":
+            table.register_new_file(real)
+            assert table.mtime_clock > last or table.mtime_clock == last + 1
+            last = table.mtime_clock
+        else:
+            table.virtual_ino(real)
+            assert table.mtime_clock == last

@@ -1,0 +1,52 @@
+"""Logical clock properties."""
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.logical_time import LogicalClock
+
+calls = st.lists(st.tuples(st.integers(min_value=1, max_value=5),
+                           st.sampled_from(["time", "tod", "mono"])),
+                 max_size=60)
+
+
+@settings(max_examples=60)
+@given(calls=calls)
+def test_per_process_strict_monotonicity(calls):
+    clock = LogicalClock()
+    last = {}
+    for pid, kind in calls:
+        if kind == "time":
+            value = clock.next_time(pid)
+        elif kind == "tod":
+            value = clock.next_timeofday(pid)
+        else:
+            value = clock.next_monotonic(pid) + clock.epoch
+        if pid in last:
+            assert value > last[pid] - 1e-9
+        last[pid] = value
+
+
+@settings(max_examples=60)
+@given(calls=calls)
+def test_processes_isolated(calls):
+    clock_a = LogicalClock()
+    clock_b = LogicalClock()
+    # interleaving other pids' calls must not affect pid 1's sequence
+    seq_a = []
+    for pid, _ in calls:
+        clock_a.next_time(pid)
+    for _ in range(5):
+        seq_a.append(clock_a.next_time(999))
+    seq_b = [clock_b.next_time(999) for _ in range(5)]
+    assert seq_a == seq_b
+
+
+@settings(max_examples=30)
+@given(pid=st.integers(min_value=1, max_value=1000),
+       n=st.integers(min_value=1, max_value=50))
+def test_rdtsc_exactly_linear(pid, n):
+    from repro.core.logical_time import RDTSC_BASE, RDTSC_STEP
+
+    clock = LogicalClock()
+    values = [clock.next_rdtsc(pid) for _ in range(n)]
+    assert values == [RDTSC_BASE + i * RDTSC_STEP for i in range(n)]

@@ -1,0 +1,38 @@
+"""Property-based tests for the container PRNG."""
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.prng import Lfsr
+
+
+@given(seed=st.integers(min_value=0, max_value=2**64 - 1),
+       n=st.integers(min_value=0, max_value=512))
+def test_bytes_length_exact(seed, n):
+    assert len(Lfsr(seed).bytes(n)) == n
+
+
+@given(seed=st.integers(min_value=0, max_value=2**64 - 1))
+def test_determinism(seed):
+    assert Lfsr(seed).bytes(64) == Lfsr(seed).bytes(64)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**64 - 1))
+def test_stream_never_stuck(seed):
+    gen = Lfsr(seed)
+    window = [gen.next_u64() for _ in range(8)]
+    assert len(set(window)) > 1
+
+
+@given(seed=st.integers(min_value=0, max_value=2**64 - 1),
+       n=st.integers(min_value=1, max_value=10_000))
+def test_randrange_in_bounds(seed, n):
+    assert 0 <= Lfsr(seed).randrange(n) < n
+
+
+@settings(max_examples=30)
+@given(a=st.integers(min_value=0, max_value=2**63),
+       b=st.integers(min_value=0, max_value=2**63))
+def test_distinct_seeds_distinct_streams(a, b):
+    if a == b:
+        return
+    assert Lfsr(a).bytes(32) != Lfsr(b).bytes(32)

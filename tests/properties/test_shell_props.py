@@ -1,0 +1,53 @@
+"""Property tests: randomly generated shell scripts are reproducible
+under DetTrace (arbitrary-program coverage for the shell path)."""
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DetTrace, Image
+from repro.cpu.machine import HostEnvironment
+from repro.guest.coreutils import install_coreutils
+
+#: Random script lines drawn from irreproducibility-heavy commands.
+LINE_TEMPLATES = [
+    "date >> log",
+    "mktemp >> log",
+    "echo word{i} >> log",
+    "stat log | head -n 3 >> meta",
+    "ls . >> listing",
+    "touch file{i}",
+    "sha256sum log >> sums",
+    "X{i}=$(nproc); echo $X{i} >> log",
+    "if [ -e log ]; then echo have >> log; fi",
+    "for w in p q; do echo $w{i} >> loop; done",
+    "uname -a >> log",
+    "echo pid=$$ >> log",
+]
+
+script_st = st.lists(
+    st.sampled_from(LINE_TEMPLATES), min_size=1, max_size=12)
+
+
+def run_script(lines, seed):
+    text = "touch log\n" + "\n".join(
+        line.replace("{i}", str(i)) for i, line in enumerate(lines)) + "\n"
+    image = Image()
+    install_coreutils(image)
+    image.on_setup(lambda k, bd: k.fs.write_file(
+        bd + "/s.sh", text.encode(), now=k.host.boot_epoch))
+    host = HostEnvironment(entropy_seed=seed,
+                           boot_epoch=1.6e9 + seed * 313.77,
+                           inode_start=1000 + seed * 37,
+                           dirent_hash_salt=seed)
+    return DetTrace().run(image, "/bin/sh", argv=["sh", "s.sh"], host=host)
+
+
+@settings(max_examples=20, deadline=None)
+@given(lines=script_st,
+       seed_a=st.integers(min_value=0, max_value=50),
+       seed_b=st.integers(min_value=51, max_value=100))
+def test_random_scripts_reproducible(lines, seed_a, seed_b):
+    a = run_script(lines, seed_a)
+    b = run_script(lines, seed_b)
+    assert a.exit_code == b.exit_code
+    assert a.stdout == b.stdout
+    assert a.output_tree == b.output_tree

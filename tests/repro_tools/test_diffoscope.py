@@ -1,0 +1,54 @@
+from repro.repro_tools import compare
+from repro.workloads.debian.archive import TarEntry, deb_pack, tar_pack
+
+
+def deb_with(mtime=0.0, content=b"x", name="pkg", fields=None):
+    tar = tar_pack([TarEntry("f", 0o644, 0, 0, mtime, content)])
+    return deb_pack(name, "1.0", fields or {}, tar)
+
+
+class TestCompare:
+    def test_identical_trees(self):
+        tree = {"a.deb": deb_with()}
+        report = compare(tree, dict(tree))
+        assert report.identical
+        assert "identical" in report.summary()
+
+    def test_missing_file_reported(self):
+        report = compare({"a": b"1"}, {})
+        assert not report.identical
+        assert "only in first tree" in report.summary()
+
+    def test_explains_mtime_difference_inside_deb(self):
+        report = compare({"p.deb": deb_with(mtime=1.0)},
+                         {"p.deb": deb_with(mtime=2.0)})
+        assert not report.identical
+        detail = report.summary()
+        assert "mtime" in detail
+        assert "data.tar/f" in detail
+
+    def test_explains_content_difference_with_context(self):
+        report = compare({"p.deb": deb_with(content=b"hello world")},
+                         {"p.deb": deb_with(content=b"hello earth")})
+        assert "content at byte" in report.summary()
+
+    def test_explains_control_field_difference(self):
+        a = deb_with(fields={"Build-Date": "1"})
+        b = deb_with(fields={"Build-Date": "2"})
+        report = compare({"p.deb": a}, {"p.deb": b})
+        assert "Build-Date" in report.summary()
+
+    def test_member_order_difference(self):
+        e1 = [TarEntry("a", 0o644, 0, 0, 0, b""), TarEntry("b", 0o644, 0, 0, 0, b"")]
+        t1, t2 = tar_pack(e1), tar_pack(list(reversed(e1)))
+        report = compare({"x.tar": t1}, {"x.tar": t2})
+        assert "order" in report.summary()
+
+    def test_plain_file_difference(self):
+        report = compare({"f": b"aaa"}, {"f": b"aab"})
+        assert "byte 2" in report.summary()
+
+    def test_summary_truncates(self):
+        a = {"f%d" % i: b"x" for i in range(30)}
+        report = compare(a, {})
+        assert "more" in report.summary(limit=5)

@@ -1,0 +1,22 @@
+from repro.repro_tools import hashdeep, sha256, tree_digest
+
+
+class TestHashing:
+    def test_sha256_stable(self):
+        assert sha256(b"x") == sha256(b"x")
+
+    def test_hashdeep_per_file(self):
+        tree = {"a": b"1", "b": b"2"}
+        digests = hashdeep(tree)
+        assert set(digests) == {"a", "b"}
+        assert digests["a"] != digests["b"]
+
+    def test_tree_digest_sensitive_to_paths_and_content(self):
+        base = {"a": b"1"}
+        assert tree_digest(base) == tree_digest({"a": b"1"})
+        assert tree_digest(base) != tree_digest({"b": b"1"})
+        assert tree_digest(base) != tree_digest({"a": b"2"})
+
+    def test_tree_digest_order_independent(self):
+        assert tree_digest({"a": b"1", "b": b"2"}) == tree_digest(
+            {"b": b"2", "a": b"1"})

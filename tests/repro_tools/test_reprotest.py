@@ -1,0 +1,55 @@
+"""reprotest verdicts for targeted feature sets."""
+import pytest
+
+from repro.repro_tools import (
+    IRREPRODUCIBLE,
+    REPRODUCIBLE,
+    TIMEOUT,
+    UNSUPPORTED,
+    reprotest_dettrace,
+    reprotest_native,
+)
+from repro.workloads.debian import PackageSpec
+
+
+class TestNativeVerdicts:
+    def test_clean_package_reproducible(self):
+        spec = PackageSpec(name="clean", n_sources=2)
+        result = reprotest_native(spec)
+        assert result.verdict == REPRODUCIBLE
+        assert result.reproducible
+
+    def test_without_tar_workaround_nothing_is_reproducible(self):
+        """SS6.1: in a stock system ZERO packages compare equal, because
+        tar embeds mtimes."""
+        spec = PackageSpec(name="clean", n_sources=2)
+        result = reprotest_native(spec, apply_tar_workaround=False)
+        assert result.verdict == IRREPRODUCIBLE
+
+    def test_tainted_package_irreproducible(self):
+        spec = PackageSpec(name="bad", embeds_timestamp=True)
+        result = reprotest_native(spec)
+        assert result.verdict == IRREPRODUCIBLE
+        assert result.diff is not None
+        assert not result.diff.identical
+
+
+class TestDetTraceVerdicts:
+    def test_tainted_package_rendered_reproducible(self):
+        spec = PackageSpec(name="bad", embeds_timestamp=True,
+                           embeds_build_path=True, embeds_random_symbols=True)
+        assert reprotest_dettrace(spec).verdict == REPRODUCIBLE
+
+    def test_no_tar_workaround_needed(self):
+        """DetTrace builds are compared raw: virtual mtimes are already
+        deterministic."""
+        spec = PackageSpec(name="clean", n_sources=2)
+        assert reprotest_dettrace(spec).verdict == REPRODUCIBLE
+
+    def test_busy_wait_verdict(self):
+        spec = PackageSpec(name="j", language="java", busy_waits=True)
+        assert reprotest_dettrace(spec).verdict == UNSUPPORTED
+
+    def test_storm_verdict(self):
+        spec = PackageSpec(name="slow", syscall_storm=80_000)
+        assert reprotest_dettrace(spec).verdict == TIMEOUT

@@ -1,0 +1,35 @@
+from repro.repro_tools import strip_deb, strip_tar, strip_tree, compare
+from repro.workloads.debian.archive import TarEntry, deb_pack, tar_pack, tar_unpack
+
+
+def tar_with_mtimes(m1, m2):
+    return tar_pack([TarEntry("a", 0o644, 0, 0, m1, b"A"),
+                     TarEntry("b", 0o755, 0, 0, m2, b"B")])
+
+
+class TestStripNondeterminism:
+    def test_clamps_mtimes(self):
+        stripped = strip_tar(tar_with_mtimes(100.0, 200.0))
+        assert all(e.mtime == 0.0 for e in tar_unpack(stripped))
+
+    def test_preserves_content_and_modes(self):
+        stripped = tar_unpack(strip_tar(tar_with_mtimes(1, 2)))
+        assert [e.content for e in stripped] == [b"A", b"B"]
+        assert [e.mode for e in stripped] == [0o644, 0o755]
+
+    def test_makes_timestamp_only_diff_reproducible(self):
+        """The SS6.1 baseline workaround: without it 0% reproducible."""
+        a = deb_pack("p", "1", {}, tar_with_mtimes(10, 20))
+        b = deb_pack("p", "1", {}, tar_with_mtimes(30, 40))
+        assert a != b
+        assert strip_deb(a) == strip_deb(b)
+
+    def test_does_not_hide_content_differences(self):
+        a = deb_pack("p", "1", {}, tar_pack([TarEntry("f", 0o644, 0, 0, 1, b"X")]))
+        b = deb_pack("p", "1", {}, tar_pack([TarEntry("f", 0o644, 0, 0, 2, b"Y")]))
+        report = compare({"p.deb": strip_deb(a)}, {"p.deb": strip_deb(b)})
+        assert not report.identical
+
+    def test_strip_tree_passes_plain_files(self):
+        tree = {"plain.txt": b"data"}
+        assert strip_tree(tree) == tree

@@ -1,0 +1,31 @@
+from repro.repro_tools import first_build_host, host_pair, same_host_pair, second_build_host
+
+
+class TestVariations:
+    def test_reprotest_varies_the_paper_knobs(self):
+        a, b = host_pair()
+        assert a.env["TZ"] != b.env["TZ"]            # timezone
+        assert a.env["LANG"] != b.env["LANG"]        # locale
+        assert a.env["PATH"] != b.env["PATH"]        # exec path
+        assert a.env["HOME"] != b.env["HOME"]        # home
+        assert a.env["USER"] != b.env["USER"]        # user/group
+        assert a.build_path != b.build_path          # build path
+        assert a.boot_epoch != b.boot_epoch          # time
+        assert a.ncores != b.ncores                  # num cpus
+        assert a.entropy_seed != b.entropy_seed      # ASLR/randomness
+
+    def test_machine_held_constant(self):
+        a, b = host_pair()
+        assert a.machine is b.machine  # domain/host/kernel variations off
+
+    def test_pair_is_deterministic(self):
+        a1, _ = host_pair(seed=3)
+        a2, _ = host_pair(seed=3)
+        assert a1.entropy_bytes(8) == a2.entropy_bytes(8)
+
+    def test_same_host_pair_only_varies_boot(self):
+        a, b = same_host_pair()
+        assert a.env == b.env
+        assert a.build_path == b.build_path
+        assert a.boot_epoch != b.boot_epoch
+        assert a.entropy_seed != b.entropy_seed

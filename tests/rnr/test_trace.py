@@ -1,0 +1,23 @@
+from repro.rnr.trace import Recording, TraceEvent
+
+
+class TestRecording:
+    def test_streams_keyed_by_spawn_path(self):
+        rec = Recording()
+        rec.append((0,), TraceEvent("open", "value", 3))
+        rec.append((0, 0), TraceEvent("read", "value", b"data"))
+        rec.append((0,), TraceEvent("close", "value", 0))
+        assert rec.event_count == 3
+        assert [e.syscall for e in rec.streams[(0,)]] == ["open", "close"]
+
+    def test_storage_size_grows_with_payload(self):
+        small = TraceEvent("read", "value", b"x")
+        big = TraceEvent("read", "value", b"x" * 10_000)
+        assert big.storage_size() > small.storage_size() > 0
+
+    def test_recording_storage_total(self):
+        rec = Recording()
+        rec.append((0,), TraceEvent("read", "value", b"abc"))
+        rec.append((0,), TraceEvent("read", "value", b"defg"))
+        assert rec.storage_size() == sum(
+            e.storage_size() for e in rec.streams[(0,)])

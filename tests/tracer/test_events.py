@@ -1,0 +1,18 @@
+from repro.tracer.events import TraceCounters
+
+
+class TestTraceCounters:
+    def test_table2_rows_order(self):
+        c = TraceCounters(syscall_events=10, read_retries=2)
+        rows = c.as_table2_rows()
+        assert rows[0] == ("System call events", 10)
+        assert ("read retries", 2) in rows
+        assert len(rows) == 9
+
+    def test_add_accumulates(self):
+        a = TraceCounters(syscall_events=5, rdtsc_intercepted=1)
+        b = TraceCounters(syscall_events=7, write_retries=3)
+        a.add(b)
+        assert a.syscall_events == 12
+        assert a.rdtsc_intercepted == 1
+        assert a.write_retries == 3

@@ -1,0 +1,66 @@
+"""Which events reach which tracer — the SS4 taxonomy, executable."""
+import pytest
+
+from repro.core import ContainerConfig
+from repro.cpu.machine import SANDY_BRIDGE, SKYLAKE_CLOUDLAB, HostEnvironment
+from tests.conftest import dettrace_run
+
+
+class TestInterceptionMatrix:
+    def test_vdso_timing_counted_as_syscalls_only_when_patched(self):
+        def prog(sys):
+            for _ in range(5):
+                yield from sys.gettimeofday()
+            return 0
+
+        r = dettrace_run(prog)
+        # patched vDSO: every timing call became a traced syscall
+        assert r.syscall_count >= 5
+
+        from repro.core import ablated
+        r2 = dettrace_run(prog, config=ablated("patch_vdso"))
+        assert r2.syscall_count < 5
+
+    def test_naturally_reproducible_syscalls_skip_stops(self):
+        def prog(sys):
+            for _ in range(20):
+                yield from sys.getpid()     # seccomp-allowed
+            yield from sys.write_file("f", b"")  # intercepted
+            return 0
+
+        r = dettrace_run(prog)
+        # 20 getpid calls executed but produced no tracer events
+        assert r.syscall_count >= 21
+        assert r.counters.syscall_events <= r.syscall_count - 20
+
+    def test_rdtsc_counted(self):
+        def prog(sys):
+            for _ in range(7):
+                yield from sys.rdtsc()
+            return 0
+
+        r = dettrace_run(prog)
+        assert r.counters.rdtsc_intercepted == 7
+
+    def test_cpuid_interception_depends_on_microarch(self):
+        def prog(sys):
+            yield from sys.instr("cpuid")
+            return 0
+
+        modern = dettrace_run(prog, host=HostEnvironment(machine=SKYLAKE_CLOUDLAB))
+        assert modern.counters.cpuid_intercepted == 1
+        old = dettrace_run(prog, host=HostEnvironment(machine=SANDY_BRIDGE))
+        assert old.counters.cpuid_intercepted == 0  # no faulting pre-IvyBridge
+
+    def test_vdso_patch_counted_per_exec(self):
+        def child(sys):
+            yield from sys.getpid()
+            return 0
+
+        def main(sys):
+            for _ in range(3):
+                yield from sys.run("/bin/child")
+            return 0
+
+        r = dettrace_run(main, extra_binaries={"/bin/child": child})
+        assert r.counters.vdso_patches == 4  # init + 3 children

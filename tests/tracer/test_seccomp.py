@@ -1,0 +1,46 @@
+from repro.kernel.costs import (
+    LEGACY_DOUBLE_STOP_COST,
+    PTRACE_STOP_COST,
+    SECCOMP_COMBINED_STOP_COST,
+)
+from repro.tracer.seccomp import NATURALLY_REPRODUCIBLE, SeccompFilter
+
+
+class TestFilter:
+    def test_naturally_reproducible_pass_through(self):
+        f = SeccompFilter()
+        assert not f.intercepts("getpid")
+        assert not f.intercepts("getcwd")
+        assert not f.intercepts("sched_yield")
+
+    def test_everything_else_intercepted(self):
+        f = SeccompFilter()
+        for name in ("open", "read", "write", "stat", "time", "getrandom",
+                     "wait4", "spawn_process", "futex", "socket"):
+            assert f.intercepts(name), name
+
+    def test_disabled_filter_intercepts_everything(self):
+        f = SeccompFilter(enabled=False)
+        assert f.intercepts("getpid")
+
+    def test_shared_state_never_allowed(self):
+        # Nothing touching the fs, pipes, time or randomness may skip
+        # serialization, or cross-process determinism would break.
+        for risky in ("open", "read", "write", "close", "unlink", "rename",
+                      "stat", "getdents", "time", "getrandom", "wait4"):
+            assert risky not in NATURALLY_REPRODUCIBLE
+
+
+class TestStopCosts:
+    def test_modern_kernel_single_event(self):
+        f = SeccompFilter(kernel_version=(4, 15))
+        assert f.stop_cost == SECCOMP_COMBINED_STOP_COST
+
+    def test_old_kernel_double_event(self):
+        f = SeccompFilter(kernel_version=(4, 4))
+        assert f.stop_cost == LEGACY_DOUBLE_STOP_COST
+        assert f.stop_cost > SECCOMP_COMBINED_STOP_COST
+
+    def test_plain_ptrace_two_stops(self):
+        f = SeccompFilter(enabled=False)
+        assert f.stop_cost == 2 * PTRACE_STOP_COST

@@ -1,0 +1,75 @@
+import pytest
+
+from repro.workloads.debian.archive import (
+    TarEntry,
+    cpio_pack,
+    deb_pack,
+    deb_unpack,
+    tar_pack,
+    tar_unpack,
+)
+
+
+def entries():
+    return [
+        TarEntry("config.h", 0o644, 0, 0, 123.5, b"#define X 1\n"),
+        TarEntry("dist/lib.so", 0o755, 1000, 1000, 456.25, b"\x00\x01binary\n"),
+    ]
+
+
+class TestTar:
+    def test_roundtrip(self):
+        packed = tar_pack(entries())
+        out = tar_unpack(packed)
+        assert out == entries()
+
+    def test_member_order_changes_bytes(self):
+        e = entries()
+        assert tar_pack(e) != tar_pack(list(reversed(e)))
+
+    def test_mtime_changes_bytes(self):
+        a = entries()
+        b = entries()
+        b[0].mtime += 1.0
+        assert tar_pack(a) != tar_pack(b)
+
+    def test_uid_changes_bytes(self):
+        a, b = entries(), entries()
+        b[1].uid = 0
+        assert tar_pack(a) != tar_pack(b)
+
+    def test_bad_magic_raises(self):
+        with pytest.raises(ValueError):
+            tar_unpack(b"NOTATAR")
+
+    def test_binary_content_with_newlines(self):
+        e = [TarEntry("f", 0o644, 0, 0, 0.0, b"line1\nEND\nline2\nE x\n")]
+        assert tar_unpack(tar_pack(e)) == e
+
+
+class TestDeb:
+    def test_roundtrip(self):
+        data_tar = tar_pack(entries())
+        deb = deb_pack("pkg", "1.0-1", {"Architecture": "amd64"}, data_tar)
+        fields, out_tar = deb_unpack(deb)
+        assert fields["Package"] == "pkg"
+        assert fields["Version"] == "1.0-1"
+        assert fields["Architecture"] == "amd64"
+        assert out_tar == data_tar
+
+    def test_control_fields_sorted_deterministically(self):
+        data_tar = tar_pack([])
+        a = deb_pack("p", "1", {"B": "2", "A": "1"}, data_tar)
+        b = deb_pack("p", "1", {"A": "1", "B": "2"}, data_tar)
+        assert a == b
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            deb_unpack(b"garbage")
+
+
+class TestCpio:
+    def test_embeds_inode_numbers(self):
+        a = cpio_pack([("src.c", 100, b"x")])
+        b = cpio_pack([("src.c", 999, b"x")])
+        assert a != b  # the SS5.5 inode leak

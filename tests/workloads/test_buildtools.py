@@ -1,0 +1,97 @@
+"""The synthetic build toolchain end-to-end."""
+import pytest
+
+from repro.workloads.debian import (
+    PackageSpec,
+    build_dettrace,
+    build_native,
+    deb_unpack,
+    tar_unpack,
+)
+from repro.repro_tools import first_build_host
+
+
+class TestBasicBuild:
+    def test_native_build_produces_deb(self):
+        rec = build_native(PackageSpec(name="basic", n_sources=2))
+        assert rec.status == "built"
+        assert rec.deb is not None
+        fields, data_tar = deb_unpack(rec.deb)
+        assert fields["Package"] == "basic"
+        names = [e.name for e in tar_unpack(data_tar)]
+        assert "config.h" in names
+        assert "dist/libbasic.so" in names
+        assert "dist/README" in names
+
+    def test_dettrace_build_produces_deb(self):
+        rec = build_dettrace(PackageSpec(name="basic", n_sources=2))
+        assert rec.status == "built", rec.result.error
+        assert rec.deb is not None
+
+    def test_clock_skew_check_passes_everywhere(self):
+        spec = PackageSpec(name="skew", n_sources=1)
+        assert build_native(spec).status == "built"
+        assert build_dettrace(spec).status == "built"
+
+    def test_parallel_build(self):
+        spec = PackageSpec(name="par", n_sources=6, parallel_jobs=4)
+        rec = build_native(spec)
+        assert rec.status == "built"
+
+    def test_build_with_tests(self):
+        spec = PackageSpec(name="tested", has_tests=True)
+        rec = build_native(spec)
+        assert rec.status == "built"
+        assert "tests:" in rec.result.stdout
+
+
+class TestFeatureArtifacts:
+    def _config_h(self, rec):
+        _, data_tar = deb_unpack(rec.deb)
+        for entry in tar_unpack(data_tar):
+            if entry.name == "config.h":
+                return entry.content.decode()
+        raise AssertionError("no config.h in deb")
+
+    def test_timestamp_embedded(self):
+        rec = build_native(PackageSpec(name="p", embeds_timestamp=True))
+        assert "BUILD_TIME" in self._config_h(rec)
+
+    def test_build_path_embedded(self):
+        rec = build_native(PackageSpec(name="p", embeds_build_path=True),
+                           host=first_build_host())
+        assert "/build/first" in self._config_h(rec)
+
+    def test_cpu_count_embedded(self):
+        rec = build_native(PackageSpec(name="p", embeds_cpu_count=True))
+        assert "NCPU" in self._config_h(rec)
+
+    def test_tree_size_embedded(self):
+        rec = build_native(PackageSpec(name="p", embeds_tree_size=True))
+        assert "SRC_TREE_BYTES" in self._config_h(rec)
+
+    def test_plain_package_has_no_taints(self):
+        cfg = self._config_h(build_native(PackageSpec(name="p")))
+        for marker in ("BUILD_TIME", "SRCDIR", "BUILD_HOST", "BUILD_PID",
+                       "NCPU", "TIMING_CALIB"):
+            assert marker not in cfg
+
+
+class TestCorrectnessSS72:
+    def test_same_test_outcomes_native_and_dettrace(self):
+        """SS7.2's LLVM experiment in miniature: the package's own test
+        suite reports identical outcomes for native and DetTrace builds."""
+        spec = PackageSpec(name="llvm", n_sources=8, parallel_jobs=4,
+                           has_tests=True, embeds_timestamp=True,
+                           embeds_random_symbols=True)
+        native = build_native(spec)
+        dettrace = build_dettrace(spec)
+        assert native.status == dettrace.status == "built"
+
+        def outcomes(rec):
+            for line in rec.result.stdout.splitlines():
+                if line.startswith("tests:"):
+                    return line
+            raise AssertionError("no test outcome line")
+
+        assert outcomes(native) == outcomes(dettrace)

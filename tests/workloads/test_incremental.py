@@ -1,0 +1,71 @@
+"""Incremental rebuilds: mtime comparisons must stay sensible under the
+virtual mtime map (the deeper reason SS5.5 rejects constant mtimes)."""
+from repro.core import DetTrace, ContainerConfig
+from repro.guest.program import with_args
+from repro.repro_tools import first_build_host
+from repro.workloads.debian import PackageSpec, TOOLS, package_image
+from repro.workloads.debian.buildtools import make_main
+
+
+def double_make_image(spec):
+    """An image whose driver runs make TWICE in one container."""
+    image = package_image(spec)
+
+    def driver(sys):
+        yield from sys.mkdir_p("obj")
+        yield from sys.mkdir_p("dist")
+        res = yield from sys.run(TOOLS["configure"])
+        assert res.exit_code == 0
+        res = yield from sys.run(TOOLS["make"])
+        assert res.exit_code == 0
+        first_spawns = True
+        res = yield from sys.run(TOOLS["make"])   # second make: no-op
+        assert res.exit_code == 0
+        return 0
+
+    image.add_binary("/bin/double-make", driver)
+    return image
+
+
+class TestIncremental:
+    def test_second_make_is_noop_under_dettrace(self):
+        """Objects got virtual mtimes NEWER than the (image) sources, so
+        the second make recompiles nothing.  With the fixed-mtime
+        strawman the comparison would misfire."""
+        spec = PackageSpec(name="incr", n_sources=4)
+        image = double_make_image(spec)
+        result = DetTrace().run(image, "/bin/double-make",
+                                host=first_build_host())
+        assert result.exit_code == 0, (result.status, result.error)
+        assert "nothing to be done" in result.stdout
+        # exactly one compile per source across both makes
+        assert result.stdout.count("nothing to be done") == 1
+
+    def test_second_make_is_noop_natively(self):
+        spec = PackageSpec(name="incr", n_sources=4)
+        from repro.core import NativeRunner
+
+        result = NativeRunner().run(double_make_image(spec), "/bin/double-make",
+                                    host=first_build_host())
+        assert result.exit_code == 0
+        assert "nothing to be done" in result.stdout
+
+    def test_touched_source_is_recompiled(self):
+        """utime(path) bumps the source past its object: make redoes it."""
+        spec = PackageSpec(name="incr2", n_sources=3)
+        image = package_image(spec)
+
+        def driver(sys):
+            yield from sys.mkdir_p("obj")
+            yield from sys.mkdir_p("dist")
+            yield from sys.run(TOOLS["configure"])
+            yield from sys.run(TOOLS["make"])
+            yield from sys.utime(spec.source_path(0))   # touch one source
+            res = yield from sys.run(TOOLS["make"])
+            return res.exit_code
+
+        image.add_binary("/bin/touch-make", driver)
+        result = DetTrace().run(image, "/bin/touch-make",
+                                host=first_build_host())
+        assert result.exit_code == 0, (result.status, result.error)
+        assert "nothing to be done" not in result.stdout

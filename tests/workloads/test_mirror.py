@@ -1,0 +1,81 @@
+"""Dependency chains against the on-disk mirror (SS6.1)."""
+import pytest
+
+from repro.repro_tools import first_build_host, second_build_host, strip_tree
+from repro.workloads.debian import (
+    Mirror,
+    PackageSpec,
+    build_chain,
+    build_with_deps,
+)
+
+LIBFOO = PackageSpec(name="libfoo", n_sources=2, embeds_timestamp=True)
+LIBBAR = PackageSpec(name="libbar", n_sources=2, build_depends=("libfoo",),
+                     embeds_random_symbols=True)
+APP = PackageSpec(name="app", n_sources=3,
+                  build_depends=("libfoo", "libbar"))
+
+CHAIN = [LIBFOO, LIBBAR, APP]
+
+
+def hosts_a(i):
+    return first_build_host(seed=i)
+
+
+def hosts_b(i):
+    return second_build_host(seed=i)
+
+
+class TestMirrorMechanics:
+    def test_missing_dependency_fails_cleanly(self):
+        record = build_with_deps(LIBBAR, Mirror(), dettrace=False,
+                                 host=first_build_host())
+        assert record.status == "failed"
+        assert "not in the mirror" in record.result.stderr
+
+    def test_dependency_installed_and_linked(self):
+        debs = build_chain(CHAIN, dettrace=True, host_for=hosts_a)
+        assert set(debs) == {"libfoo", "libbar", "app"}
+        from repro.workloads.debian import deb_unpack, tar_unpack
+
+        _, data = deb_unpack(debs["app"])
+        lib = next(e.content for e in tar_unpack(data)
+                   if e.name.endswith("libapp.so"))
+        assert b"DEP libfoo" in lib
+        assert b"DEP libbar" in lib
+
+    def test_control_lists_build_depends(self):
+        from repro.workloads.debian import package_image
+        from tests.conftest import make_kernel
+
+        k = make_kernel()
+        package_image(APP).install(k, "/build")
+        control = k.fs.read_file("/build/debian/control").decode()
+        assert "Build-Depends: libfoo, libbar" in control
+
+
+class TestChainReproducibility:
+    def test_dettrace_chain_bitwise_reproducible(self):
+        a = build_chain(CHAIN, dettrace=True, host_for=hosts_a)
+        b = build_chain(CHAIN, dettrace=True, host_for=hosts_b)
+        assert a == b
+
+    def test_native_irreproducibility_cascades(self):
+        """libfoo's timestamp taints libbar and app even though those two
+        have no taint of their own — the distribution-wide cascade the
+        paper's SS2 motivates against."""
+        a = build_chain(CHAIN, dettrace=False, host_for=hosts_a)
+        b = build_chain(CHAIN, dettrace=False, host_for=hosts_b)
+        stripped_a = {k: strip_tree({"x.deb": v})["x.deb"] for k, v in a.items()}
+        stripped_b = {k: strip_tree({"x.deb": v})["x.deb"] for k, v in b.items()}
+        assert stripped_a["libfoo"] != stripped_b["libfoo"]   # its own taint
+        assert stripped_a["libbar"] != stripped_b["libbar"]   # inherited
+        assert stripped_a["app"] != stripped_b["app"]         # inherited
+
+    def test_cache_hit_property(self):
+        """Reproducible chains enable artifact caching (SS2): rebuilding a
+        dependency yields bitwise-identical bytes, so dependents can keep
+        their cached artifacts."""
+        first = build_chain([LIBFOO], dettrace=True, host_for=hosts_a)
+        rebuilt = build_chain([LIBFOO], dettrace=True, host_for=hosts_b)
+        assert first["libfoo"] == rebuilt["libfoo"]

@@ -1,0 +1,45 @@
+from repro.workloads.debian import PackageSpec, source_content
+
+
+class TestPackageSpec:
+    def test_feature_listing(self):
+        spec = PackageSpec(name="p", embeds_timestamp=True, embeds_aslr=True)
+        assert set(spec.irreproducibility_features) == {
+            "embeds_timestamp", "embeds_aslr"}
+
+    def test_robust_expectation(self):
+        chancy = PackageSpec(name="p", embeds_fileorder=True)
+        assert not chancy.expect_bl_irreproducible
+        robust = PackageSpec(name="p", embeds_timestamp=True)
+        assert robust.expect_bl_irreproducible
+
+    def test_sockets_imply_bl_irreproducible(self):
+        spec = PackageSpec(name="p", uses_sockets=True)
+        assert spec.expect_bl_irreproducible
+        assert spec.expect_dt_unsupported
+
+    def test_unsupported_causes(self):
+        spec = PackageSpec(name="p", busy_waits=True, uses_misc_unsupported=True)
+        assert set(spec.unsupported_causes) == {"busy_waits",
+                                                "uses_misc_unsupported"}
+
+    def test_source_paths_by_language(self):
+        assert PackageSpec(name="a-b", language="c").source_path(0).endswith(".c")
+        assert PackageSpec(name="a", language="java").source_path(1).endswith(".java")
+
+
+class TestSourceContent:
+    def test_deterministic(self):
+        spec = PackageSpec(name="p")
+        assert source_content(spec, 0) == source_content(spec, 0)
+
+    def test_varies_by_package_and_index(self):
+        a = source_content(PackageSpec(name="p"), 0)
+        b = source_content(PackageSpec(name="p"), 1)
+        c = source_content(PackageSpec(name="q"), 0)
+        assert a != b and a != c
+
+    def test_scales_with_loc(self):
+        small = source_content(PackageSpec(name="p", loc_per_source=100), 0)
+        big = source_content(PackageSpec(name="p", loc_per_source=800), 0)
+        assert len(big) > len(small)

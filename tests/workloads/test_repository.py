@@ -1,0 +1,53 @@
+from collections import Counter
+
+from repro.workloads.debian import CAUSE_WEIGHTS, JOINT_COUNTS, generate_population
+from repro.workloads.debian.repository import expected_statuses
+
+
+class TestPopulation:
+    def test_deterministic_per_seed(self):
+        assert generate_population(50, seed=1) == generate_population(50, seed=1)
+        assert generate_population(50, seed=1) != generate_population(50, seed=2)
+
+    def test_size(self):
+        assert len(generate_population(123, seed=0)) == 123
+
+    def test_joint_proportions_approximate_table1(self):
+        specs = generate_population(600, seed=4)
+        counts = Counter(expected_statuses(s) for s in specs)
+        total = sum(JOINT_COUNTS.values())
+        for key, paper_count in JOINT_COUNTS.items():
+            expected = paper_count / total
+            measured = counts.get(key, 0) / len(specs)
+            assert abs(measured - expected) < 0.05, (key, measured, expected)
+
+    def test_busy_wait_packages_are_java(self):
+        specs = generate_population(400, seed=9)
+        for spec in specs:
+            if spec.busy_waits:
+                assert spec.language == "java"
+
+    def test_unsupported_cause_mix(self):
+        specs = [s for s in generate_population(800, seed=2)
+                 if s.expect_dt_unsupported]
+        causes = Counter(s.unsupported_causes[0] for s in specs)
+        assert causes["busy_waits"] > causes["uses_sockets"]
+        assert causes["uses_sockets"] > causes["sends_cross_signals"]
+
+    def test_bl_irreproducible_always_has_robust_feature(self):
+        for spec in generate_population(400, seed=3):
+            eb, _ = expected_statuses(spec)
+            if eb == "irreproducible" and not spec.uses_sockets:
+                assert any(getattr(spec, f)
+                           for f in spec.ROBUST_FEATURE_FIELDS)
+
+    def test_timeout_packages_have_storms(self):
+        specs = generate_population(400, seed=5)
+        for spec in specs:
+            _, ed = expected_statuses(spec)
+            assert (ed == "timeout") == (spec.syscall_storm > 0)
+
+    def test_socket_packages_never_generated_bl_reproducible(self):
+        for spec in generate_population(500, seed=6):
+            if spec.uses_sockets:
+                assert expected_statuses(spec)[0] == "irreproducible"

@@ -1,0 +1,70 @@
+"""Shell-driven debian/rules builds."""
+import pytest
+
+from repro.repro_tools import first_build_host, second_build_host, strip_tree
+from repro.workloads.debian import (
+    PackageSpec,
+    build_dettrace_rules,
+    build_native_rules,
+    rules_script,
+)
+
+
+def tainted_spec(**kw):
+    defaults = dict(name="shellpkg", n_sources=3, parallel_jobs=2,
+                    embeds_timestamp=True, embeds_random_symbols=True,
+                    has_tests=True)
+    defaults.update(kw)
+    return PackageSpec(**defaults)
+
+
+class TestRulesScript:
+    def test_script_lists_standard_steps(self):
+        text = rules_script(tainted_spec()).decode()
+        for step in ("configure", "make", "ld", "dpkg-deb", "test-runner"):
+            assert step in text
+
+    def test_conditional_steps(self):
+        plain = rules_script(PackageSpec(name="p")).decode()
+        assert "jvm" not in plain
+        assert "license-check" not in plain
+        threaded = rules_script(PackageSpec(name="p", uses_threads=True)).decode()
+        assert "jvm" in threaded
+
+
+class TestRulesBuilds:
+    def test_native_build_works(self):
+        rec = build_native_rules(tainted_spec(), host=first_build_host())
+        assert rec.status == "built", rec.result.stderr
+        assert rec.deb is not None
+        assert "rules: built" in rec.result.stdout
+
+    def test_dettrace_build_works(self):
+        rec = build_dettrace_rules(tainted_spec(), host=first_build_host())
+        assert rec.status == "built", rec.result.error
+        assert rec.deb is not None
+
+    def test_dettrace_rules_reproducible(self):
+        a = build_dettrace_rules(tainted_spec(), host=first_build_host())
+        b = build_dettrace_rules(tainted_spec(), host=second_build_host())
+        assert a.artifacts == b.artifacts
+
+    def test_native_rules_irreproducible(self):
+        a = build_native_rules(tainted_spec(), host=first_build_host())
+        b = build_native_rules(tainted_spec(), host=second_build_host())
+        assert strip_tree(a.artifacts) != strip_tree(b.artifacts)
+
+    def test_failing_step_propagates(self):
+        spec = tainted_spec(uses_sockets=True)   # unsupported in DT
+        rec = build_dettrace_rules(spec, host=first_build_host())
+        assert rec.status == "unsupported"
+
+    def test_shell_and_python_drivers_agree_on_artifacts(self):
+        """The driver is irrelevant to the artifact bytes under DetTrace:
+        both orchestrations produce the same determinized .deb."""
+        from repro.workloads.debian import build_dettrace
+
+        spec = tainted_spec()
+        python_driver = build_dettrace(spec, host=first_build_host())
+        shell_driver = build_dettrace_rules(spec, host=first_build_host())
+        assert python_driver.deb == shell_driver.deb
