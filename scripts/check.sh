@@ -1,0 +1,24 @@
+#!/bin/sh
+# CI gate: byte-compile the tree, run the tier-1 suite, then the fault
+# matrix as its own smoke stage (`-m faults` selects it).
+#
+#   ./scripts/check.sh          # full gate
+#   ./scripts/check.sh faults   # just the fault-injection smoke stage
+set -eu
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+stage="${1:-all}"
+
+if [ "$stage" = "all" ]; then
+    echo "== compileall =="
+    python -m compileall -q src
+    echo "== tier-1 tests =="
+    python -m pytest -x -q
+fi
+
+echo "== fault-injection smoke stage (-m faults) =="
+python -m pytest -x -q -m faults
+
+echo "check.sh: OK"

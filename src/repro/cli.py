@@ -23,8 +23,9 @@ import argparse
 import sys as _sys
 from typing import List, Optional
 
-from .core import ContainerConfig, DetTrace, Image, NativeRunner
+from .core import ContainerConfig, DetTrace, Image, NativeRunner, OK, RETRIED
 from .cpu.machine import ALL_MACHINES, SKYLAKE_CLOUDLAB, HostEnvironment
+from .faults import FaultPlan, FaultPlanError
 from .guest.coreutils import COREUTILS_PATHS, install_coreutils
 
 
@@ -51,16 +52,45 @@ def _resolve(name: str) -> Optional[str]:
     return COREUTILS_PATHS.get(name)
 
 
+def _load_faults(args) -> Optional[FaultPlan]:
+    if not getattr(args, "faults", None):
+        return None
+    try:
+        return FaultPlan.from_file(args.faults)
+    except (OSError, FaultPlanError) as err:
+        raise SystemExit("repro: cannot load fault plan %s: %s"
+                         % (args.faults, err))
+
+
+def _run_container(args, image, path, argv) -> "object":
+    plan = _load_faults(args)
+    config = ContainerConfig(prng_seed=args.seed, fault_plan=plan)
+    container = DetTrace(config)
+    if getattr(args, "supervised", False):
+        return container.run_supervised(image, path, argv=argv,
+                                        host=_host(args))
+    return container.run(image, path, argv=argv, host=_host(args))
+
+
 def _report(result, verbose: bool) -> int:
     _sys.stdout.write(result.stdout)
     _sys.stderr.write(result.stderr)
-    if result.status != "ok":
+    if result.status not in (OK, RETRIED):
         _sys.stderr.write("container error: %s (%s)\n"
                           % (result.status, result.error))
+        if result.crash_report is not None:
+            _sys.stderr.write(result.crash_report.format() + "\n")
         return 70
+    if result.exit_code is None and result.error:
+        # e.g. init killed by an injected signal: surface the cause.
+        _sys.stderr.write("%s\n" % result.error)
     if verbose:
-        _sys.stderr.write("[wall %.3f ms, %d syscalls]\n"
-                          % (result.wall_time * 1e3, result.syscall_count))
+        _sys.stderr.write("[wall %.3f ms, %d syscalls, %d attempts]\n"
+                          % (result.wall_time * 1e3, result.syscall_count,
+                             result.attempts))
+        if result.counters is not None and result.counters.faults_injected:
+            _sys.stderr.write("[%d faults injected]\n"
+                              % result.counters.faults_injected)
     return result.exit_code if result.exit_code is not None else 1
 
 
@@ -80,10 +110,10 @@ def cmd_run(args) -> int:
         return 127
     argv = [args.command[0]] + args.command[1:]
     if args.native:
-        result = NativeRunner().run(image, path, argv=argv, host=_host(args))
+        result = NativeRunner(fault_plan=_load_faults(args)).run(
+            image, path, argv=argv, host=_host(args))
     else:
-        config = ContainerConfig(prng_seed=args.seed)
-        result = DetTrace(config).run(image, path, argv=argv, host=_host(args))
+        result = _run_container(args, image, path, argv)
     return _report(result, args.verbose)
 
 
@@ -99,12 +129,10 @@ def cmd_script(args) -> int:
     image.on_setup(setup)
     argv = ["sh", "script.sh"] + args.args
     if args.native:
-        result = NativeRunner().run(image, "/bin/sh", argv=argv,
-                                    host=_host(args))
+        result = NativeRunner(fault_plan=_load_faults(args)).run(
+            image, "/bin/sh", argv=argv, host=_host(args))
     else:
-        config = ContainerConfig(prng_seed=args.seed)
-        result = DetTrace(config).run(image, "/bin/sh", argv=argv,
-                                      host=_host(args))
+        result = _run_container(args, image, "/bin/sh", argv)
     status = _report(result, args.verbose)
     if args.show_tree:
         for rel_path in sorted(result.output_tree):
@@ -150,6 +178,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--machine", default="cloudlab-c220g5",
                        choices=sorted(ALL_MACHINES))
         p.add_argument("--verbose", action="store_true")
+        p.add_argument("--faults", metavar="PLAN.json",
+                       help="deterministic fault-injection plan "
+                            "(repro.faults JSON format)")
+        p.add_argument("--supervised", action="store_true",
+                       help="retry transient fault-plane failures with "
+                            "deterministic virtual-time backoff")
 
     run = sub.add_parser("run", help="run a toolbox command in a container")
     common(run)

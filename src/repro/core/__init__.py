@@ -2,8 +2,10 @@
 
 from .config import CANONICAL_ENV, ContainerConfig, ablated, full_config
 from .container import (
+    CRASHED,
     DEADLOCK,
     OK,
+    RETRIED,
     TIMEOUT,
     UNSUPPORTED,
     ContainerResult,
@@ -27,6 +29,8 @@ from .tracer import DetTraceTracer
 __all__ = [
     "BusyWaitError",
     "CANONICAL_ENV",
+    "CRASHED",
+    "RETRIED",
     "ContainerConfig",
     "ContainerDeadlock",
     "ContainerError",

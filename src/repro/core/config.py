@@ -11,6 +11,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, Optional
 
+from ..faults.plan import FaultPlan
+from ..kernel.kernel import DEFAULT_MAX_EVENTS
 from .logical_time import DETTRACE_EPOCH
 
 #: The environment a DetTrace container presents regardless of the host's
@@ -112,6 +114,22 @@ class ContainerConfig:
     #: serviced syscalls, 2 = also instruction traps and probes.  Lines
     #: are collected on ``ContainerResult.debug_log``.
     debug: int = 0
+
+    # -- robustness: the fault plane & supervised runs -----------------------
+
+    #: Deterministic fault-injection plan (repro.faults).  ``None`` means
+    #: the fault plane is not wired in at all; an *empty* plan wires it in
+    #: but injects nothing — the two must be observationally identical
+    #: (verified by repro.faults.verify).
+    fault_plan: Optional[FaultPlan] = None
+    #: Watchdog: hard cap on kernel events per run; livelocks that evade
+    #: the busy-wait detector hit this and classify as CRASHED.
+    max_events: int = DEFAULT_MAX_EVENTS
+    #: ``run_supervised``: maximum retries after transient-fault failures.
+    max_retries: int = 2
+    #: ``run_supervised``: base of the deterministic virtual-time backoff
+    #: (doubles per retry; pure virtual seconds, never host time).
+    retry_backoff: float = 0.05
 
     def env_for(self, host_env: Dict[str, str]) -> Dict[str, str]:
         if self.canonical_env:

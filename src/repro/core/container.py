@@ -6,8 +6,19 @@ tracer, runs the command tree to completion and returns a
 :class:`ContainerResult` whose output tree is — by the paper's thesis — a
 pure function of the image and the container configuration.
 
+``DetTrace.run_supervised`` layers a babysitter on top: bounded retry
+with deterministic virtual-time backoff for failures classified as
+transient by the fault plane, and graceful degradation everywhere — any
+abort still yields the partial output tree plus a structured
+:class:`~repro.faults.report.CrashReport`.
+
 ``NativeRunner`` executes the same image with no tracer at all, observing
 the full irreproducibility of the host (the reprotest baseline).
+
+Neither runner ever lets an exception unwind out of a run: every failure
+mode — timeout, deadlock, unsupported operation, kernel panic, injected
+fault storm — maps to a classified status (the paper's quasi-determinism
+contract, §2/§5.9: a run either reproduces or fails *reproducibly*).
 """
 
 from __future__ import annotations
@@ -16,13 +27,15 @@ import dataclasses
 from typing import Dict, List, Optional
 
 from ..cpu.machine import HostEnvironment
-from ..kernel.errors import DeadlockError, SimTimeout
+from ..faults.report import AttemptRecord, CrashReport
+from ..kernel.errors import DeadlockError, KernelPanic, SimTimeout
 from ..kernel.kernel import Kernel
 from ..tracer.events import TraceCounters
 from .config import ContainerConfig, FIXED_ASLR_BASE
 from .errors import (
     BusyWaitError,
     ContainerDeadlock,
+    ContainerError,
     ContainerTimeout,
     UnsupportedSyscallError,
 )
@@ -35,6 +48,15 @@ OK = "ok"
 UNSUPPORTED = "unsupported"
 TIMEOUT = "timeout"
 DEADLOCK = "deadlock"
+#: The run aborted outside the classified set — kernel panic, event-budget
+#: livelock, or an unclassified internal error — but was still degraded
+#: into a result instead of unwinding.
+CRASHED = "crashed"
+#: A supervised run failed transiently and then succeeded on a retry.
+RETRIED = "retried"
+
+#: Statuses under which the guest completed with an exit status.
+_SUCCESS_STATUSES = (OK, RETRIED)
 
 
 @dataclasses.dataclass
@@ -55,10 +77,16 @@ class ContainerResult:
     host: HostEnvironment
     #: --debug trace lines (empty unless ContainerConfig.debug > 0).
     debug_log: List[str] = dataclasses.field(default_factory=list)
+    #: How many supervised attempts produced this result (1 = no retry).
+    attempts: int = 1
+    #: Did transient-classified fault rules fire during the (final) run?
+    transient_faults: bool = False
+    #: Structured account of failures/injections (None for clean runs).
+    crash_report: Optional[CrashReport] = None
 
     @property
     def succeeded(self) -> bool:
-        return self.status == OK and self.exit_code == 0
+        return self.status in _SUCCESS_STATUSES and self.exit_code == 0
 
     @property
     def syscall_rate(self) -> float:
@@ -70,7 +98,7 @@ class ContainerResult:
 
 def _decode_exit(proc, status: str, error: str):
     """Exit code for a normal exit; None (with a note) for signal death."""
-    if status != OK or proc.exit_status is None:
+    if proc is None or status not in _SUCCESS_STATUSES or proc.exit_status is None:
         return None, error
     signal = proc.exit_status & 0x7F
     if signal:
@@ -88,20 +116,66 @@ def _collect_output_tree(kernel: Kernel, build_dir: str) -> Dict[str, bytes]:
     return out
 
 
+def _classify(err: BaseException):
+    """Map an exception escaping the kernel loop to a (status, error)."""
+    if isinstance(err, SimTimeout):
+        return TIMEOUT, "virtual deadline exceeded"
+    if isinstance(err, ContainerTimeout):
+        return TIMEOUT, str(err)
+    if isinstance(err, (UnsupportedSyscallError, BusyWaitError)):
+        return UNSUPPORTED, str(err)
+    if isinstance(err, (DeadlockError, ContainerDeadlock)):
+        return DEADLOCK, str(err)
+    if isinstance(err, KernelPanic):
+        return CRASHED, "kernel panic: %s" % err
+    if isinstance(err, ContainerError):
+        return CRASHED, str(err)
+    return CRASHED, "unclassified %s: %s" % (type(err).__name__, err)
+
+
 def _finish(kernel: Kernel, build_dir: str, host: HostEnvironment,
             status: str, exit_code: Optional[int], error: str,
-            counters: Optional[TraceCounters]) -> ContainerResult:
+            counters: Optional[TraceCounters],
+            tracer: Optional[DetTraceTracer] = None) -> ContainerResult:
+    """Assemble the result from whatever state the kernel ended in.
+
+    Owns *all* result decoration — debug log, crash report, partial
+    output tree — so every exit path (including timeout/deadlock/crash)
+    carries the kernel's final state.  Never raises: collection failures
+    degrade to empty fields recorded in the error string.
+    """
+    try:
+        output_tree = _collect_output_tree(kernel, build_dir)
+    except Exception as err:  # pragma: no cover - snapshot never raises today
+        output_tree = {}
+        error = error or ("output tree unavailable: %s" % err)
+    try:
+        stdout, stderr = kernel.stdout.text(), kernel.stderr.text()
+    except Exception:  # pragma: no cover
+        stdout, stderr = "", ""
+    injector = kernel.faults
+    report = None
+    if status != OK or (injector is not None and injector.injected):
+        report = CrashReport(
+            status=status,
+            error=error,
+            fault_trace=list(injector.trace) if injector is not None else [],
+            last_syscalls=list(kernel.stats.recent_syscalls),
+        )
     return ContainerResult(
         status=status,
         exit_code=exit_code,
         error=error,
-        stdout=kernel.stdout.text(),
-        stderr=kernel.stderr.text(),
-        output_tree=_collect_output_tree(kernel, build_dir),
+        stdout=stdout,
+        stderr=stderr,
+        output_tree=output_tree,
         counters=counters,
         syscall_count=kernel.stats.syscalls,
         wall_time=kernel.clock.now,
         host=host,
+        debug_log=list(tracer.debug_log) if tracer is not None else [],
+        transient_faults=bool(injector is not None and injector.transient_fired),
+        crash_report=report,
     )
 
 
@@ -113,47 +187,110 @@ class DetTrace:
 
     def run(self, image: Image, command: str,
             argv: Optional[List[str]] = None,
-            host: Optional[HostEnvironment] = None) -> ContainerResult:
-        """Run *command* from *image* inside a fresh container."""
+            host: Optional[HostEnvironment] = None,
+            _attempt: int = 0) -> ContainerResult:
+        """Run *command* from *image* inside a fresh container.
+
+        Never raises: every failure mode degrades to a classified
+        :class:`ContainerResult` (status CRASHED at worst), carrying the
+        partial output tree and a crash report.
+        """
         cfg = self.config
         host = host or HostEnvironment()
         kernel = Kernel(host)
-
-        if cfg.disable_aslr:
-            kernel.aslr_override = FIXED_ASLR_BASE
-        kernel.serialize_threads = cfg.serialize_threads
-        kernel.busy_wait_budget = cfg.busy_wait_budget
-        if cfg.deterministic_pids:
-            kernel.enable_pid_namespace(1)
-        kernel.default_uid = 0 if cfg.map_user_to_root else 1000
-
-        image.install(kernel, cfg.working_dir)
-        canonicalize_identity_files(kernel)
-
-        tracer = DetTraceTracer(cfg, uidmap=UidGidMap(
-            host_uid=1000,
-            uid_overrides=tuple(sorted(cfg.uid_map.items())),
-            gid_overrides=tuple(sorted(cfg.gid_map.items()))))
-        if cfg.deterministic_randomness:
-            self._replace_random_devices(kernel, tracer)
-        tracer.attach(kernel)
-
-        env = cfg.env_for(host.env)
-        proc = kernel.boot(command, argv=argv, env=env, uid=0,
-                           cwd_path=cfg.working_dir)
+        tracer = None
+        proc = None
         status, error = OK, ""
         try:
-            kernel.run(deadline=cfg.timeout)
-        except SimTimeout:
-            status, error = TIMEOUT, "virtual deadline exceeded"
-        except (UnsupportedSyscallError, BusyWaitError) as err:
-            status, error = UNSUPPORTED, str(err)
-        except DeadlockError as err:
-            status, error = DEADLOCK, str(err)
+            if cfg.disable_aslr:
+                kernel.aslr_override = FIXED_ASLR_BASE
+            kernel.serialize_threads = cfg.serialize_threads
+            kernel.busy_wait_budget = cfg.busy_wait_budget
+            if cfg.deterministic_pids:
+                kernel.enable_pid_namespace(1)
+            kernel.default_uid = 0 if cfg.map_user_to_root else 1000
+
+            image.install(kernel, cfg.working_dir)
+            canonicalize_identity_files(kernel)
+
+            tracer = DetTraceTracer(cfg, uidmap=UidGidMap(
+                host_uid=1000,
+                uid_overrides=tuple(sorted(cfg.uid_map.items())),
+                gid_overrides=tuple(sorted(cfg.gid_map.items()))))
+            if cfg.deterministic_randomness:
+                self._replace_random_devices(kernel, tracer)
+            tracer.attach(kernel)
+            if cfg.fault_plan is not None:
+                injector = kernel.install_faults(cfg.fault_plan, attempt=_attempt)
+                injector.counters = tracer.counters
+
+            env = cfg.env_for(host.env)
+            proc = kernel.boot(command, argv=argv, env=env, uid=0,
+                               cwd_path=cfg.working_dir)
+            kernel.run(deadline=cfg.timeout, max_events=cfg.max_events)
+        except Exception as err:
+            status, error = _classify(err)
         exit_code, error = _decode_exit(proc, status, error)
-        result = _finish(kernel, cfg.working_dir, host, status, exit_code,
-                         error, tracer.counters)
-        result.debug_log = tracer.debug_log
+        return _finish(kernel, cfg.working_dir, host, status, exit_code,
+                       error, tracer.counters if tracer is not None else None,
+                       tracer=tracer)
+
+    def run_supervised(self, image: Image, command: str,
+                       argv: Optional[List[str]] = None,
+                       host: Optional[HostEnvironment] = None,
+                       max_retries: Optional[int] = None,
+                       backoff: Optional[float] = None) -> ContainerResult:
+        """Run with bounded retry under the fault plane's transient storms.
+
+        An attempt is retried only when it failed *and* transient-
+        classified fault rules fired during it (the deterministic model
+        of "the environment misbehaved, try again").  Each retry charges
+        a deterministic, exponentially growing virtual-time backoff; the
+        attempt number is itself a fault-plan coordinate, so the whole
+        attempt sequence — and therefore the final result — is a pure
+        function of image + plan.  A run that failed and then succeeded
+        reports status ``RETRIED``; a run that exhausted its retries
+        keeps its final classified status.  The returned result always
+        carries the full attempt log on its crash report.
+        """
+        cfg = self.config
+        if max_retries is None:
+            max_retries = cfg.max_retries
+        if backoff is None:
+            backoff = cfg.retry_backoff
+        attempt_log: List[AttemptRecord] = []
+        total_wall = 0.0
+        next_backoff = 0.0
+        attempt = 0
+        while True:
+            result = self.run(image, command, argv=argv, host=host,
+                              _attempt=attempt)
+            total_wall += next_backoff + result.wall_time
+            faults_fired = (len(result.crash_report.fault_trace)
+                            if result.crash_report is not None else 0)
+            attempt_log.append(AttemptRecord(
+                attempt=attempt, status=result.status,
+                exit_code=result.exit_code, error=result.error,
+                faults_injected=faults_fired,
+                transient=result.transient_faults, backoff=next_backoff))
+            attempt += 1
+            retryable = (not result.succeeded and result.transient_faults
+                         and attempt <= max_retries)
+            if not retryable:
+                break
+            # Deterministic virtual-time backoff: doubles per retry and
+            # never consults the host clock.
+            next_backoff = backoff * (2 ** (attempt - 1))
+        result.attempts = attempt
+        result.wall_time = total_wall
+        if attempt > 1 and result.status == OK and result.exit_code == 0:
+            result.status = RETRIED
+        if result.crash_report is None and (attempt > 1 or result.status != OK):
+            result.crash_report = CrashReport(status=result.status,
+                                              error=result.error)
+        if result.crash_report is not None:
+            result.crash_report.status = result.status
+            result.crash_report.attempt_log = attempt_log
         return result
 
     @staticmethod
@@ -167,8 +304,9 @@ class DetTrace:
 class NativeRunner:
     """The irreproducible baseline: same image, no tracer."""
 
-    def __init__(self, timeout: float = 7200.0):
+    def __init__(self, timeout: float = 7200.0, fault_plan=None):
         self.timeout = timeout
+        self.fault_plan = fault_plan
 
     def run(self, image: Image, command: str,
             argv: Optional[List[str]] = None,
@@ -176,15 +314,16 @@ class NativeRunner:
         host = host or HostEnvironment()
         kernel = Kernel(host)
         build_dir = host.build_path
-        image.install(kernel, build_dir)
-        proc = kernel.boot(command, argv=argv, env=dict(host.env),
-                           uid=1000, cwd_path=build_dir)
+        proc = None
         status, error = OK, ""
         try:
+            if self.fault_plan is not None:
+                kernel.install_faults(self.fault_plan)
+            image.install(kernel, build_dir)
+            proc = kernel.boot(command, argv=argv, env=dict(host.env),
+                               uid=1000, cwd_path=build_dir)
             kernel.run(deadline=self.timeout)
-        except SimTimeout:
-            status, error = TIMEOUT, "deadline exceeded"
-        except DeadlockError as err:
-            status, error = DEADLOCK, str(err)
+        except Exception as err:
+            status, error = _classify(err)
         exit_code, error = _decode_exit(proc, status, error)
         return _finish(kernel, build_dir, host, status, exit_code, error, None)

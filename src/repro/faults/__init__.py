@@ -1,0 +1,43 @@
+"""The deterministic fault-injection plane.
+
+Fault plans (:mod:`repro.faults.plan`) describe environment failures —
+ENOSPC/EIO/EINTR/EAGAIN storms, short reads and writes, fd exhaustion,
+ENOMEM on process creation, signal storms, disk caps — keyed entirely on
+deterministic coordinates.  The injector (:mod:`repro.faults.injector`)
+applies them from the kernel's syscall dispatch and filesystem;
+:mod:`repro.faults.verify` turns the paper's quasi-determinism claim into
+an executable property over any plan.
+
+``repro.faults.verify`` is intentionally *not* imported here: it depends
+on :mod:`repro.core`, which itself imports this package.
+"""
+
+from .injector import ArmedFault, FaultInjector
+from .plan import (
+    ALL_FAULT_KINDS,
+    DISK_FULL_FAULT,
+    ERRNO_FAULTS,
+    SHORT_IO_FAULTS,
+    SIGNAL_FAULT,
+    FaultPlan,
+    FaultPlanError,
+    FaultRule,
+    storm,
+)
+from .report import AttemptRecord, CrashReport
+
+__all__ = [
+    "ALL_FAULT_KINDS",
+    "ArmedFault",
+    "AttemptRecord",
+    "CrashReport",
+    "DISK_FULL_FAULT",
+    "ERRNO_FAULTS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultRule",
+    "SHORT_IO_FAULTS",
+    "SIGNAL_FAULT",
+    "storm",
+]

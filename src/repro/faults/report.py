@@ -1,0 +1,73 @@
+"""Structured crash reports for supervised container runs.
+
+A :class:`CrashReport` is graceful degradation made concrete: whatever
+way a run ends — classified failure, injected storm, kernel panic — the
+caller still gets the partial output tree on the
+:class:`~repro.core.container.ContainerResult` *plus* this structured
+account of what happened.  Everything in it derives from deterministic
+state (statuses, fault coordinates, the syscall ring), so two runs of
+the same image and plan produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Tuple
+
+
+@dataclasses.dataclass
+class AttemptRecord:
+    """One supervised attempt, as seen by the retry loop."""
+
+    attempt: int
+    status: str
+    exit_code: Any
+    error: str
+    faults_injected: int
+    transient: bool
+    #: Deterministic virtual-time backoff charged *before* this attempt.
+    backoff: float
+
+
+@dataclasses.dataclass
+class CrashReport:
+    """What a (possibly failed) run looked like, reproducibly."""
+
+    status: str
+    error: str
+    #: Chronological fault injections: {pid, index, syscall, fault, rule}.
+    fault_trace: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
+    #: The last N syscalls dispatched before the end, as
+    #: "(nspid, per-process index, name)" tuples.
+    last_syscalls: List[Tuple[int, int, str]] = dataclasses.field(default_factory=list)
+    #: Supervised-run history (empty for plain DetTrace.run).
+    attempt_log: List[AttemptRecord] = dataclasses.field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "status": self.status,
+            "error": self.error,
+            "fault_trace": list(self.fault_trace),
+            "last_syscalls": [list(entry) for entry in self.last_syscalls],
+            "attempt_log": [dataclasses.asdict(rec) for rec in self.attempt_log],
+        }
+
+    def format(self) -> str:
+        """Human-readable multi-line rendering for CLI error output."""
+        lines = ["crash report: status=%s error=%s" % (self.status, self.error)]
+        for rec in self.attempt_log:
+            lines.append(
+                "  attempt %d: %s (exit=%s, faults=%d%s, backoff=%g)"
+                % (rec.attempt, rec.status, rec.exit_code, rec.faults_injected,
+                   ", transient" if rec.transient else "", rec.backoff))
+        if self.fault_trace:
+            lines.append("  fault trace (%d injections):" % len(self.fault_trace))
+            for entry in self.fault_trace[-8:]:
+                lines.append("    pid %s syscall #%s %s <- %s"
+                             % (entry.get("pid"), entry.get("index"),
+                                entry.get("syscall"), entry.get("fault")))
+        if self.last_syscalls:
+            lines.append("  last syscalls:")
+            for nspid, index, name in self.last_syscalls[-8:]:
+                lines.append("    pid %d #%d %s" % (nspid, index, name))
+        return "\n".join(lines)

@@ -54,6 +54,9 @@ class Filesystem:
         self.root = new_directory(self._alloc.allocate(), now=host.boot_epoch)
         self.device_id = 0x801
         self._bytes_written = 0
+        #: Deterministic fault plane consult point (repro.faults):
+        #: disk_full rules cap cumulative bytes written.
+        self.fault_injector = None
 
     # -- allocation ---------------------------------------------------------
 
@@ -63,6 +66,8 @@ class Filesystem:
     def charge_disk(self, nbytes: int) -> None:
         """Account *nbytes* of new data; raise ENOSPC past the injection cap."""
         self._bytes_written += max(0, nbytes)
+        if self.fault_injector is not None:
+            self.fault_injector.disk_charge(self._bytes_written)
         cap = self.host.disk_free_bytes
         if cap is not None and self._bytes_written > cap:
             raise SyscallError(Errno.ENOSPC, "write")

@@ -14,7 +14,7 @@ tracer layers above.
 from __future__ import annotations
 
 import heapq
-from collections import Counter
+from collections import Counter, deque
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..cpu.machine import HostEnvironment
@@ -48,6 +48,11 @@ CHILD_START_DELAY = 20e-6
 DEFAULT_MAX_EVENTS = 50_000_000
 
 
+#: How many trailing syscall dispatches the kernel remembers for crash
+#: reports ("last N syscalls" — repro.faults.report).
+RECENT_SYSCALL_WINDOW = 32
+
+
 class KernelStats:
     """Aggregate counters for one kernel run (Figure 5's x-axis, etc.)."""
 
@@ -59,6 +64,9 @@ class KernelStats:
         self.processes_spawned = 0
         self.threads_spawned = 0
         self.events_processed = 0
+        #: Ring of (nspid, per-process syscall index, name): deterministic
+        #: forensics for the crash report's "last N syscalls".
+        self.recent_syscalls: deque = deque(maxlen=RECENT_SYSCALL_WINDOW)
 
     def count_syscall(self, name: str) -> None:
         self.syscalls += 1
@@ -103,6 +111,8 @@ class Kernel:
         self._nspid_next: Optional[int] = None
 
         self.tracer = None
+        #: Deterministic fault injector (repro.faults); None = no plane.
+        self.faults = None
         self.cores_busy = 0
         self._core_queue: List[Tuple[Thread, float]] = []
         self._parked: Dict[Channel, List[Thread]] = {}
@@ -134,6 +144,19 @@ class Kernel:
 
     def enable_pid_namespace(self, first_pid: int = 1) -> None:
         self._nspid_next = first_pid
+
+    def install_faults(self, plan, attempt: int = 0):
+        """Install the deterministic fault plane for this boot.
+
+        Wires one :class:`repro.faults.FaultInjector` into both consult
+        points (syscall dispatch and the filesystem) and returns it.
+        """
+        from ..faults.injector import FaultInjector
+
+        injector = FaultInjector(plan, attempt=attempt)
+        self.faults = injector
+        self.fs.fault_injector = injector
+        return injector
 
     # ------------------------------------------------------------------
     # event loop
@@ -529,6 +552,16 @@ class Kernel:
 
     def _dispatch_syscall(self, thread: Thread, call: Syscall) -> None:
         self.stats.count_syscall(call.name)
+        proc = thread.process
+        index = proc.syscall_index
+        proc.syscall_index = index + 1
+        self.stats.recent_syscalls.append((proc.nspid, index, call.name))
+        if self.faults is not None:
+            self.faults.on_dispatch(self, thread, call, index)
+            if not thread.alive:
+                # An injected signal storm terminated the process at the
+                # dispatch point; there is nothing left to execute.
+                return
         thread.compute_since_syscall = 0.0
         thread.det_clock = max(thread.det_clock, thread.det_bound) + SYSCALL_TICK
         thread.det_bound = thread.det_clock

@@ -68,6 +68,9 @@ class Thread:
         #: thread's progress is driven by deterministic token grants, so
         #: it must not gate the reproducible scheduler's eligibility.
         self.token_queued = False
+        #: Fault decision armed for the in-flight syscall instance
+        #: (repro.faults): set at dispatch, consumed at first execution.
+        self.armed_fault = None
 
     @property
     def is_main(self) -> bool:
@@ -123,6 +126,9 @@ class Process:
         #: Arbitrary per-process scratch shared between guest threads
         #: (models the shared address space).
         self.memory: Dict[str, Any] = {}
+        #: Count of syscalls this process has dispatched — the
+        #: deterministic per-process coordinate fault plans key on.
+        self.syscall_index = 0
 
     @property
     def alive(self) -> bool:

@@ -117,6 +117,13 @@ class SyscallTable:
     # ------------------------------------------------------------------
 
     def execute(self, thread: Thread, call: Syscall) -> Any:
+        faults = self.kernel.faults
+        if faults is not None:
+            # Apply any fault armed at dispatch time for this instance:
+            # may raise the injected errno or rewrite the call into a
+            # short transfer.  Probes/retries of the same instance find
+            # the slot cleared and run unfaulted.
+            call = faults.consume(thread, call)
         method = getattr(self, "sys_" + call.name, None)
         if method is None:
             raise SyscallError(Errno.ENOSYS, call.name)

@@ -23,6 +23,11 @@ class TraceCounters:
     vdso_patches: int = 0
     getdents_sorted: int = 0
     memory_writes: int = 0
+    #: Deterministic fault plane (repro.faults): total injections, of
+    #: which signal deliveries and short IO truncations.
+    faults_injected: int = 0
+    signals_injected: int = 0
+    short_io_injected: int = 0
 
     def add(self, other: "TraceCounters") -> None:
         for field in dataclasses.fields(self):

@@ -1,0 +1,195 @@
+"""Property-based tests: FaultPlan/FaultRule are pure, deterministic data.
+
+Everything the injector consults — window membership, attempt scoping,
+disk caps, serialization — must be a pure function of the rule fields, so
+that a plan alone pins down every injection point.
+"""
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    ALL_FAULT_KINDS,
+    DISK_FULL_FAULT,
+    ERRNO_FAULTS,
+    FaultPlan,
+    FaultPlanError,
+    FaultRule,
+)
+
+kinds = st.sampled_from(ALL_FAULT_KINDS)
+small = st.integers(min_value=0, max_value=64)
+positive = st.integers(min_value=1, max_value=64)
+
+
+@st.composite
+def rules(draw):
+    fault = draw(kinds)
+    syscall = draw(st.none() | st.tuples(
+        *[st.sampled_from(["read", "write", "open", "spawn_process"])] *
+        draw(st.integers(min_value=1, max_value=3))))
+    return FaultRule(
+        fault=fault,
+        pid=draw(st.none() | st.integers(min_value=1, max_value=5000)),
+        syscall=syscall,
+        path_prefix=draw(st.none() | st.sampled_from(["/build", "/tmp", "/"])),
+        start=draw(small),
+        stride=draw(positive),
+        count=draw(positive),
+        signum=draw(st.integers(min_value=1, max_value=31)),
+        keep_bytes=draw(st.integers(min_value=0, max_value=16)),
+        # `bytes` is serialized for disk_full rules only; keep others at
+        # the default so round-trips are exact.
+        bytes=(draw(st.integers(min_value=1, max_value=1 << 20))
+               if fault == DISK_FULL_FAULT else 0),
+        transient=draw(st.booleans()),
+        attempts=draw(positive),
+    )
+
+
+plans = st.builds(lambda rs: FaultPlan(rules=tuple(rs)),
+                  st.lists(rules(), max_size=6))
+
+
+# -- serialization ----------------------------------------------------------
+
+@given(rule=rules())
+def test_rule_round_trips_through_dict(rule):
+    assert FaultRule.from_dict(rule.to_dict()) == rule
+
+
+@given(plan=plans)
+def test_plan_round_trips_through_json(plan):
+    assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+@given(plan=plans)
+def test_json_form_is_canonical(plan):
+    """Serialization is itself deterministic: same plan, same bytes."""
+    assert plan.to_json() == FaultPlan.from_json(plan.to_json()).to_json()
+
+
+def test_bare_list_and_wrapped_forms_agree():
+    raw = [{"fault": "eio", "syscall": "write", "count": 2}]
+    assert FaultPlan.from_dict(raw) == FaultPlan.from_dict({"rules": raw})
+
+
+@pytest.mark.parametrize("raw", [
+    {"fault": "no_such_kind"},
+    {"fault": "eio", "stride": 0},
+    {"fault": "eio", "count": 0},
+    {"fault": "eio", "start": -1},
+    {"fault": "disk_full"},
+    {"fault": "disk_full", "bytes": 0},
+    {"fault": "eio", "surprise_field": 1},
+    {"syscall": "read"},
+    "not an object",
+])
+def test_malformed_rules_raise_fault_plan_error(raw):
+    with pytest.raises(FaultPlanError):
+        FaultPlan.from_dict({"rules": [raw]})
+
+
+def test_malformed_json_raises_fault_plan_error():
+    with pytest.raises(FaultPlanError):
+        FaultPlan.from_json("{not json")
+    with pytest.raises(FaultPlanError):
+        FaultPlan.from_json('"a string"')
+
+
+# -- window arithmetic ------------------------------------------------------
+
+@given(rule=rules(), index=small, fired=small)
+def test_in_window_is_pure_arithmetic(rule, index, fired):
+    expected = (fired < rule.count and index >= rule.start
+                and (index - rule.start) % rule.stride == 0)
+    assert rule.in_window(index, fired) == expected
+
+
+@given(rule=rules(), index=small)
+def test_window_closes_after_count_firings(rule, index):
+    assert not rule.in_window(index, rule.count)
+
+
+@given(rule=rules(), attempt=small)
+def test_attempt_scoping(rule, attempt):
+    if not rule.transient:
+        assert rule.active_on_attempt(attempt)
+    else:
+        assert rule.active_on_attempt(attempt) == (attempt < rule.attempts)
+
+
+@given(plan=plans, attempt=st.integers(min_value=0, max_value=4))
+def test_disk_cap_is_tightest_active_rule(plan, attempt):
+    caps = [r.bytes for r in plan.rules
+            if r.fault == DISK_FULL_FAULT and r.active_on_attempt(attempt)]
+    assert plan.disk_cap(attempt) == (min(caps) if caps else None)
+
+
+@given(rule=rules())
+def test_errno_mapping_matches_kind(rule):
+    if rule.fault in ERRNO_FAULTS:
+        assert rule.errno is ERRNO_FAULTS[rule.fault]
+    else:
+        assert rule.errno is None
+
+
+# -- injector determinism ---------------------------------------------------
+
+class _FakeFdTable:
+    def has(self, fd):
+        return False
+
+    def get(self, fd):
+        raise KeyError(fd)
+
+
+class _FakeProc:
+    def __init__(self, nspid):
+        self.nspid = nspid
+        self.cwd_path = "/build"
+        self.fdtable = _FakeFdTable()
+
+
+class _FakeThread:
+    def __init__(self, nspid):
+        self.process = _FakeProc(nspid)
+        self.armed_fault = None
+
+
+class _FakeCall:
+    def __init__(self, name):
+        self.name = name
+        self.args = {}
+
+
+@given(plan=plans,
+       dispatches=st.lists(
+           st.tuples(st.sampled_from([1, 2, 3]),
+                     st.sampled_from(["read", "write", "open", "getpid"])),
+           max_size=40))
+def test_injector_trace_is_a_pure_function_of_the_dispatch_sequence(
+        plan, dispatches):
+    """Two injectors fed the identical dispatch sequence arm identically
+    (signal rules excluded here: they need a live kernel to deliver)."""
+    plan = FaultPlan(rules=tuple(r for r in plan.rules
+                                 if r.fault != "signal"))
+
+    def replay():
+        injector = FaultInjector(plan)
+        threads = {}
+        indices = {}
+        armed = []
+        for nspid, name in dispatches:
+            thread = threads.setdefault(nspid, _FakeThread(nspid))
+            index = indices.get(nspid, 0)
+            indices[nspid] = index + 1
+            injector.on_dispatch(None, thread, _FakeCall(name), index)
+            slot = thread.armed_fault
+            armed.append(None if slot is None else
+                         (slot.rule.fault, slot.pid, slot.index))
+            thread.armed_fault = None
+        return armed, injector.trace
+
+    assert replay() == replay()
