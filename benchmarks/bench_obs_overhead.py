@@ -1,0 +1,74 @@
+"""Observability overhead: obs-on vs obs-off host wall time.
+
+The observer-effect invariant (tests/obs) guarantees the event stream
+never changes *virtual* behaviour — same output hashes, same schedules.
+This bench quantifies what observability costs in *host* time: the same
+package sample is built with ``observe=False`` and ``observe=True`` and
+the wall-clock ratio is reported, plus a machine-readable
+``BENCH_obs_overhead.json`` at the repo root for trend tracking.
+"""
+import json
+import os
+import time
+
+from repro.core import ContainerConfig
+from repro.repro_tools import first_build_host
+from repro.repro_tools.hashing import tree_digest
+from repro.workloads.debian import build_dettrace, generate_population
+
+from .conftest import scaled
+
+SAMPLE = scaled(12)
+OUT_PATH = os.path.join(os.path.dirname(os.path.dirname(__file__)),
+                        "BENCH_obs_overhead.json")
+
+
+def measure_obs_overhead():
+    specs = [s for s in generate_population(SAMPLE * 2, seed=21)
+             if not s.expect_dt_unsupported and not s.syscall_storm][:SAMPLE]
+    off_s = on_s = 0.0
+    built = 0
+    events = 0
+    for spec in specs:
+        t0 = time.perf_counter()
+        off = build_dettrace(spec, config=ContainerConfig(observe=False),
+                             host=first_build_host())
+        t1 = time.perf_counter()
+        on = build_dettrace(spec, config=ContainerConfig(observe=True),
+                            host=first_build_host())
+        t2 = time.perf_counter()
+        if off.status != "built" or on.status != "built":
+            continue
+        # The observer effect must be nil: identical trees either way.
+        assert (tree_digest(off.result.output_tree)
+                == tree_digest(on.result.output_tree))
+        built += 1
+        off_s += t1 - t0
+        on_s += t2 - t1
+        if on.result.trace is not None:
+            events += len(on.result.trace)
+    return {
+        "packages": built,
+        "obs_off_wall_s": round(off_s, 6),
+        "obs_on_wall_s": round(on_s, 6),
+        "overhead_ratio": round(on_s / off_s, 4) if off_s else None,
+        "trace_events": events,
+    }
+
+
+def test_obs_overhead(benchmark, capsys):
+    row = benchmark.pedantic(measure_obs_overhead, rounds=1, iterations=1)
+    with open(OUT_PATH, "w") as fh:
+        json.dump(row, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    with capsys.disabled():
+        print()
+        print("obs overhead: %d packages, off %.3fs vs on %.3fs "
+              "(ratio %.2fx, %d trace events) -> %s"
+              % (row["packages"], row["obs_off_wall_s"], row["obs_on_wall_s"],
+                 row["overhead_ratio"] or 0.0, row["trace_events"],
+                 os.path.basename(OUT_PATH)))
+    assert row["packages"] >= SAMPLE * 0.8
+    assert row["trace_events"] > 0
+    # Collecting the stream should stay cheap relative to the run itself.
+    assert row["overhead_ratio"] is not None and row["overhead_ratio"] < 3.0

@@ -4,12 +4,15 @@ Our packages are ~300x smaller than Debian's (hundreds of syscalls per
 build instead of 843k), so the table reports measured averages alongside
 the paper's; the *mix* (syscalls >> memory reads >> rdtsc >> scheduling
 >> replays >> spawns >> retries) is the reproduced shape.
-"""
-import dataclasses
 
-from repro.analysis import PAPER_TABLE2, format_table2
+The counts come straight from the observability plane: every run already
+carries a :class:`repro.obs.metrics.Metrics` snapshot, so the bench
+aggregates ``ContainerResult.metrics`` with :meth:`Metrics.add` instead
+of recomputing event totals from raw counters.
+"""
+from repro.analysis import PAPER_TABLE2, format_table2  # noqa: F401
+from repro.obs.metrics import Metrics
 from repro.repro_tools import first_build_host
-from repro.tracer.events import TraceCounters
 from repro.workloads.debian import build_dettrace, generate_population
 
 from .conftest import scaled
@@ -20,16 +23,18 @@ SAMPLE = scaled(40)
 def measure_events():
     specs = [s for s in generate_population(SAMPLE * 2, seed=7)
              if not s.expect_dt_unsupported and not s.syscall_storm][:SAMPLE]
-    total = TraceCounters()
+    aggregate = None
     built = 0
     for spec in specs:
         rec = build_dettrace(spec, host=first_build_host())
-        if rec.status != "built":
+        if rec.status != "built" or rec.result.metrics is None:
             continue
         built += 1
-        total.add(rec.result.counters)
-    averages = {label: value / max(1, built)
-                for label, value in total.as_table2_rows()}
+        if aggregate is None:
+            aggregate = rec.result.metrics
+        else:
+            aggregate.add(rec.result.metrics)
+    averages = (aggregate or Metrics()).table2_averages()
     return built, averages
 
 

@@ -1,9 +1,10 @@
 #!/bin/sh
 # CI gate: byte-compile the tree, run the tier-1 suite, then the fault
-# matrix as its own smoke stage (`-m faults` selects it).
+# matrix and the observability plane as their own smoke stages.
 #
 #   ./scripts/check.sh          # full gate
 #   ./scripts/check.sh faults   # just the fault-injection smoke stage
+#   ./scripts/check.sh obs      # just the observability smoke stage
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -18,7 +19,24 @@ if [ "$stage" = "all" ]; then
     python -m pytest -x -q
 fi
 
-echo "== fault-injection smoke stage (-m faults) =="
-python -m pytest -x -q -m faults
+if [ "$stage" = "all" ] || [ "$stage" = "faults" ]; then
+    echo "== fault-injection smoke stage (-m faults) =="
+    python -m pytest -x -q -m faults
+fi
+
+if [ "$stage" = "all" ] || [ "$stage" = "obs" ]; then
+    echo "== observability smoke stage (-m obs) =="
+    python -m pytest -x -q -m obs
+    echo "== metrics-identity gate (two runs -> identical trace JSON) =="
+    obs_tmp="$(mktemp -d)"
+    trap 'rm -rf "$obs_tmp"' EXIT
+    python -m repro run --trace-out "$obs_tmp/a.json" -- ls -l /bin \
+        > "$obs_tmp/a.out" 2> /dev/null
+    python -m repro run --trace-out "$obs_tmp/b.json" -- ls -l /bin \
+        > "$obs_tmp/b.out" 2> /dev/null
+    cmp "$obs_tmp/a.json" "$obs_tmp/b.json"
+    cmp "$obs_tmp/a.out" "$obs_tmp/b.out"
+    echo "trace JSON and stdout byte-identical across reruns"
+fi
 
 echo "check.sh: OK"

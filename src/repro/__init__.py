@@ -24,6 +24,9 @@ Package layout:
 * :mod:`repro.guest` — the guest program model and runtime;
 * :mod:`repro.tracer` — ptrace/seccomp analogs;
 * :mod:`repro.core` — **DetTrace itself** (the paper's contribution);
+* :mod:`repro.obs` — deterministic observability: metrics, virtual-time
+  traces, phase profiling;
+* :mod:`repro.faults` — deterministic fault plans and crash reports;
 * :mod:`repro.rnr` — the record-and-replay baseline (rr analog);
 * :mod:`repro.workloads` — Debian builds, bioinformatics, TensorFlow;
 * :mod:`repro.repro_tools` — reprotest/diffoscope/strip-nondeterminism;

@@ -27,6 +27,7 @@ from .core import ContainerConfig, DetTrace, Image, NativeRunner, OK, RETRIED
 from .cpu.machine import ALL_MACHINES, SKYLAKE_CLOUDLAB, HostEnvironment
 from .faults import FaultPlan, FaultPlanError
 from .guest.coreutils import COREUTILS_PATHS, install_coreutils
+from .obs.report import format_metrics, format_table2_summary
 
 
 def base_image() -> Image:
@@ -62,9 +63,15 @@ def _load_faults(args) -> Optional[FaultPlan]:
                          % (args.faults, err))
 
 
+def _wants_obs(args) -> bool:
+    return bool(getattr(args, "metrics", False)
+                or getattr(args, "trace_out", None))
+
+
 def _run_container(args, image, path, argv) -> "object":
     plan = _load_faults(args)
-    config = ContainerConfig(prng_seed=args.seed, fault_plan=plan)
+    config = ContainerConfig(prng_seed=args.seed, fault_plan=plan,
+                             observe=bool(getattr(args, "trace_out", None)))
     container = DetTrace(config)
     if getattr(args, "supervised", False):
         return container.run_supervised(image, path, argv=argv,
@@ -94,6 +101,25 @@ def _report(result, verbose: bool) -> int:
     return result.exit_code if result.exit_code is not None else 1
 
 
+def _emit_obs(args, result) -> None:
+    """--metrics / --trace-out output (repro.obs).  Reports go to stderr
+    so container stdout stays byte-reproducible."""
+    if getattr(args, "metrics", False):
+        if result.metrics is not None:
+            _sys.stderr.write(format_metrics(result.metrics) + "\n")
+        else:
+            _sys.stderr.write("repro: no metrics collected for this run\n")
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        if result.trace is not None:
+            result.trace.write(trace_out)
+            _sys.stderr.write(
+                "trace: wrote %d records to %s\n"
+                % (len(result.trace.to_chrome()["traceEvents"]), trace_out))
+        else:
+            _sys.stderr.write("repro: no trace collected (native run?)\n")
+
+
 def cmd_run(args) -> int:
     image = base_image()
     command = args.command
@@ -114,7 +140,9 @@ def cmd_run(args) -> int:
             image, path, argv=argv, host=_host(args))
     else:
         result = _run_container(args, image, path, argv)
-    return _report(result, args.verbose)
+    status = _report(result, args.verbose)
+    _emit_obs(args, result)
+    return status
 
 
 def cmd_script(args) -> int:
@@ -134,12 +162,58 @@ def cmd_script(args) -> int:
     else:
         result = _run_container(args, image, "/bin/sh", argv)
     status = _report(result, args.verbose)
+    _emit_obs(args, result)
     if args.show_tree:
         for rel_path in sorted(result.output_tree):
             if rel_path != "script.sh":
                 _sys.stderr.write("  %s (%d bytes)\n"
                                   % (rel_path, len(result.output_tree[rel_path])))
     return status
+
+
+def cmd_obs(args) -> int:
+    """Run a toolbox command under full observability and print the
+    Table-2-style determinization summary, averaged over --runs."""
+    image = base_image()
+    command = args.command
+    if command and command[0] == "--":
+        command = command[1:]
+    if not command:
+        _sys.stderr.write("repro obs: missing command\n")
+        return 2
+    path = _resolve(command[0])
+    if path is None:
+        _sys.stderr.write("repro: %s: not in the toolbox (%s)\n"
+                          % (command[0], ", ".join(sorted(COREUTILS_PATHS))))
+        return 127
+    argv = [command[0]] + command[1:]
+    plan = _load_faults(args)
+    aggregate = None
+    trace = None
+    for _ in range(max(1, args.runs)):
+        config = ContainerConfig(prng_seed=args.seed, fault_plan=plan,
+                                 observe=bool(args.trace_out))
+        result = DetTrace(config).run(image, path, argv=argv,
+                                      host=_host(args))
+        if result.metrics is None:
+            _sys.stderr.write("repro obs: run collected no metrics (%s)\n"
+                              % result.status)
+            return 70
+        if aggregate is None:
+            aggregate = result.metrics
+            trace = result.trace
+        else:
+            aggregate.add(result.metrics)
+    if args.full:
+        print(format_metrics(aggregate))
+    else:
+        print(format_table2_summary(aggregate))
+    if args.trace_out and trace is not None:
+        trace.write(args.trace_out)
+        _sys.stderr.write(
+            "trace: wrote %d records to %s\n"
+            % (len(trace.to_chrome()["traceEvents"]), args.trace_out))
+    return 0
 
 
 def cmd_selftest(args) -> int:
@@ -184,6 +258,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--supervised", action="store_true",
                        help="retry transient fault-plane failures with "
                             "deterministic virtual-time backoff")
+        p.add_argument("--metrics", action="store_true",
+                       help="print the repro.obs determinization metrics "
+                            "report (Table-2-style) to stderr")
+        p.add_argument("--trace-out", metavar="FILE", dest="trace_out",
+                       help="write a Chrome trace_event JSON trace keyed "
+                            "on virtual time (byte-identical across reruns)")
 
     run = sub.add_parser("run", help="run a toolbox command in a container")
     common(run)
@@ -198,6 +278,27 @@ def build_parser() -> argparse.ArgumentParser:
     script.add_argument("--show-tree", action="store_true",
                         help="list the output tree after the run")
     script.set_defaults(fn=cmd_script)
+
+    obs = sub.add_parser("obs", help="run a command and report repro.obs "
+                                     "determinization metrics")
+    obs.add_argument("--boot", type=int, default=1,
+                     help="simulated machine boot")
+    obs.add_argument("--seed", type=int, default=0, help="container PRNG seed")
+    obs.add_argument("--machine", default="cloudlab-c220g5",
+                     choices=sorted(ALL_MACHINES))
+    obs.add_argument("--faults", metavar="PLAN.json",
+                     help="deterministic fault-injection plan")
+    obs.add_argument("--runs", type=int, default=1,
+                     help="average the summary over N identical runs")
+    obs.add_argument("--full", action="store_true",
+                     help="print the full metrics report, not just the "
+                          "Table-2 summary")
+    obs.add_argument("--trace-out", metavar="FILE", dest="trace_out",
+                     help="also write the Chrome trace_event JSON of the "
+                          "first run")
+    obs.add_argument("command", nargs=argparse.REMAINDER,
+                     help="command and arguments")
+    obs.set_defaults(fn=cmd_obs)
 
     selftest = sub.add_parser("selftest",
                               help="verify the reproducibility guarantee")

@@ -115,6 +115,18 @@ class ContainerConfig:
     #: are collected on ``ContainerResult.debug_log``.
     debug: int = 0
 
+    # -- observability (repro.obs) -------------------------------------------
+
+    #: Record the structured event stream (tracer spans plus syscall /
+    #: trap / fault / spawn instants) and surface it as
+    #: ``ContainerResult.trace`` — Chrome trace_event JSON keyed only on
+    #: deterministic virtual time and coordinates.  Aggregated metrics
+    #: (``ContainerResult.metrics``) are always collected; this toggle
+    #: only gates the per-event stream, whose memory grows with the run.
+    #: Hard invariant (tests/obs): flipping it never changes output
+    #: hashes, exit statuses, or virtual-time schedules.
+    observe: bool = False
+
     # -- robustness: the fault plane & supervised runs -----------------------
 
     #: Deterministic fault-injection plan (repro.faults).  ``None`` means

@@ -30,6 +30,9 @@ from ..cpu.machine import HostEnvironment
 from ..faults.report import AttemptRecord, CrashReport
 from ..kernel.errors import DeadlockError, KernelPanic, SimTimeout
 from ..kernel.kernel import Kernel
+from ..obs.collector import Collector
+from ..obs.metrics import Metrics
+from ..obs.trace import TraceLog
 from ..tracer.events import TraceCounters
 from .config import ContainerConfig, FIXED_ASLR_BASE
 from .errors import (
@@ -76,7 +79,16 @@ class ContainerResult:
     wall_time: float
     host: HostEnvironment
     #: --debug trace lines (empty unless ContainerConfig.debug > 0).
+    #: A rendered-string compatibility view over the structured events.
     debug_log: List[str] = dataclasses.field(default_factory=list)
+    #: Deterministic observability snapshot (repro.obs) — populated on
+    #: every exit path, including crashes, so metrics and crash reports
+    #: always agree.
+    metrics: Optional[Metrics] = None
+    #: Structured event trace (repro.obs.trace), present only when
+    #: ``ContainerConfig.observe`` was set.  ``trace.to_json()`` is
+    #: byte-identical across reruns of the same image + config + plan.
+    trace: Optional[TraceLog] = None
     #: How many supervised attempts produced this result (1 = no retry).
     attempts: int = 1
     #: Did transient-classified fault rules fire during the (final) run?
@@ -135,15 +147,19 @@ def _classify(err: BaseException):
 
 def _finish(kernel: Kernel, build_dir: str, host: HostEnvironment,
             status: str, exit_code: Optional[int], error: str,
-            counters: Optional[TraceCounters],
-            tracer: Optional[DetTraceTracer] = None) -> ContainerResult:
+            counters: Optional[TraceCounters]) -> ContainerResult:
     """Assemble the result from whatever state the kernel ended in.
 
-    Owns *all* result decoration — debug log, crash report, partial
-    output tree — so every exit path (including timeout/deadlock/crash)
-    carries the kernel's final state.  Never raises: collection failures
-    degrade to empty fields recorded in the error string.
+    Owns *all* result decoration — debug log, metrics, trace, crash
+    report, partial output tree — so every exit path (including
+    timeout/deadlock/crash) carries the kernel's final state.  All
+    observability flows through the kernel's collector (repro.obs),
+    which exists from the first line of a run: events buffered before a
+    panic are never dropped, and crash reports and metrics agree.
+    Never raises: collection failures degrade to empty fields recorded
+    in the error string.
     """
+    obs = kernel.obs
     try:
         output_tree = _collect_output_tree(kernel, build_dir)
     except Exception as err:  # pragma: no cover - snapshot never raises today
@@ -153,6 +169,11 @@ def _finish(kernel: Kernel, build_dir: str, host: HostEnvironment,
         stdout, stderr = kernel.stdout.text(), kernel.stderr.text()
     except Exception:  # pragma: no cover
         stdout, stderr = "", ""
+    try:
+        metrics = Metrics.from_run(obs, counters, kernel.stats)
+    except Exception:  # pragma: no cover
+        metrics = None
+    trace = obs.trace_log() if obs.trace_enabled else None
     injector = kernel.faults
     report = None
     if status != OK or (injector is not None and injector.injected):
@@ -173,7 +194,9 @@ def _finish(kernel: Kernel, build_dir: str, host: HostEnvironment,
         syscall_count=kernel.stats.syscalls,
         wall_time=kernel.clock.now,
         host=host,
-        debug_log=list(tracer.debug_log) if tracer is not None else [],
+        debug_log=obs.render_debug(),
+        metrics=metrics,
+        trace=trace,
         transient_faults=bool(injector is not None and injector.transient_fired),
         crash_report=report,
     )
@@ -198,6 +221,10 @@ class DetTrace:
         cfg = self.config
         host = host or HostEnvironment()
         kernel = Kernel(host)
+        # The collector exists before anything can fail, so every exit
+        # path — including a crash before the tracer is even built —
+        # flows through it (crash reports and metrics always agree).
+        kernel.obs = Collector(trace=cfg.observe, debug=cfg.debug)
         tracer = None
         proc = None
         status, error = OK, ""
@@ -223,6 +250,7 @@ class DetTrace:
             if cfg.fault_plan is not None:
                 injector = kernel.install_faults(cfg.fault_plan, attempt=_attempt)
                 injector.counters = tracer.counters
+                injector.obs = kernel.obs
 
             env = cfg.env_for(host.env)
             proc = kernel.boot(command, argv=argv, env=env, uid=0,
@@ -232,8 +260,7 @@ class DetTrace:
             status, error = _classify(err)
         exit_code, error = _decode_exit(proc, status, error)
         return _finish(kernel, cfg.working_dir, host, status, exit_code,
-                       error, tracer.counters if tracer is not None else None,
-                       tracer=tracer)
+                       error, tracer.counters if tracer is not None else None)
 
     def run_supervised(self, image: Image, command: str,
                        argv: Optional[List[str]] = None,

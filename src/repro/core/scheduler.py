@@ -77,6 +77,15 @@ class SchedulerBase:
         a blocked write transferred part of its buffer before blocking
         again): blocked candidates must become probe-eligible."""
 
+    def blocked_count(self) -> int:
+        """How many candidates are deterministically deferred (the
+        Blocked-queue occupancy sampled into repro.obs)."""
+        raise NotImplementedError
+
+    def live_count(self) -> int:
+        """How many live threads the scheduler currently manages."""
+        raise NotImplementedError
+
 
 class LogicalClockScheduler(SchedulerBase):
     """Deterministic logical-time servicing (the default).
@@ -169,6 +178,9 @@ class LogicalClockScheduler(SchedulerBase):
     def blocked_count(self) -> int:
         return len(self._fail_seq)
 
+    def live_count(self) -> int:
+        return len(self.live())
+
 
 class StrictQueueScheduler(SchedulerBase):
     """The literal Figure 3 queues (kept for ablation studies)."""
@@ -226,6 +238,10 @@ class StrictQueueScheduler(SchedulerBase):
 
     def blocked_count(self) -> int:
         return len(self.blocked)
+
+    def live_count(self) -> int:
+        return sum(1 for queue in (self.parallel, self.runnable, self.blocked)
+                   for thread in queue if thread.alive)
 
 
 def make_scheduler(kind: str) -> SchedulerBase:

@@ -22,6 +22,9 @@ from ..kernel.costs import (
 )
 from ..kernel.process import Process, Thread
 from ..kernel.types import CpuidResult
+from ..obs.events import DEBUG, TRAP, ObsEvent
+from ..obs.profiler import HANDLER, INTERCEPTION, SCHEDULER
+from ..obs.trace import Span
 from ..tracer.ptrace import TracerBase
 from ..tracer.seccomp import SeccompFilter
 from .config import ContainerConfig
@@ -57,11 +60,15 @@ class DetTraceTracer(TracerBase):
         self.handlers = build_handler_table()
         #: Cross-retry handler scratch (partial IO accumulation).
         self.io_state: Dict[Tuple[str, int], Any] = {}
-        #: --debug N trace lines (see ContainerConfig.debug).
-        self.debug_log: list = []
         self._pumping = False
         self._last_proc: Process = None
         self.sched = None  # set in attach (import cycle avoidance)
+
+    @property
+    def debug_log(self) -> list:
+        """--debug N trace lines, rendered from the structured events
+        (see ContainerConfig.debug and repro.obs)."""
+        return self.obs.render_debug()
 
     def attach(self, kernel) -> None:
         from .scheduler import make_scheduler
@@ -88,9 +95,14 @@ class DetTraceTracer(TracerBase):
         return False
 
     def on_instruction(self, thread: Thread, name: str) -> Tuple[Any, float]:
-        finish = self.charge(INSTR_TRAP_COST)
-        if self.config.debug >= 2:
-            self.debug_log.append("[pid %d] trap %s" % (thread.process.nspid, name))
+        finish = self.charge(INSTR_TRAP_COST, INTERCEPTION)
+        nspid = thread.process.nspid
+        self.obs.count(("trap", name))
+        self.obs.record(ObsEvent(vts=thread.det_clock, pid=nspid, index=-1,
+                                 kind=TRAP, name=name))
+        self.obs.debug(2, ObsEvent(vts=thread.det_clock, pid=nspid, index=-1,
+                                   kind=DEBUG, name=name,
+                                   detail="trap %s" % name))
         if name in (insn.RDTSC, insn.RDTSCP):
             self.counters.rdtsc_intercepted += 1
             return (self.logical.next_rdtsc(thread.process.pid), finish)
@@ -126,7 +138,8 @@ class DetTraceTracer(TracerBase):
         if self.config.patch_vdso:
             proc.vdso_patched = True
             self.counters.vdso_patches += 1
-            self.charge(EXECVE_TRACER_COST + self.poke_memory(8))
+            self.charge(EXECVE_TRACER_COST, HANDLER)
+            self.charge(self.poke_memory(8))
 
     def on_busy_wait(self, thread: Thread) -> None:
         raise BusyWaitError(thread.process.nspid, thread.tid)
@@ -185,20 +198,26 @@ class DetTraceTracer(TracerBase):
         return handler(ctx, thread, call)
 
     def _service(self, thread: Thread) -> bool:
+        self.begin_span()
         if thread.process is not self._last_proc:
             self.counters.sched_requests += 1
-            self.charge(TRACER_SCHED_COST)
+            self.obs.count(("sched", "context_switch"))
+            self.charge(TRACER_SCHED_COST, SCHEDULER)
             self._last_proc = thread.process
-        self.charge(self.seccomp.stop_cost + TRACER_HANDLER_COST)
+        self.charge(self.seccomp.stop_cost, INTERCEPTION)
+        self.charge(TRACER_HANDLER_COST, HANDLER)
+        thread.obs_attempt += 1
         outcome, payload = self._run_handler(thread)
         if self.config.debug:
             self._debug_line(thread, outcome, payload)
         if outcome == "block":
             self.counters.replays_blocking += 1
-            self.charge(TRACER_REPLAY_COST)
+            self.charge(TRACER_REPLAY_COST, SCHEDULER)
+            self._emit_span(thread, outcome)
             self.sched.still_blocked(thread)
             self.kernel.release_step_token(thread)
             return False
+        self._emit_span(thread, outcome)
         self._complete(thread, outcome, payload)
         return True
 
@@ -208,18 +227,49 @@ class DetTraceTracer(TracerBase):
         shown = payload
         if isinstance(shown, bytes) and len(shown) > 24:
             shown = shown[:24] + b"..."
-        self.debug_log.append("[pid %d] %s(%s) -> %s %.60r" % (
-            thread.process.nspid, call.name, args, outcome, shown))
+        self.obs.debug(1, ObsEvent(
+            vts=thread.det_clock, pid=thread.process.nspid,
+            index=thread.current_syscall_index, kind=DEBUG, name=call.name,
+            detail="%s(%s) -> %s %.60r" % (call.name, args, outcome, shown)))
+
+    def _disposition(self, thread: Thread, call, outcome: str) -> str:
+        """Classify how this instance was determinized (repro.obs)."""
+        if outcome == "block":
+            return "blocked"
+        if thread.obs_faulted:
+            return "injected"
+        return "rewritten" if call.name in self.handlers else "passthrough"
+
+    def _emit_span(self, thread: Thread, outcome: str) -> None:
+        """One trace span per service/probe, keyed only on deterministic
+        coordinates: det_clock, nspid, per-process index, attempt."""
+        call = thread.current_syscall
+        if call is None:
+            return
+        disposition = self._disposition(thread, call, outcome)
+        self.obs.span(Span(
+            name=call.name, cat=disposition, pid=thread.process.nspid,
+            tid=self.kernel.det_tid(thread), vts=thread.det_clock,
+            dur=self._span_cost, index=thread.current_syscall_index,
+            attempt=thread.obs_attempt))
+        if outcome != "block":
+            # Count each instance once, at its completing attempt.
+            self.obs.count(("syscall", call.name, disposition))
+            thread.obs_faulted = False
 
     def _probe(self, thread: Thread) -> bool:
         """Re-try a blocked thread's syscall; True if it completed."""
-        self.charge(TRACER_REPLAY_COST)
+        self.begin_span()
+        self.charge(TRACER_REPLAY_COST, SCHEDULER)
+        thread.obs_attempt += 1
         outcome, payload = self._run_handler(thread)
         if outcome == "block":
             self.counters.replays_blocking += 1
+            self._emit_span(thread, outcome)
             self.sched.still_blocked(thread)
             self.kernel.release_step_token(thread)
             return False
+        self._emit_span(thread, outcome)
         self._complete(thread, outcome, payload)
         return True
 
@@ -227,6 +277,10 @@ class DetTraceTracer(TracerBase):
         # Advance the scheduler's service epoch even for exits: an exit is
         # a state change that can unblock wait4 probes.
         self.sched.completed(thread)
+        blocked = self.sched.blocked_count()
+        self.obs.observe("sched/blocked", blocked)
+        self.obs.gauge_max("sched/blocked_peak", blocked)
+        self.obs.gauge_max("sched/threads_peak", self.sched.live_count())
         if outcome == "exited":
             # terminate_process already removed the thread from the
             # scheduler via the exit hooks; nothing to resume.

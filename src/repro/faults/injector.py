@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..kernel.errors import Errno, SyscallError
+from ..obs.events import FAULT, NO_VTS, ObsEvent
 from .plan import (
     DISK_FULL_FAULT,
     ERRNO_FAULTS,
@@ -64,16 +65,26 @@ class FaultInjector:
         self.transient_fired = False
         #: TraceCounters of the attached tracer (None under NativeRunner).
         self.counters = None
+        #: The run's observability collector (repro.obs); None until the
+        #: container wires it in.
+        self.obs = None
 
     # ------------------------------------------------------------------
     # syscall dispatch consult
     # ------------------------------------------------------------------
 
-    def on_dispatch(self, kernel, thread, call, index: int) -> None:
+    def on_dispatch(self, kernel, thread, call, index: int,
+                    vts: float = NO_VTS) -> None:
         """Arm any fault for the syscall instance at coordinate
-        (process, *index*); deliver signal-storm rules immediately."""
+        (process, *index*); deliver signal-storm rules immediately.
+
+        *vts* is the instance's deterministic timestamp, threaded through
+        to the structured fault events so crash forensics and traces
+        share coordinates.
+        """
         proc = thread.process
         thread.armed_fault = None
+        thread.obs_faulted = False
         for pos, rule in enumerate(self.plan):
             if rule.fault == DISK_FULL_FAULT:
                 continue
@@ -82,12 +93,13 @@ class FaultInjector:
             if rule.fault == SIGNAL_FAULT:
                 # Signal storms fire independently of (and in addition
                 # to) any syscall-level fault.
-                self._record(rule, pos, proc.nspid, index, call.name)
+                self._record(rule, pos, proc.nspid, index, call.name, vts=vts)
                 kernel.deliver_signal(proc, rule.signum)
                 continue
             if thread.armed_fault is None:
-                self._record(rule, pos, proc.nspid, index, call.name)
+                self._record(rule, pos, proc.nspid, index, call.name, vts=vts)
                 thread.armed_fault = ArmedFault(rule, proc.nspid, index, call.name)
+                thread.obs_faulted = True
 
     def _matches(self, rule: FaultRule, pos: int, proc, call, index: int) -> bool:
         if not rule.active_on_attempt(self.attempt):
@@ -126,7 +138,7 @@ class FaultInjector:
         return False
 
     def _record(self, rule: FaultRule, pos: int, nspid: int, index: int,
-                syscall: str) -> None:
+                syscall: str, vts: float = NO_VTS) -> None:
         key = (pos, nspid)
         self._fired[key] = self._fired.get(key, 0) + 1
         if rule.transient:
@@ -144,6 +156,11 @@ class FaultInjector:
                 self.counters.signals_injected += 1
             elif rule.fault in SHORT_IO_FAULTS:
                 self.counters.short_io_injected += 1
+        if self.obs is not None:
+            self.obs.count(("fault", rule.fault))
+            self.obs.record(ObsEvent(vts=vts, pid=nspid, index=index,
+                                     kind=FAULT, name=rule.fault,
+                                     detail="%s rule=%d" % (syscall, pos)))
 
     # ------------------------------------------------------------------
     # syscall execution consult (the armed decision)

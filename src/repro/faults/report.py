@@ -12,7 +12,9 @@ the same image and plan produce byte-identical reports.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List
+
+from ..obs.events import ObsEvent
 
 
 @dataclasses.dataclass
@@ -37,9 +39,12 @@ class CrashReport:
     error: str
     #: Chronological fault injections: {pid, index, syscall, fault, rule}.
     fault_trace: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
-    #: The last N syscalls dispatched before the end, as
-    #: "(nspid, per-process index, name)" tuples.
-    last_syscalls: List[Tuple[int, int, str]] = dataclasses.field(default_factory=list)
+    #: The last N syscalls dispatched before the end, as structured
+    #: :class:`repro.obs.events.ObsEvent` records — the same schema the
+    #: trace uses, so crash forensics and traces share coordinates.
+    #: (Events still index like the historical (nspid, index, name)
+    #: triples for compatibility.)
+    last_syscalls: List[ObsEvent] = dataclasses.field(default_factory=list)
     #: Supervised-run history (empty for plain DetTrace.run).
     attempt_log: List[AttemptRecord] = dataclasses.field(default_factory=list)
 
@@ -48,7 +53,7 @@ class CrashReport:
             "status": self.status,
             "error": self.error,
             "fault_trace": list(self.fault_trace),
-            "last_syscalls": [list(entry) for entry in self.last_syscalls],
+            "last_syscalls": [entry.to_dict() for entry in self.last_syscalls],
             "attempt_log": [dataclasses.asdict(rec) for rec in self.attempt_log],
         }
 

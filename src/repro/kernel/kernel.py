@@ -18,6 +18,8 @@ from collections import Counter, deque
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..cpu.machine import HostEnvironment
+from ..obs.collector import Collector
+from ..obs.events import EXIT, SPAWN, ObsEvent
 from .clock import SimClock
 from .costs import (
     COMPUTE_JITTER_FRAC,
@@ -64,8 +66,10 @@ class KernelStats:
         self.processes_spawned = 0
         self.threads_spawned = 0
         self.events_processed = 0
-        #: Ring of (nspid, per-process syscall index, name): deterministic
-        #: forensics for the crash report's "last N syscalls".
+        #: Ring of structured :class:`repro.obs.events.ObsEvent` records
+        #: (pid/index/name coordinates plus deterministic timestamps):
+        #: forensics for the crash report's "last N syscalls".  The same
+        #: schema backs the trace, so crash reports and traces agree.
         self.recent_syscalls: deque = deque(maxlen=RECENT_SYSCALL_WINDOW)
 
     def count_syscall(self, name: str) -> None:
@@ -100,6 +104,10 @@ class Kernel:
         self.network: Dict[str, bytes] = {}
         self.processes: List[Process] = []
         self.stats = KernelStats()
+        #: The run's observability collector (repro.obs).  Containers
+        #: install their own before boot; the default collects aggregates
+        #: that are simply never surfaced.  Purely passive either way.
+        self.obs = Collector()
 
         self._events: List[Tuple[float, int, Callable[[], None]]] = []
         self._seq = 0
@@ -230,6 +238,9 @@ class Kernel:
         self._wire_standard_fds(proc)
         self.processes.append(proc)
         self.stats.processes_spawned += 1
+        self.obs.count(("process", "spawn"))
+        self.obs.record(ObsEvent(vts=0.0, pid=proc.nspid, index=-1,
+                                 kind=SPAWN, name=path))
         thread = self._make_thread(proc, factory)
         if self.tracer is not None:
             self.tracer.on_process_spawn(proc)
@@ -296,6 +307,10 @@ class Kernel:
         parent.children.append(child)
         self.processes.append(child)
         self.stats.processes_spawned += 1
+        self.obs.count(("process", "spawn"))
+        self.obs.record(ObsEvent(
+            vts=caller.det_clock if caller is not None else 0.0,
+            pid=child.nspid, index=-1, kind=SPAWN, name=path))
         thread = self._make_thread(child, factory)
         if caller is not None:
             # The spawn happens-before everything the child does: start
@@ -548,24 +563,39 @@ class Kernel:
         return base + extra
 
     def charge_io(self, thread: Thread, nbytes: int) -> None:
-        thread._io_cost = getattr(thread, "_io_cost", 0.0) + nbytes / IO_BANDWIDTH
+        cost = nbytes / IO_BANDWIDTH
+        thread._io_cost = getattr(thread, "_io_cost", 0.0) + cost
+        self.obs.charge("fs", cost)
+
+    def det_tid(self, thread: Thread) -> int:
+        """Deterministic thread ordinal (tids are host-pid-base offset)."""
+        return thread.tid - self.host.pid_start - 50_000
 
     def _dispatch_syscall(self, thread: Thread, call: Syscall) -> None:
         self.stats.count_syscall(call.name)
         proc = thread.process
         index = proc.syscall_index
         proc.syscall_index = index + 1
-        self.stats.recent_syscalls.append((proc.nspid, index, call.name))
+        # The instance's deterministic timestamp: where det_clock will
+        # advance to below.  Computed up front so the structured event
+        # carries it even when an injected signal storm kills the thread
+        # before the advance happens.
+        det_ts = max(thread.det_clock, thread.det_bound) + SYSCALL_TICK
+        event = ObsEvent(vts=det_ts, pid=proc.nspid, index=index,
+                         kind="syscall", name=call.name)
+        self.stats.recent_syscalls.append(event)
         if self.faults is not None:
-            self.faults.on_dispatch(self, thread, call, index)
+            self.faults.on_dispatch(self, thread, call, index, vts=det_ts)
             if not thread.alive:
                 # An injected signal storm terminated the process at the
                 # dispatch point; there is nothing left to execute.
                 return
         thread.compute_since_syscall = 0.0
-        thread.det_clock = max(thread.det_clock, thread.det_bound) + SYSCALL_TICK
+        thread.det_clock = det_ts
         thread.det_bound = thread.det_clock
         thread.current_syscall = call
+        thread.current_syscall_index = index
+        thread.obs_attempt = 0
         if self.tracer is not None and self.tracer.intercepts(thread, call):
             # Note: the step token is retained across the stop; the tracer
             # releases it only when the syscall would block (§5.7's
@@ -573,6 +603,11 @@ class Kernel:
             thread.state = ThreadState.TRACE_STOP
             self.tracer.on_trace_stop(thread)
             return
+        # Not intercepted: seccomp classified it naturally reproducible
+        # ("skipped"), or there is no tracer at all ("native").
+        self.obs.count(("syscall", call.name,
+                        "skipped" if self.tracer is not None else "native"))
+        self.obs.record(event)
         self._execute_untraced(thread, call)
 
     def _execute_untraced(self, thread: Thread, call: Syscall) -> None:
@@ -731,6 +766,11 @@ class Kernel:
         if proc.exit_status is not None:
             return
         proc.exit_status = status
+        self.obs.count(("process", "exit"))
+        self.obs.record(ObsEvent(
+            vts=max((t.det_clock for t in proc.threads), default=0.0),
+            pid=proc.nspid, index=-1, kind=EXIT, name=proc.exe_path or "",
+            detail="status=%d" % status))
         for thread in proc.threads:
             if thread.alive:
                 self._teardown_thread(thread)

@@ -71,6 +71,13 @@ class Thread:
         #: Fault decision armed for the in-flight syscall instance
         #: (repro.faults): set at dispatch, consumed at first execution.
         self.armed_fault = None
+        #: Observability coordinates of the in-flight syscall instance
+        #: (repro.obs): the per-process index assigned at dispatch, the
+        #: number of tracer service/probe attempts so far, and whether a
+        #: fault was injected into this instance.
+        self.current_syscall_index = -1
+        self.obs_attempt = 0
+        self.obs_faulted = False
 
     @property
     def is_main(self) -> bool:

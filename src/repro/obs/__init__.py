@@ -1,0 +1,53 @@
+"""The deterministic observability plane.
+
+A record/replay-style system lives or dies by cheap, structured event
+capture keyed on deterministic coordinates.  This package gives every
+layer of the reproduction — kernel, tracer, scheduler, DetTrace core,
+fault plane — one shared instrumentation substrate:
+
+* :mod:`repro.obs.collector` — the per-run :class:`Collector`: typed
+  counters, gauges, histograms, and the structured event stream;
+* :mod:`repro.obs.events` — the :class:`ObsEvent` schema shared with
+  crash forensics (:class:`repro.faults.report.CrashReport`);
+* :mod:`repro.obs.trace` — Chrome ``trace_event`` JSON keyed only on
+  deterministic virtual time and coordinates (byte-identical reruns);
+* :mod:`repro.obs.profiler` — virtual-time cost attribution to the
+  interception/handler/scheduler/fs phases (the Figure 5 breakdown);
+* :mod:`repro.obs.metrics` — the :class:`Metrics` snapshot surfaced on
+  ``ContainerResult.metrics``;
+* :mod:`repro.obs.report` — Table-2-style rendering for ``--metrics``.
+
+The hard invariant everywhere: the observer must not perturb the
+observed.  Enabling or disabling observability never changes output
+hashes, exit statuses, or virtual-time schedules.
+"""
+
+from .collector import Collector
+from .events import DEBUG, EXIT, FAULT, NO_VTS, SPAWN, SYSCALL, TRAP, ObsEvent
+from .metrics import Metrics
+from .profiler import FS, HANDLER, INTERCEPTION, PHASES, SCHEDULER, PhaseProfile
+from .report import format_metrics, format_table2_summary
+from .trace import Span, TraceLog
+
+__all__ = [
+    "Collector",
+    "DEBUG",
+    "EXIT",
+    "FAULT",
+    "FS",
+    "HANDLER",
+    "INTERCEPTION",
+    "Metrics",
+    "NO_VTS",
+    "ObsEvent",
+    "PHASES",
+    "PhaseProfile",
+    "SCHEDULER",
+    "SPAWN",
+    "SYSCALL",
+    "Span",
+    "TRAP",
+    "TraceLog",
+    "format_metrics",
+    "format_table2_summary",
+]

@@ -1,0 +1,123 @@
+"""The per-run metrics snapshot surfaced on ``ContainerResult.metrics``.
+
+A :class:`Metrics` object is plain data assembled at the end of a run
+(on *every* exit path, including crashes — see
+``repro.core.container._finish``) from three deterministic sources: the
+run's :class:`~repro.obs.collector.Collector` aggregates, the tracer's
+Table-2 :class:`~repro.tracer.events.TraceCounters`, and the kernel's
+:class:`~repro.kernel.kernel.KernelStats`.  It deliberately excludes
+every jitter-bearing quantity (simulated wall time, host clocks): two
+runs of the same image and plan produce equal metrics.
+
+``add`` accumulates snapshots, which is how the Table-2 benchmark
+aggregates per-package counts without recomputing them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict
+
+from .profiler import PhaseProfile
+
+#: Bucket exponent -> human label ("<=2^k").
+def _bucket_label(exp: int) -> str:
+    return "<=%d" % (1 << exp)
+
+
+@dataclasses.dataclass
+class Metrics:
+    """Deterministic per-run (or aggregated) observability snapshot."""
+
+    #: Flattened collector counters: "syscall/read/passthrough" -> n.
+    counters: Dict[str, int] = dataclasses.field(default_factory=dict)
+    #: Peak gauges, e.g. scheduler queue occupancy.
+    gauges: Dict[str, float] = dataclasses.field(default_factory=dict)
+    #: name -> {"<=2^k" bucket -> count}.
+    histograms: Dict[str, Dict[str, int]] = dataclasses.field(default_factory=dict)
+    #: Virtual-time phase attribution (interception/handler/scheduler/fs).
+    profile: Dict[str, float] = dataclasses.field(default_factory=dict)
+    #: The paper's Table 2 rows (label -> count), from TraceCounters.
+    table2: Dict[str, float] = dataclasses.field(default_factory=dict)
+    #: Kernel-side dispatch counts by syscall name.
+    syscalls_by_name: Dict[str, int] = dataclasses.field(default_factory=dict)
+    #: Run totals: syscalls, events_processed, processes/threads spawned.
+    totals: Dict[str, int] = dataclasses.field(default_factory=dict)
+    #: How many runs were accumulated into this snapshot.
+    runs: int = 1
+
+    @classmethod
+    def from_run(cls, collector, trace_counters=None, stats=None) -> "Metrics":
+        """Snapshot one run.  *collector* is a Collector; *trace_counters*
+        a TraceCounters or None; *stats* a KernelStats or None (duck
+        typed to keep this module import-free of the layers it observes).
+        """
+        counters = {"/".join(key): n
+                    for key, n in sorted(collector.counters.items())}
+        histograms = {
+            name: {_bucket_label(exp): n for exp, n in sorted(hist.items())}
+            for name, hist in sorted(collector.histograms.items())}
+        table2: Dict[str, float] = {}
+        if trace_counters is not None:
+            table2 = dict(trace_counters.as_table2_rows())
+            counters.setdefault("faults/injected",
+                                trace_counters.faults_injected)
+        by_name: Dict[str, int] = {}
+        totals: Dict[str, int] = {}
+        if stats is not None:
+            by_name = dict(sorted(stats.syscalls_by_name.items()))
+            totals = {
+                "syscalls": stats.syscalls,
+                "events_processed": stats.events_processed,
+                "processes_spawned": stats.processes_spawned,
+                "threads_spawned": stats.threads_spawned,
+                "vdso_calls": stats.vdso_calls,
+            }
+        return cls(counters=counters, gauges=dict(sorted(collector.gauges.items())),
+                   histograms=histograms, profile=collector.profile.as_dict(),
+                   table2=table2, syscalls_by_name=by_name, totals=totals)
+
+    # -- accumulation (bench aggregation) ------------------------------
+
+    def add(self, other: "Metrics") -> None:
+        for name, n in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + n
+        for name, value in other.gauges.items():
+            self.gauges[name] = max(self.gauges.get(name, float("-inf")), value)
+        for name, hist in other.histograms.items():
+            mine = self.histograms.setdefault(name, {})
+            for bucket, n in hist.items():
+                mine[bucket] = mine.get(bucket, 0) + n
+        for phase, seconds in other.profile.items():
+            self.profile[phase] = self.profile.get(phase, 0.0) + seconds
+        for label, value in other.table2.items():
+            self.table2[label] = self.table2.get(label, 0.0) + value
+        for name, n in other.syscalls_by_name.items():
+            self.syscalls_by_name[name] = self.syscalls_by_name.get(name, 0) + n
+        for name, n in other.totals.items():
+            self.totals[name] = self.totals.get(name, 0) + n
+        self.runs += other.runs
+
+    def table2_averages(self) -> Dict[str, float]:
+        """Per-run averages of the Table 2 rows."""
+        return {label: value / max(1, self.runs)
+                for label, value in self.table2.items()}
+
+    def phase_profile(self) -> PhaseProfile:
+        profile = PhaseProfile()
+        for phase, seconds in self.profile.items():
+            profile.charge(phase, seconds)
+        return profile
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {k: dict(sorted(v.items()))
+                           for k, v in sorted(self.histograms.items())},
+            "profile": dict(sorted(self.profile.items())),
+            "table2": dict(self.table2.items()),
+            "syscalls_by_name": dict(sorted(self.syscalls_by_name.items())),
+            "totals": dict(sorted(self.totals.items())),
+            "runs": self.runs,
+        }

@@ -1,0 +1,67 @@
+"""Virtual-time profiler: attribute simulated cost to phases.
+
+Every cost constant charged on the tracer's serial timeline
+(:mod:`repro.kernel.costs`) belongs to one of four phases, mirroring the
+way Figure 5 decomposes DetTrace overhead:
+
+* ``interception`` — ptrace/seccomp stop context switches, tracee memory
+  peeks/pokes, and irreproducible-instruction trap round trips;
+* ``handler`` — the determinization handler's own work (including the
+  execve vDSO rewrite);
+* ``scheduler`` — reproducible-scheduler decisions and the replays of
+  blocking syscalls converted to probes (§5.6.1);
+* ``fs`` — simulated IO bandwidth charged by the kernel for read/write
+  payloads.
+
+Because every charge is a fixed constant from :mod:`repro.kernel.costs`
+(or a pure function of payload size), phase totals are deterministic:
+two runs of the same image and plan produce identical breakdowns even
+across simulated machine boots, unlike the jittered virtual wall clock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: Phase names, in reporting order.
+INTERCEPTION = "interception"
+HANDLER = "handler"
+SCHEDULER = "scheduler"
+FS = "fs"
+
+PHASES = (INTERCEPTION, HANDLER, SCHEDULER, FS)
+
+
+class PhaseProfile:
+    """Accumulated virtual seconds per phase."""
+
+    __slots__ = ("totals",)
+
+    def __init__(self):
+        self.totals: Dict[str, float] = {phase: 0.0 for phase in PHASES}
+
+    def charge(self, phase: str, seconds: float) -> None:
+        self.totals[phase] = self.totals.get(phase, 0.0) + seconds
+
+    def total(self) -> float:
+        return sum(self.totals.values())
+
+    def breakdown(self) -> List[Tuple[str, float, float]]:
+        """(phase, seconds, fraction-of-attributed-total) rows."""
+        grand = self.total()
+        rows = []
+        for phase in PHASES:
+            seconds = self.totals.get(phase, 0.0)
+            rows.append((phase, seconds, seconds / grand if grand else 0.0))
+        for phase in sorted(self.totals):
+            if phase not in PHASES:
+                seconds = self.totals[phase]
+                rows.append((phase, seconds, seconds / grand if grand else 0.0))
+        return rows
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(sorted(self.totals.items()))
+
+    def add(self, other: "PhaseProfile") -> None:
+        for phase, seconds in other.totals.items():
+            self.charge(phase, seconds)

@@ -1,0 +1,118 @@
+"""Chrome ``trace_event``-format export of the structured event stream.
+
+The JSON produced here is loadable by ``chrome://tracing`` / Perfetto.
+Its determinism contract is the tentpole invariant of the observability
+plane:
+
+* timestamps are **deterministic logical time** in microseconds — the
+  servicing thread's det_clock / the container's logical clock — never
+  the host clock and never the jitter-bearing simulated wall clock;
+* ``pid``/``tid`` are container-namespace coordinates (nspid and the
+  deterministic thread ordinal), never host pids;
+* durations are sums of the fixed cost constants charged while
+  servicing, which are pure functions of guest behaviour;
+* events are canonically sorted and serialized with sorted keys and
+  fixed separators.
+
+Consequence: two runs of the same (image, config, fault plan) produce
+byte-identical trace files, even across different simulated machine
+boots — asserted by ``tests/obs`` and the ``scripts/check.sh`` identity
+gate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, List
+
+from .events import ObsEvent
+
+
+def _us(vts: float) -> float:
+    """Virtual seconds -> trace microseconds, deterministically rounded."""
+    return round(vts * 1e6, 3)
+
+
+@dataclasses.dataclass(frozen=True)
+class Span:
+    """One tracer-servicing interval (a Chrome complete event)."""
+
+    name: str
+    #: Category: the syscall's disposition (passthrough/rewritten/
+    #: injected), "blocked" for would-block probes, "probe" for retries.
+    cat: str
+    pid: int
+    tid: int
+    #: Deterministic start timestamp in virtual seconds.
+    vts: float
+    #: Deterministic duration in virtual seconds (sum of cost constants).
+    dur: float
+    #: Per-process syscall index.
+    index: int
+    #: 1 for the first service of an instance, 2.. for probes/replays.
+    attempt: int = 1
+
+    def to_chrome(self) -> Dict[str, Any]:
+        return {
+            "ph": "X",
+            "name": self.name,
+            "cat": self.cat,
+            "pid": self.pid,
+            "tid": self.tid,
+            "ts": _us(self.vts),
+            "dur": _us(self.dur),
+            "args": {"index": self.index, "attempt": self.attempt},
+        }
+
+
+def _instant_to_chrome(event: ObsEvent) -> Dict[str, Any]:
+    return {
+        "ph": "i",
+        "s": "t",
+        "name": "%s:%s" % (event.kind, event.name),
+        "cat": event.kind,
+        "pid": event.pid,
+        "tid": 0,
+        "ts": _us(event.vts),
+        "args": {"index": event.index, "detail": event.detail},
+    }
+
+
+class TraceLog:
+    """The per-run event stream, exportable as Chrome trace JSON."""
+
+    def __init__(self, events: List[ObsEvent], spans: List[Span]):
+        self.events = list(events)
+        self.spans = list(spans)
+
+    def __len__(self) -> int:
+        return len(self.events) + len(self.spans)
+
+    def to_chrome(self) -> Dict[str, Any]:
+        """The trace_event JSON object (deterministically ordered)."""
+        records = [span.to_chrome() for span in self.spans]
+        records.extend(_instant_to_chrome(ev) for ev in self.events)
+        # Canonical order: deterministic coordinates only.  Sorting (not
+        # buffer order) is load-bearing: untraced syscalls execute at
+        # jittered simulated times, so their *append* order may differ
+        # across boots even though every coordinate is deterministic.
+        records.sort(key=lambda r: (r["ts"], r["pid"], r["tid"],
+                                    r["args"].get("index", -1),
+                                    r["args"].get("attempt", 0),
+                                    r["ph"], r["cat"], r["name"]))
+        return {
+            "traceEvents": records,
+            "displayTimeUnit": "ms",
+            "otherData": {"clock": "deterministic-virtual"},
+        }
+
+    def to_json(self) -> str:
+        """Canonical (byte-stable) JSON text of :meth:`to_chrome`."""
+        return json.dumps(self.to_chrome(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")

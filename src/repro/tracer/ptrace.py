@@ -14,6 +14,8 @@ from typing import Any, List, Optional, Tuple
 from ..kernel.costs import TRACER_MEMORY_OP_COST
 from ..kernel.ops import Syscall
 from ..kernel.process import Process, Thread
+from ..obs.collector import Collector
+from ..obs.profiler import INTERCEPTION
 from .events import TraceCounters
 from .seccomp import SeccompFilter
 
@@ -27,28 +29,47 @@ class TracerBase:
         self.counters = TraceCounters()
         #: Serial tracer timeline: we are busy until this virtual time.
         self.busy_until = 0.0
+        #: Observability collector; replaced by the kernel's on attach.
+        self.obs = Collector()
+        #: Deterministic cost accrued since the current span began (sums
+        #: only fixed cost constants, so it is jitter-free).
+        self._span_cost = 0.0
 
     # -- lifecycle ---------------------------------------------------------
 
     def attach(self, kernel) -> None:
         self.kernel = kernel
         kernel.attach_tracer(self)
+        self.obs = kernel.obs
 
     # -- serial timeline -----------------------------------------------------
 
-    def charge(self, cost: float) -> float:
-        """Occupy the tracer for *cost* seconds; returns the finish time."""
+    def charge(self, cost: float, phase: Optional[str] = None) -> float:
+        """Occupy the tracer for *cost* seconds; returns the finish time.
+
+        *phase* attributes the cost in the virtual-time profiler
+        (interception/handler/scheduler/fs — repro.obs.profiler).
+        """
         start = max(self.kernel.clock.now, self.busy_until)
         self.busy_until = start + cost
+        self._span_cost += cost
+        if phase is not None:
+            self.obs.charge(phase, cost)
         return self.busy_until
+
+    def begin_span(self) -> None:
+        """Reset the deterministic cost accumulator for a new span."""
+        self._span_cost = 0.0
 
     def peek_memory(self, words: int = 1) -> float:
         """Account for reading tracee memory; returns the time cost."""
         self.counters.memory_reads += words
+        self.obs.charge(INTERCEPTION, words * TRACER_MEMORY_OP_COST)
         return words * TRACER_MEMORY_OP_COST
 
     def poke_memory(self, words: int = 1) -> float:
         self.counters.memory_writes += words
+        self.obs.charge(INTERCEPTION, words * TRACER_MEMORY_OP_COST)
         return words * TRACER_MEMORY_OP_COST
 
     # -- kernel-facing hooks (defaults) -----------------------------------------

@@ -1,0 +1,73 @@
+"""CLI surface of the observability plane: --metrics, --trace-out, and
+the `repro obs` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+pytestmark = pytest.mark.obs
+
+
+class TestRunMetricsFlag:
+    def test_metrics_report_on_stderr(self, capsys):
+        assert main(["run", "--metrics", "date"]) == 0
+        out, err = capsys.readouterr()
+        assert "Determinization events (Table 2 rows" in err
+        assert "System call events" in err
+        assert "Syscall dispositions" in err
+        assert "Virtual-time overhead attribution" in err
+        # Program output stays clean on stdout.
+        assert "Determinization" not in out
+
+    def test_metrics_stdout_unchanged(self, capsys):
+        assert main(["run", "date"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["run", "--metrics", "date"]) == 0
+        assert capsys.readouterr().out == plain
+
+
+class TestTraceOutFlag:
+    def test_trace_out_writes_byte_identical_chrome_json(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["run", "--trace-out", str(a), "--", "ls", "/bin"]) == 0
+        assert main(["run", "--trace-out", str(b), "--", "ls", "/bin"]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+        doc = json.loads(a.read_text())
+        assert doc["otherData"]["clock"] == "deterministic-virtual"
+        assert doc["traceEvents"]
+        phases = {r["ph"] for r in doc["traceEvents"]}
+        assert "X" in phases  # tracer spans present
+
+    def test_trace_out_identical_across_boots(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["run", "--boot", "1", "--trace-out", str(a), "date"]) == 0
+        assert main(["run", "--boot", "7", "--trace-out", str(b), "date"]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestObsSubcommand:
+    def test_obs_prints_table2_summary(self, capsys):
+        assert main(["obs", "date"]) == 0
+        out, _ = capsys.readouterr()
+        assert "Determinization events (Table 2 rows, 1 run" in out
+        assert "System call events" in out
+
+    def test_obs_averages_over_runs(self, capsys):
+        assert main(["obs", "--runs", "3", "date"]) == 0
+        out, _ = capsys.readouterr()
+        assert "3 runs" in out
+
+    def test_obs_full_report(self, capsys):
+        assert main(["obs", "--full", "date"]) == 0
+        out, _ = capsys.readouterr()
+        assert "Virtual-time overhead attribution" in out
+        assert "Peak gauges" in out
+
+    def test_obs_missing_command(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["obs"])
+        assert err.value.code == 2

@@ -1,0 +1,69 @@
+"""Property-based observer-effect and trace-identity tests (repro.obs).
+
+For random guest programs, hosts, and fault plans:
+
+* observability on/off yields identical output hashes, statuses and
+  exit codes (the collector is passive — no clocks, no charges);
+* two observed runs yield byte-identical Chrome trace JSON, even on
+  different simulated machine boots.
+"""
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ContainerConfig
+from repro.faults.plan import FaultPlan, FaultRule
+from repro.repro_tools.hashing import tree_digest
+from tests.conftest import dettrace_run
+from tests.properties.test_determinism_props import (
+    action_st,
+    host_st,
+    program_for,
+)
+
+pytestmark = pytest.mark.obs
+
+#: Small fault plans that perturb but do not kill the run: errno and
+#: short-IO faults scoped to read/write with bounded windows.
+fault_rule_st = st.builds(
+    FaultRule,
+    fault=st.sampled_from(["eio", "eintr", "eagain", "short_write"]),
+    syscall=st.sampled_from([("write",), ("read",), ("read", "write")]),
+    start=st.integers(min_value=0, max_value=4),
+    stride=st.integers(min_value=1, max_value=3),
+    count=st.integers(min_value=1, max_value=2),
+    transient=st.just(True),
+)
+plan_st = st.none() | st.builds(
+    lambda rs: FaultPlan(rules=tuple(rs)),
+    st.lists(fault_rule_st, min_size=1, max_size=2))
+
+
+def _run(actions, host, plan, observe):
+    main, child = program_for(actions)
+    cfg = ContainerConfig(observe=observe, fault_plan=plan)
+    return dettrace_run(main, host=host, config=cfg,
+                        extra_binaries={"/bin/kid": child})
+
+
+@settings(max_examples=15, deadline=None)
+@given(actions=action_st, host=host_st, plan=plan_st)
+def test_observability_is_invisible_to_the_guest(actions, host, plan):
+    off = _run(actions, host, plan, observe=False)
+    on = _run(actions, host, plan, observe=True)
+    assert off.status == on.status
+    assert off.exit_code == on.exit_code
+    assert off.stdout == on.stdout
+    assert tree_digest(off.output_tree) == tree_digest(on.output_tree)
+    # The deterministic aggregates agree too: same virtual schedule.
+    if off.metrics is not None and on.metrics is not None:
+        assert off.metrics.to_dict() == on.metrics.to_dict()
+
+
+@settings(max_examples=15, deadline=None)
+@given(actions=action_st, host_a=host_st, host_b=host_st, plan=plan_st)
+def test_trace_json_byte_identical_across_runs(actions, host_a, host_b, plan):
+    ra = _run(actions, host_a, plan, observe=True)
+    rb = _run(actions, host_b, plan, observe=True)
+    assert ra.trace is not None and rb.trace is not None
+    assert ra.trace.to_json() == rb.trace.to_json()
