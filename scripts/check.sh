@@ -5,12 +5,17 @@
 #   ./scripts/check.sh          # full gate
 #   ./scripts/check.sh faults   # just the fault-injection smoke stage
 #   ./scripts/check.sh obs      # just the observability smoke stage
+#   ./scripts/check.sh perf     # just the hot-path perf stage
 set -eu
 
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 stage="${1:-all}"
+
+obs_tmp=""
+perf_tmp=""
+trap 'rm -rf ${obs_tmp:+"$obs_tmp"} ${perf_tmp:+"$perf_tmp"}' EXIT
 
 if [ "$stage" = "all" ]; then
     echo "== compileall =="
@@ -29,7 +34,6 @@ if [ "$stage" = "all" ] || [ "$stage" = "obs" ]; then
     python -m pytest -x -q -m obs
     echo "== metrics-identity gate (two runs -> identical trace JSON) =="
     obs_tmp="$(mktemp -d)"
-    trap 'rm -rf "$obs_tmp"' EXIT
     python -m repro run --trace-out "$obs_tmp/a.json" -- ls -l /bin \
         > "$obs_tmp/a.out" 2> /dev/null
     python -m repro run --trace-out "$obs_tmp/b.json" -- ls -l /bin \
@@ -37,6 +41,25 @@ if [ "$stage" = "all" ] || [ "$stage" = "obs" ]; then
     cmp "$obs_tmp/a.json" "$obs_tmp/b.json"
     cmp "$obs_tmp/a.out" "$obs_tmp/b.out"
     echo "trace JSON and stdout byte-identical across reruns"
+fi
+
+if [ "$stage" = "all" ] || [ "$stage" = "perf" ]; then
+    echo "== hot-path perf stage (-m perf) =="
+    # Stash the committed baseline, run the bench (which rewrites
+    # BENCH_hotpath.json), then gate: >30% serviced-syscalls/sec
+    # regression vs the baseline fails the stage.  The bench itself
+    # asserts the determinism identities (schedule + digest) and the
+    # 5x scheduler-decision floor.
+    perf_tmp="$(mktemp -d)"
+    if [ -f BENCH_hotpath.json ]; then
+        cp BENCH_hotpath.json "$perf_tmp/baseline.json"
+    fi
+    python -m pytest -x -q -m perf benchmarks/bench_hotpath.py
+    if [ -f "$perf_tmp/baseline.json" ]; then
+        python -m benchmarks.bench_hotpath "$perf_tmp/baseline.json"
+    else
+        echo "no committed BENCH_hotpath.json baseline; skipping regression gate"
+    fi
 fi
 
 echo "check.sh: OK"

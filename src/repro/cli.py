@@ -120,6 +120,63 @@ def _emit_obs(args, result) -> None:
             _sys.stderr.write("repro: no trace collected (native run?)\n")
 
 
+def _parallel_run_worker(payload) -> dict:
+    """Fan-out worker for ``repro run --jobs/--repeat`` (module-level so
+    it pickles).  Returns a digest-reduced record: cross-process results
+    stay small, and the digests are what the identity check compares."""
+    from .repro_tools.hashing import tree_digest
+
+    args = argparse.Namespace(**payload["args"])
+    result = _run_container(args, base_image(), payload["path"],
+                            payload["argv"])
+    return {
+        "status": result.status,
+        "exit_code": result.exit_code,
+        "stdout": result.stdout,
+        "stderr": result.stderr,
+        "tree_digest": tree_digest(result.output_tree),
+        "virtual_wall": result.wall_time,
+        "syscalls": result.syscall_count,
+    }
+
+
+def _cmd_run_parallel(args, path: str, argv: List[str]) -> int:
+    """Run the same container --repeat times across --jobs workers.
+
+    Every run is an independent pure function of the same inputs, so all
+    records must come back byte-identical; any divergence is a
+    determinism bug and exits 70.
+    """
+    from .parallel import Job, default_workers, run_jobs
+
+    repeat = max(args.repeat, 1)
+    workers = args.jobs if args.jobs > 0 else default_workers()
+    payload = {
+        "args": {k: v for k, v in vars(args).items()
+                 if k not in ("fn", "command")},
+        "path": path,
+        "argv": argv,
+    }
+    records = [rec for _key, rec in run_jobs(
+        [Job(key=i, fn=_parallel_run_worker, args=(payload,))
+         for i in range(repeat)],
+        workers=workers)]
+    first = records[0]
+    _sys.stdout.write(first["stdout"])
+    _sys.stderr.write(first["stderr"])
+    identical = all(rec == first for rec in records[1:])
+    _sys.stderr.write(
+        "[%d runs on %d workers: outputs %s, tree digest %s]\n"
+        % (repeat, min(workers, repeat),
+           "identical" if identical else "DIVERGENT", first["tree_digest"][:16]))
+    if not identical:
+        return 70
+    if first["status"] not in (OK, RETRIED):
+        _sys.stderr.write("container error: %s\n" % first["status"])
+        return 70
+    return first["exit_code"] if first["exit_code"] is not None else 1
+
+
 def cmd_run(args) -> int:
     image = base_image()
     command = args.command
@@ -135,6 +192,8 @@ def cmd_run(args) -> int:
                           % (args.command[0], ", ".join(sorted(COREUTILS_PATHS))))
         return 127
     argv = [args.command[0]] + args.command[1:]
+    if not args.native and (args.jobs != 1 or args.repeat != 1):
+        return _cmd_run_parallel(args, path, argv)
     if args.native:
         result = NativeRunner(fault_plan=_load_faults(args)).run(
             image, path, argv=argv, host=_host(args))
@@ -216,6 +275,17 @@ def cmd_obs(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Built-in benchmarks: currently the hot-path engine report."""
+    from .hotpath import format_report, run_hotpath_bench
+
+    report = run_hotpath_bench(scale=args.scale, out_path=args.out)
+    print(format_report(report))
+    if args.out:
+        _sys.stderr.write("bench: wrote %s\n" % args.out)
+    return 0
+
+
 def cmd_selftest(args) -> int:
     """The appendix's `make test` in miniature: run `date` on two boots
     natively and under DetTrace and verify the expected (ir)reproducibility."""
@@ -267,6 +337,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run a toolbox command in a container")
     common(run)
+    run.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes for --repeat fan-out "
+                          "(0 = auto); results are identical to --jobs 1")
+    run.add_argument("--repeat", type=int, default=1, metavar="M",
+                     help="run the container M times and verify all "
+                          "outputs are byte-identical")
     run.add_argument("command", nargs=argparse.REMAINDER,
                      help="command and arguments (e.g. date, ls -l /bin)")
     run.set_defaults(fn=cmd_run)
@@ -303,6 +379,15 @@ def build_parser() -> argparse.ArgumentParser:
     selftest = sub.add_parser("selftest",
                               help="verify the reproducibility guarantee")
     selftest.set_defaults(fn=cmd_selftest)
+
+    bench = sub.add_parser("bench", help="run a built-in benchmark")
+    bench.add_argument("what", choices=["hotpath"],
+                       help="which benchmark to run")
+    bench.add_argument("--scale", type=float, default=1.0,
+                       help="scale workload sizes (0.25 = quick smoke)")
+    bench.add_argument("--out", metavar="FILE",
+                       help="also write the machine-readable JSON report")
+    bench.set_defaults(fn=cmd_bench)
     return parser
 
 

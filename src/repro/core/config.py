@@ -94,10 +94,17 @@ class ContainerConfig:
     #: (§5.11).  Disabling falls back to plain double-stop ptrace.
     use_seccomp: bool = True
     #: Reproducible scheduler implementation: "logical" (deterministic
-    #: logical-clock order; scales like the paper's measurements) or
-    #: "strict" (the literal Figure 3 queues; serializes behind the
-    #: Parallel front — kept for ablation).
+    #: logical-clock order in O(log n) per decision; scales like the
+    #: paper's measurements), "logical-ref" (the original quadratic
+    #: implementation of the same policy — the differential-testing
+    #: oracle) or "strict" (the literal Figure 3 queues; serializes
+    #: behind the Parallel front — kept for ablation).
     scheduler: str = "logical"
+    #: Filesystem hot-path caches (dentry/namei + getdents ordering).
+    #: Pure memoization — results are byte-identical either way (the
+    #: cache on/off identity tests) — so this stays True except when
+    #: differentially testing the caches themselves.
+    fs_caches: bool = True
     #: Raise a reproducible error on socket use (§5.9); if False, sockets
     #: pass through natively (irreproducible).
     reject_sockets: bool = True

@@ -95,6 +95,10 @@ class ContainerResult:
     transient_faults: bool = False
     #: Structured account of failures/injections (None for clean runs).
     crash_report: Optional[CrashReport] = None
+    #: Filesystem hot-path cache counters (resolve/dirent hits+misses)
+    #: for perf tracking; purely diagnostic, never part of the
+    #: reproducible output surface.
+    fs_cache_stats: Dict[str, int] = dataclasses.field(default_factory=dict)
 
     @property
     def succeeded(self) -> bool:
@@ -181,7 +185,7 @@ def _finish(kernel: Kernel, build_dir: str, host: HostEnvironment,
             status=status,
             error=error,
             fault_trace=list(injector.trace) if injector is not None else [],
-            last_syscalls=list(kernel.stats.recent_syscalls),
+            last_syscalls=kernel.stats.recent_syscall_events(),
         )
     return ContainerResult(
         status=status,
@@ -199,6 +203,12 @@ def _finish(kernel: Kernel, build_dir: str, host: HostEnvironment,
         trace=trace,
         transient_faults=bool(injector is not None and injector.transient_fired),
         crash_report=report,
+        fs_cache_stats={
+            "resolve_hits": kernel.fs.resolve_hits,
+            "resolve_misses": kernel.fs.resolve_misses,
+            "dirent_hits": kernel.fs.dirent_hits,
+            "dirent_misses": kernel.fs.dirent_misses,
+        },
     )
 
 
@@ -233,6 +243,7 @@ class DetTrace:
                 kernel.aslr_override = FIXED_ASLR_BASE
             kernel.serialize_threads = cfg.serialize_threads
             kernel.busy_wait_budget = cfg.busy_wait_budget
+            kernel.fs.cache_enabled = cfg.fs_caches
             if cfg.deterministic_pids:
                 kernel.enable_pid_namespace(1)
             kernel.default_uid = 0 if cfg.map_user_to_root else 1000

@@ -2,7 +2,7 @@
 
 DetTrace must execute guest syscalls *sequentially in a deterministic
 total order* — otherwise the virtual inode/mtime clocks (§5.5) and every
-other cross-process effect would depend on wall-clock racing.  Two
+other cross-process effect would depend on wall-clock racing.  Three
 implementations are provided:
 
 :class:`StrictQueueScheduler`
@@ -27,10 +27,25 @@ implementations are provided:
     exit, giving the fair retry of §5.6.1.  The result is the same
     guarantee as the queues — a syscall order that is a pure function of
     guest behaviour — without serializing compute.
+
+    Decisions are O(log n): a heap of stopped candidates keyed on
+    (det_clock, spawn_index), a stash of probe-ineligible candidates
+    re-armed whenever the determinism epoch advances, and a lazily
+    repaired min-heap over running threads' committed lower bounds.
+    The decision *sequence* is byte-identical to the reference
+    implementation below — enforced by the differential suite in
+    ``tests/properties/test_sched_differential.py``.
+
+:class:`LogicalClockRefScheduler` (``scheduler="logical-ref"``)
+    The original sort-and-scan implementation of the same policy,
+    O(threads²) per decision.  Kept solely as the differential-testing
+    oracle: any schedule divergence between "logical" and "logical-ref"
+    is a bug in the optimized structure, never a policy change.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
@@ -77,6 +92,18 @@ class SchedulerBase:
         a blocked write transferred part of its buffer before blocking
         again): blocked candidates must become probe-eligible."""
 
+    def notify_stop(self, thread: Thread) -> None:
+        """The thread reached a trace stop (incremental-index hook; the
+        reference schedulers rediscover stops by scanning instead)."""
+
+    def notify_bound(self, thread: Thread) -> None:
+        """The thread committed to more compute: its deterministic lower
+        bound rose (incremental-index hook)."""
+
+    def notify_running(self, thread: Thread) -> None:
+        """The thread re-entered the running set after waiting for the
+        sibling-serialization token (incremental-index hook)."""
+
     def blocked_count(self) -> int:
         """How many candidates are deterministically deferred (the
         Blocked-queue occupancy sampled into repro.obs)."""
@@ -88,7 +115,7 @@ class SchedulerBase:
 
 
 class LogicalClockScheduler(SchedulerBase):
-    """Deterministic logical-time servicing (the default).
+    """Deterministic logical-time servicing in O(log n) per decision.
 
     Blocked candidates are *skipped* — deterministically — until at least
     one other syscall has been serviced since their last failed probe:
@@ -96,6 +123,206 @@ class LogicalClockScheduler(SchedulerBase):
     changes flow through serviced syscalls, so re-probing earlier would
     provably fail again.  This is exactly §5.6.1's "consult the blocked
     queue after each executed syscall", expressed in logical time.
+
+    Data structures (all lazily repaired, so membership updates are
+    amortized O(log n) and ``remove`` is O(1)):
+
+    * ``_stop_heap`` — stopped candidates as ``(det_clock, spawn_index,
+      thread)``.  An entry is live while the thread is still stopped at
+      the same deterministic timestamp; anything else is discarded when
+      it surfaces.
+    * ``_stash`` — candidates whose last probe failed in the current
+      epoch.  Every epoch advance (service, exit, note_progress) re-arms
+      the whole stash, mirroring the reference policy of reconsidering
+      all blocked threads after each serviced syscall.
+    * ``_bound_heap`` — ``(det_bound + SYSCALL_TICK, spawn_index,
+      thread, det_bound)`` lower bounds for running threads.  Stale
+      bounds are *refreshed in place* rather than discarded, because
+      seccomp-skipped syscalls advance ``det_bound`` without any
+      scheduler notification; deterministic clocks only move forward, so
+      a stale entry always surfaces before its refresh is needed.
+    """
+
+    def __init__(self):
+        #: Insertion-ordered membership: thread -> spawn index.
+        self._index: Dict[Thread, int] = {}
+        self._next_index = 0
+        #: Global count of completed services (the determinism epoch).
+        self._service_seq = 0
+        #: thread -> service_seq at its last failed probe.
+        self._fail_seq: Dict[Thread, int] = {}
+        #: Min-heap of stopped candidates: (det_clock, index, thread).
+        self._stop_heap: List[Tuple[float, int, Thread]] = []
+        #: Candidates parked until the next epoch advance.
+        self._stash: List[Tuple[float, int, Thread]] = []
+        #: Min-heap of running lower bounds:
+        #: (det_bound + SYSCALL_TICK, index, thread, det_bound).
+        self._bound_heap: List[Tuple[float, int, Thread, float]] = []
+
+    # -- membership -------------------------------------------------------
+
+    def add(self, thread: Thread) -> None:
+        idx = self._next_index
+        self._next_index += 1
+        self._index[thread] = idx
+        if _is_stopped_at_syscall(thread):
+            heapq.heappush(self._stop_heap, (thread.det_clock, idx, thread))
+        else:
+            heapq.heappush(self._bound_heap,
+                           (thread.det_bound + SYSCALL_TICK, idx, thread,
+                            thread.det_bound))
+
+    def remove(self, thread: Thread) -> None:
+        if thread in self._index:
+            self._index.pop(thread)
+            self._fail_seq.pop(thread, None)
+            # A thread exit is a guest-visible state change (it can
+            # unblock wait4 and pipe readers): advance the epoch so
+            # blocked candidates become probe-eligible again.  Heap
+            # entries for the removed thread die lazily.
+            self._bump_epoch()
+
+    def live(self) -> List[Thread]:
+        return [t for t in self._index if t.alive]
+
+    # -- incremental-index hooks ---------------------------------------------
+
+    def notify_stop(self, thread: Thread) -> None:
+        idx = self._index.get(thread)
+        if idx is not None:
+            heapq.heappush(self._stop_heap, (thread.det_clock, idx, thread))
+
+    def notify_bound(self, thread: Thread) -> None:
+        idx = self._index.get(thread)
+        if idx is not None:
+            heapq.heappush(self._bound_heap,
+                           (thread.det_bound + SYSCALL_TICK, idx, thread,
+                            thread.det_bound))
+
+    notify_running = notify_bound
+
+    def _bump_epoch(self) -> None:
+        self._service_seq += 1
+        # Every epoch advance re-arms all probe-deferred candidates,
+        # mirroring the reference scan that reconsiders them.
+        if self._stash:
+            for entry in self._stash:
+                heapq.heappush(self._stop_heap, entry)
+            del self._stash[:]
+
+    # -- decision ------------------------------------------------------------
+
+    def _peek_candidate(self) -> Optional[Tuple[float, int, Thread]]:
+        """The live minimum of the stop heap, stashing probe-ineligible
+        candidates and discarding dead entries.
+
+        The validity checks are inlined (rather than going through
+        ``Thread.alive`` / ``_is_stopped_at_syscall``) because this loop
+        visits every stale heap entry exactly once and runs on every
+        scheduling decision: property and call overhead dominates it.
+        ``state is TRACE_STOP`` subsumes the liveness check (an exited
+        thread is never in TRACE_STOP)."""
+        heap = self._stop_heap
+        heappop = heapq.heappop
+        index_get = self._index.get
+        fail_get = self._fail_seq.get
+        seq = self._service_seq
+        stopped = ThreadState.TRACE_STOP
+        while heap:
+            entry = heap[0]
+            clock, idx, thread = entry
+            if (index_get(thread) != idx
+                    or thread.state is not stopped
+                    or thread.current_syscall is None
+                    or thread.det_clock != clock):
+                heappop(heap)
+                continue
+            if fail_get(thread) == seq:
+                # Nothing serviced since its last failed probe: park it
+                # until the epoch advances.
+                self._stash.append(heappop(heap))
+                continue
+            return entry
+        return None
+
+    def _min_running_bound(self) -> Optional[Tuple[float, int]]:
+        """The smallest (det_bound + SYSCALL_TICK, index) over threads
+        that could still stop on their own (running, not waiting for the
+        sibling token, not already stopped).  Checks inlined as in
+        :meth:`_peek_candidate`."""
+        heap = self._bound_heap
+        heappop = heapq.heappop
+        index_get = self._index.get
+        exited = ThreadState.EXITED
+        stopped = ThreadState.TRACE_STOP
+        while heap:
+            bound_key, idx, thread, stamp = heap[0]
+            state = thread.state
+            if index_get(thread) != idx or state is exited:
+                heappop(heap)
+                continue
+            if thread.token_queued or (state is stopped
+                                       and thread.current_syscall is not None):
+                # Temporarily outside the running set; re-pushed on the
+                # token grant / service completion transition.
+                heappop(heap)
+                continue
+            if thread.det_bound != stamp:
+                # Seccomp-skipped syscalls raise det_bound without a
+                # notify hook: refresh in place (bounds only grow, so
+                # the stale entry surfaces before the fresh one is due).
+                heapq.heapreplace(
+                    heap, (thread.det_bound + SYSCALL_TICK, idx, thread,
+                           thread.det_bound))
+                continue
+            return (bound_key, idx)
+        return None
+
+    def next_action(self) -> Tuple[str, Optional[Thread]]:
+        top = self._peek_candidate()
+        if top is None:
+            return (WAIT, None)
+        clock, idx, candidate = top
+        bound = self._min_running_bound()
+        if bound is not None and bound < (clock, idx):
+            # Some running thread could stop with a smaller deterministic
+            # timestamp: servicing now would commit the wrong order.
+            return (WAIT, None)
+        if candidate in self._fail_seq:
+            return (PROBE, candidate)
+        return (SERVICE, candidate)
+
+    def completed(self, thread: Thread) -> None:
+        self._service_seq += 1
+        if self._stash:
+            for entry in self._stash:
+                heapq.heappush(self._stop_heap, entry)
+            del self._stash[:]
+        self._fail_seq.pop(thread, None)
+        # The thread resumes into the running set; its stop-heap entry
+        # dies lazily once current_syscall is cleared.
+        self.notify_bound(thread)
+
+    def still_blocked(self, thread: Thread) -> None:
+        self._fail_seq[thread] = self._service_seq
+
+    def note_progress(self) -> None:
+        self._bump_epoch()
+
+    def blocked_count(self) -> int:
+        return len(self._fail_seq)
+
+    def live_count(self) -> int:
+        return len(self.live())
+
+
+class LogicalClockRefScheduler(SchedulerBase):
+    """The original O(threads²)-per-decision logical-clock scheduler.
+
+    Kept as the differential-testing oracle for
+    :class:`LogicalClockScheduler` (``scheduler="logical-ref"``): both
+    must produce byte-identical service orders, virtual times and output
+    hashes on every workload.
     """
 
     def __init__(self):
@@ -247,6 +474,8 @@ class StrictQueueScheduler(SchedulerBase):
 def make_scheduler(kind: str) -> SchedulerBase:
     if kind == "logical":
         return LogicalClockScheduler()
+    if kind == "logical-ref":
+        return LogicalClockRefScheduler()
     if kind == "strict":
         return StrictQueueScheduler()
     raise ValueError("unknown scheduler kind %r" % kind)

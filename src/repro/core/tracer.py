@@ -63,6 +63,13 @@ class DetTraceTracer(TracerBase):
         self._pumping = False
         self._last_proc: Process = None
         self.sched = None  # set in attach (import cycle avoidance)
+        #: Hot-path dispatch caches.  The handler table is frozen after
+        #: construction, so name -> handler (with the passthrough default
+        #: applied) memoizes the two-step lookup; HandlerContext binds
+        #: only (tracer, thread), so one context per thread is reused
+        #: across every service instead of allocated per syscall.
+        self._handler_cache: Dict[str, Any] = {}
+        self._ctx_cache: Dict[Thread, HandlerContext] = {}
 
     @property
     def debug_log(self) -> list:
@@ -126,10 +133,12 @@ class DetTraceTracer(TracerBase):
 
     def on_thread_exit(self, thread: Thread) -> None:
         self.sched.remove(thread)
+        self._ctx_cache.pop(thread, None)
 
     def on_process_exit(self, proc: Process) -> None:
         for thread in proc.threads:
             self.sched.remove(thread)
+            self._ctx_cache.pop(thread, None)
         self.logical.forget_process(proc.pid)
 
     def on_execve(self, proc: Process) -> None:
@@ -150,12 +159,21 @@ class DetTraceTracer(TracerBase):
 
     def on_trace_stop(self, thread: Thread) -> None:
         self.counters.syscall_events += 1
+        self.sched.notify_stop(thread)
         self._pump()
 
     def on_thread_progress(self, thread: Thread) -> None:
         # A running thread raised its deterministic bound; a stopped
         # candidate may have become eligible.
+        self.sched.notify_bound(thread)
         self._pump()
+
+    def on_token_granted(self, thread: Thread) -> None:
+        # The thread re-enters the running set *now*; incremental
+        # schedulers must see its bound again before the next decision
+        # (its next stop/progress hook may come only after unintercepted
+        # work has already advanced the clock).
+        self.sched.notify_running(thread)
 
     def on_quiescent(self) -> bool:
         return self._pump()
@@ -193,8 +211,14 @@ class DetTraceTracer(TracerBase):
 
     def _run_handler(self, thread: Thread):
         call = thread.current_syscall
-        handler = self.handlers.get(call.name, passthrough)
-        ctx = HandlerContext(self, thread)
+        handler = self._handler_cache.get(call.name)
+        if handler is None:
+            handler = self.handlers.get(call.name, passthrough)
+            self._handler_cache[call.name] = handler
+        ctx = self._ctx_cache.get(thread)
+        if ctx is None:
+            ctx = HandlerContext(self, thread)
+            self._ctx_cache[thread] = ctx
         return handler(ctx, thread, call)
 
     def _service(self, thread: Thread) -> bool:

@@ -57,6 +57,19 @@ class Filesystem:
         #: Deterministic fault plane consult point (repro.faults):
         #: disk_full rules cap cumulative bytes written.
         self.fault_injector = None
+        #: Hot-path caches (dentry/namei + getdents order).  Both are
+        #: pure memoization over the directory structure — resolution
+        #: never consults modes or timestamps, and the salted-hash order
+        #: depends only on the entry names — so enabling them cannot
+        #: change any result (``ContainerConfig.fs_caches`` toggles them
+        #: for the identity tests).
+        self.cache_enabled = True
+        self._namei_cache: Dict[Tuple[int, int, str, bool], Inode] = {}
+        self._namei_epoch_seen = Inode.namei_epoch
+        self.resolve_hits = 0
+        self.resolve_misses = 0
+        self.dirent_hits = 0
+        self.dirent_misses = 0
 
     # -- allocation ---------------------------------------------------------
 
@@ -79,7 +92,37 @@ class Filesystem:
         """Resolve *path* to an inode, honouring chroot *root* and *cwd*.
 
         Raises :class:`SyscallError` with ENOENT/ENOTDIR/ELOOP on failure.
+
+        Successful resolutions are memoized in a dentry cache keyed on
+        (root, cwd, path, follow_last) identities.  The whole cache is
+        dropped whenever the global removal epoch moves (any entry
+        removed anywhere — unlink, rmdir, rename): removals are rare
+        next to lookups, additions can never invalidate a cached
+        *positive* resolution (failures are never cached, so new entries
+        only ever turn misses into hits), and a global epoch makes
+        id-reuse safe — an inode can only die via an epoch-bumping
+        removal, so no stale id ever survives in the cache.
+        Symlink-chase recursion bypasses the cache so ELOOP accounting
+        is untouched.
         """
+        if self.cache_enabled and _depth == 0:
+            epoch = Inode.namei_epoch
+            if epoch != self._namei_epoch_seen:
+                self._namei_cache.clear()
+                self._namei_epoch_seen = epoch
+            key = (id(root), id(cwd), path, follow_last)
+            node = self._namei_cache.get(key)
+            if node is not None:
+                self.resolve_hits += 1
+                return node
+            self.resolve_misses += 1
+            node = self._resolve_walk(root, cwd, path, follow_last, 0)
+            self._namei_cache[key] = node
+            return node
+        return self._resolve_walk(root, cwd, path, follow_last, _depth)
+
+    def _resolve_walk(self, root: Inode, cwd: Inode, path: str,
+                      follow_last: bool, _depth: int) -> Inode:
         if _depth > MAX_SYMLINK_DEPTH:
             raise SyscallError(Errno.ELOOP, "resolve", path)
         node = root if path.startswith("/") else cwd
@@ -260,15 +303,29 @@ class Filesystem:
 
         This is the raw ``getdents`` order: deterministic for one boot but
         different across boots/machines, which is why DetTrace must sort.
+
+        The order is memoized on the inode itself until the directory
+        mutates (``add_entry``/``remove_entry`` clear it), saving the
+        per-name hashing on every re-listing.  Callers get a fresh list
+        so cursor arithmetic can never alias the cache.
         """
+        if self.cache_enabled:
+            cached = node._dirent_cache
+            if cached is not None:
+                self.dirent_hits += 1
+                return list(cached)
+            self.dirent_misses += 1
         salt = self.host.dirent_hash_salt
 
         def hash_key(name: str) -> bytes:
             return hashlib.md5(("%d:%s" % (salt, name)).encode()).digest()
 
         names = sorted(node.entries, key=hash_key)
-        return [Dirent(d_ino=node.entries[n].ino, d_name=n, d_type=node.entries[n].kind)
-                for n in names]
+        order = [Dirent(d_ino=node.entries[n].ino, d_name=n, d_type=node.entries[n].kind)
+                 for n in names]
+        if self.cache_enabled:
+            node._dirent_cache = list(order)
+        return order
 
     # -- convenience for image construction / inspection -------------------------
 

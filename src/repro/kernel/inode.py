@@ -48,6 +48,26 @@ class Inode:
     #: DetTrace recycling logic is actually exercised.
     generation: int = 0
 
+    # Unannotated class attributes (NOT dataclass fields, so equality and
+    # repr are unaffected):
+    #
+    # ``namei_epoch`` is the *global* structural-removal epoch backing
+    # the Filesystem namei cache: any entry removed anywhere — unlink,
+    # rmdir, rename, including direct ``remove_entry`` callers that
+    # bypass the Filesystem API — bumps it, so a cached path resolution
+    # is valid exactly while the epoch stands still.  Additions don't
+    # bump it: only *successful* resolutions are cached, and adding an
+    # entry can never change where an existing path already resolves
+    # (hard links are non-directories, so even ``..`` parents only move
+    # on removal/rename).  Mode/timestamp changes don't bump it because
+    # resolution never consults them.
+    #
+    # ``_dirent_cache`` memoizes this directory's salted-hash getdents
+    # order *on the inode itself* (so a recycled object can never
+    # inherit a stale order); any entry mutation clears it.
+    namei_epoch = 0
+    _dirent_cache = None
+
     @property
     def size(self) -> int:
         if self.kind is FileKind.REGULAR:
@@ -82,10 +102,13 @@ class Inode:
         if name in self.entries:
             raise KernelPanic("duplicate entry %r in inode %d" % (name, self.ino))
         self.entries[name] = child
+        self._dirent_cache = None
 
     def remove_entry(self, name: str) -> "Inode":
         if name not in self.entries:
             raise KernelPanic("missing entry %r in inode %d" % (name, self.ino))
+        self._dirent_cache = None
+        Inode.namei_epoch += 1
         return self.entries.pop(name)
 
 

@@ -66,15 +66,23 @@ class KernelStats:
         self.processes_spawned = 0
         self.threads_spawned = 0
         self.events_processed = 0
-        #: Ring of structured :class:`repro.obs.events.ObsEvent` records
-        #: (pid/index/name coordinates plus deterministic timestamps):
-        #: forensics for the crash report's "last N syscalls".  The same
-        #: schema backs the trace, so crash reports and traces agree.
+        #: Ring of ``(vts, nspid, index, name)`` tuples: forensics for the
+        #: crash report's "last N syscalls".  Stored compact because this
+        #: append sits on the per-syscall fast path; materialized into
+        #: the shared :class:`repro.obs.events.ObsEvent` schema on demand
+        #: by :meth:`recent_syscall_events`, so crash reports and traces
+        #: still agree.
         self.recent_syscalls: deque = deque(maxlen=RECENT_SYSCALL_WINDOW)
 
     def count_syscall(self, name: str) -> None:
         self.syscalls += 1
         self.syscalls_by_name[name] += 1
+
+    def recent_syscall_events(self) -> List[ObsEvent]:
+        """The ring as structured events (the crash-forensics view)."""
+        return [ObsEvent(vts=vts, pid=pid, index=index, kind="syscall",
+                         name=name)
+                for vts, pid, index, name in self.recent_syscalls]
 
     def count_instr(self, name: str) -> None:
         self.instructions[name] += 1
@@ -111,6 +119,11 @@ class Kernel:
 
         self._events: List[Tuple[float, int, Callable[[], None]]] = []
         self._seq = 0
+        #: Per-name caches for the syscall fast path: the resolved base
+        #: cost and the interned counter key for untraced dispatches
+        #: (avoids a dict-miss default and a tuple allocation per call).
+        self._cost_cache: Dict[str, float] = {}
+        self._untraced_key_cache: Dict[str, Tuple[str, str, str]] = {}
         self._pid_next = host.pid_start
         self._tid_next = host.pid_start + 50_000
 
@@ -386,6 +399,12 @@ class Kernel:
             if nxt.alive:
                 proc._step_token = nxt
                 nxt.token_queued = False
+                if self.tracer is not None:
+                    # The grantee re-enters the running set here — the
+                    # only place token_queued flips back — so schedulers
+                    # with an incremental running-set index are told
+                    # before the thread takes another step.
+                    self.tracer.on_token_granted(nxt)
                 self._step(nxt, value, exc)
                 return
 
@@ -557,7 +576,10 @@ class Kernel:
     # ------------------------------------------------------------------
 
     def syscall_cost(self, thread: Thread, name: str) -> float:
-        base = SYSCALL_COSTS.get(name, SYSCALL_BASE_COST)
+        base = self._cost_cache.get(name)
+        if base is None:
+            base = SYSCALL_COSTS.get(name, SYSCALL_BASE_COST)
+            self._cost_cache[name] = base
         extra = getattr(thread, "_io_cost", 0.0)
         thread._io_cost = 0.0
         return base + extra
@@ -581,9 +603,8 @@ class Kernel:
         # carries it even when an injected signal storm kills the thread
         # before the advance happens.
         det_ts = max(thread.det_clock, thread.det_bound) + SYSCALL_TICK
-        event = ObsEvent(vts=det_ts, pid=proc.nspid, index=index,
-                         kind="syscall", name=call.name)
-        self.stats.recent_syscalls.append(event)
+        self.stats.recent_syscalls.append(
+            (det_ts, proc.nspid, index, call.name))
         if self.faults is not None:
             self.faults.on_dispatch(self, thread, call, index, vts=det_ts)
             if not thread.alive:
@@ -605,9 +626,18 @@ class Kernel:
             return
         # Not intercepted: seccomp classified it naturally reproducible
         # ("skipped"), or there is no tracer at all ("native").
-        self.obs.count(("syscall", call.name,
-                        "skipped" if self.tracer is not None else "native"))
-        self.obs.record(event)
+        key = self._untraced_key_cache.get(call.name)
+        if key is None:
+            key = ("syscall", call.name,
+                   "skipped" if self.tracer is not None else "native")
+            self._untraced_key_cache[call.name] = key
+        self.obs.count(key)
+        if self.obs.trace_enabled:
+            # The structured event is only materialized when someone is
+            # listening: the untraced path is the seccomp-optimized
+            # common case and must stay allocation-light.
+            self.obs.record(ObsEvent(vts=det_ts, pid=proc.nspid, index=index,
+                                     kind="syscall", name=call.name))
         self._execute_untraced(thread, call)
 
     def _execute_untraced(self, thread: Thread, call: Syscall) -> None:

@@ -1,0 +1,93 @@
+"""Deterministic fan-out of independent container runs.
+
+DetTrace determinizes *within* a container; across containers there is
+nothing to serialize — every run is a pure function of (image, config,
+host), so N runs can execute on N worker processes and must produce
+byte-identical results to the same N runs executed serially.  This
+module is that fan-out: the §7 package sweeps, reprotest double-builds
+and ``repro run --jobs N`` all funnel through :func:`run_jobs`.
+
+Determinism contract:
+
+* results are collected **ordered by job key**, never by completion
+  order — a worker pool's racy finish order is invisible to callers;
+* a worker exception does not tear down the pool non-deterministically:
+  every job still runs, then the error belonging to the *smallest key*
+  is re-raised (exactly the error serial execution would have hit
+  first);
+* ``workers=1`` takes a plain in-process loop, so serial-vs-parallel
+  identity tests compare genuinely different execution paths.
+
+Job functions and their arguments must be picklable (module-level
+functions, dataclass/primitive arguments) because workers are separate
+processes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class Job:
+    """One independent unit of work.
+
+    ``key`` orders the results (and error precedence) deterministically;
+    it must be sortable and unique within one :func:`run_jobs` call.
+    """
+
+    key: Any
+    fn: Callable
+    args: Tuple = ()
+    kwargs: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+
+def _execute(job: Job) -> Tuple[Any, str, Any]:
+    """Worker trampoline: never raises, so pool teardown stays orderly."""
+    try:
+        return (job.key, "ok", job.fn(*job.args, **job.kwargs))
+    except BaseException as err:  # re-raised deterministically by caller
+        return (job.key, "err", err)
+
+
+def default_workers() -> int:
+    """A sensible worker count for --jobs 0 ("auto")."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def run_jobs(jobs: Sequence[Job], workers: int = 1) -> List[Tuple[Any, Any]]:
+    """Run every job; return ``[(key, result), ...]`` sorted by key.
+
+    The returned list — and any exception raised — is a pure function of
+    the jobs themselves, independent of *workers*.
+    """
+    ordered = sorted(jobs, key=lambda j: j.key)
+    keys = [j.key for j in ordered]
+    if len(set(map(repr, keys))) != len(keys):
+        raise ValueError("job keys must be unique: %r" % (keys,))
+    workers = max(1, min(int(workers), len(ordered) or 1))
+    if workers == 1:
+        outcomes = [_execute(job) for job in ordered]
+    else:
+        # fork is the bake-in on Linux and keeps job functions' module
+        # state (registered binaries, images) available without re-import.
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=workers) as pool:
+            # map() preserves input order, so completion races never
+            # reach us; chunksize=1 keeps long jobs load-balanced.
+            outcomes = pool.map(_execute, ordered, chunksize=1)
+    for key, tag, payload in outcomes:  # smallest key first, as serial would
+        if tag == "err":
+            raise payload
+    return [(key, payload) for key, tag, payload in outcomes]
+
+
+def fan_out(fn: Callable, arg_tuples: Sequence[Tuple], workers: int = 1) -> List[Any]:
+    """Convenience wrapper: ``[fn(*args) for args in arg_tuples]`` with
+    *workers* processes; results in input order."""
+    jobs = [Job(key=i, fn=fn, args=tuple(args))
+            for i, args in enumerate(arg_tuples)]
+    return [result for _key, result in run_jobs(jobs, workers=workers)]

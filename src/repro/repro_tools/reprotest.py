@@ -10,10 +10,11 @@ builds are compared raw.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..core.config import ContainerConfig
 from ..cpu.machine import HostEnvironment, MachineSpec, SKYLAKE_CLOUDLAB
+from ..parallel import fan_out
 from ..workloads.debian.builder import BUILT, BuildRecord, build_dettrace, build_native
 from ..workloads.debian.package import PackageSpec
 from . import diffoscope, strip_nondeterminism
@@ -50,15 +51,42 @@ def _verdict_for_failure(record: BuildRecord) -> str:
     return FAILED
 
 
+def _build_one(kind, spec: PackageSpec, host: HostEnvironment,
+               config: Optional[ContainerConfig]) -> BuildRecord:
+    """Build dispatcher: *kind* is ``"native"``, ``"dettrace"``, or a
+    custom ``(spec, host) -> BuildRecord`` callable (which must be
+    picklable — module-level — to be used with ``jobs >= 2``)."""
+    if kind == "native":
+        return build_native(spec, host=host)
+    if kind == "dettrace":
+        return build_dettrace(spec, config=config, host=host)
+    return kind(spec, host)
+
+
 def _double_build(spec: PackageSpec,
-                  build: Callable[[PackageSpec, HostEnvironment], BuildRecord],
+                  kind,
                   hosts: Tuple[HostEnvironment, HostEnvironment],
-                  strip: bool) -> ReprotestResult:
-    first = build(spec, hosts[0])
-    if first.status != BUILT:
-        return ReprotestResult(spec.name, _verdict_for_failure(first),
-                               first, None, None)
-    second = build(spec, hosts[1])
+                  strip: bool,
+                  config: Optional[ContainerConfig] = None,
+                  jobs: int = 1) -> ReprotestResult:
+    if jobs >= 2:
+        # Both builds are independent pure functions of (spec, host):
+        # run them on two workers.  On a first-build failure the second
+        # result is discarded so the ReprotestResult shape (second=None)
+        # matches the serial short-circuit exactly.
+        first, second = fan_out(
+            _build_one,
+            [(kind, spec, hosts[0], config), (kind, spec, hosts[1], config)],
+            workers=2)
+        if first.status != BUILT:
+            return ReprotestResult(spec.name, _verdict_for_failure(first),
+                                   first, None, None)
+    else:
+        first = _build_one(kind, spec, hosts[0], config)
+        if first.status != BUILT:
+            return ReprotestResult(spec.name, _verdict_for_failure(first),
+                                   first, None, None)
+        second = _build_one(kind, spec, hosts[1], config)
     if second.status != BUILT:
         return ReprotestResult(spec.name, _verdict_for_failure(second),
                                first, second, None)
@@ -75,33 +103,37 @@ def _double_build(spec: PackageSpec,
 def reprotest_native(spec: PackageSpec,
                      machine: MachineSpec = SKYLAKE_CLOUDLAB,
                      seed: int = 0,
-                     apply_tar_workaround: bool = True) -> ReprotestResult:
+                     apply_tar_workaround: bool = True,
+                     jobs: int = 1) -> ReprotestResult:
     """Baseline double-build under the full variation set."""
     hosts = host_pair(machine, seed=seed)
-    return _double_build(
-        spec, lambda s, h: build_native(s, host=h), hosts,
-        strip=apply_tar_workaround)
+    return _double_build(spec, "native", hosts,
+                         strip=apply_tar_workaround, jobs=jobs)
 
 
 def reprotest_dettrace(spec: PackageSpec,
                        machine: MachineSpec = SKYLAKE_CLOUDLAB,
                        seed: int = 0,
-                       config: Optional[ContainerConfig] = None) -> ReprotestResult:
-    """DetTrace double-build: same variations, no workarounds."""
+                       config: Optional[ContainerConfig] = None,
+                       jobs: int = 1) -> ReprotestResult:
+    """DetTrace double-build: same variations, no workarounds.
+
+    With ``jobs=2`` the two builds run on separate worker processes;
+    the verdict is identical either way (serial/parallel identity).
+    """
     hosts = host_pair(machine, seed=seed)
-    return _double_build(
-        spec, lambda s, h: build_dettrace(s, config=config, host=h), hosts,
-        strip=False)
+    return _double_build(spec, "dettrace", hosts, strip=False,
+                         config=config, jobs=jobs)
 
 
 def reprotest_portability(spec: PackageSpec,
                           machine_a: MachineSpec,
                           machine_b: MachineSpec,
                           config: Optional[ContainerConfig] = None,
-                          seed: int = 0) -> ReprotestResult:
+                          seed: int = 0,
+                          jobs: int = 1) -> ReprotestResult:
     """§7.3: DetTrace double-build across two different machines."""
     host_a = host_pair(machine_a, seed=seed)[0]
     host_b = host_pair(machine_b, seed=seed)[1]
-    return _double_build(
-        spec, lambda s, h: build_dettrace(s, config=config, host=h),
-        (host_a, host_b), strip=False)
+    return _double_build(spec, "dettrace", (host_a, host_b), strip=False,
+                         config=config, jobs=jobs)

@@ -100,6 +100,12 @@ class TracerBase:
         lower bound rose); schedulers that gate on bounds re-evaluate."""
         pass
 
+    def on_token_granted(self, thread: Thread) -> None:
+        """The thread-serialization step token passed to *thread*: it is
+        about to run again after queueing (§5.7).  Schedulers that keep
+        an incremental index of the running set re-admit it here."""
+        pass
+
     def on_process_exit(self, proc: Process) -> None:
         pass
 

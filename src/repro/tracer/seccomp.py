@@ -20,6 +20,15 @@ from ..kernel.costs import (
 #: per-process, read-only or position-only state, with namespace-stable
 #: answers.  Everything touching shared state (the filesystem, pipes,
 #: other processes, time, randomness) must be intercepted and serialized.
+#:
+#: ``fsync``/``sync`` look like shared-filesystem calls but are safe to
+#: skip: durability is meaningless in the simulated VFS (there is no
+#: volatile cache between the inode store and "disk"), so both are
+#: result-only no-ops — ``sys_fsync`` validates the fd and returns 0,
+#: ``sys_sync`` returns 0 — that read no shared state and mutate nothing
+#: (no mtime updates, no write-back ordering another process could
+#: observe).  A no-stop pass-through therefore cannot perturb any other
+#: thread's view; ``tests/core/test_seccomp_audit.py`` pins this down.
 NATURALLY_REPRODUCIBLE: FrozenSet[str] = frozenset({
     "getpid", "getppid", "gettid", "getuid", "getgid",
     "getcwd", "sched_yield", "lseek", "dup", "dup2",
@@ -29,24 +38,33 @@ NATURALLY_REPRODUCIBLE: FrozenSet[str] = frozenset({
 
 
 class SeccompFilter:
-    """Decides, per syscall, whether a ptrace stop happens and its cost."""
+    """Decides, per syscall, whether a ptrace stop happens and its cost.
+
+    The decision and cost for a given installed program are pure
+    functions of the syscall name, so both are compiled once at
+    construction: ``stop_cost`` is a plain attribute and per-name
+    verdicts are memoized in ``_verdicts`` (the analog of the kernel
+    caching a compiled cBPF program instead of re-running the filter
+    source per event)."""
 
     def __init__(self, allow: Optional[FrozenSet[str]] = None,
                  enabled: bool = True, kernel_version=(4, 15)):
         self.allow = NATURALLY_REPRODUCIBLE if allow is None else allow
         self.enabled = enabled
         self.kernel_version = tuple(kernel_version)
+        #: Virtual seconds of context switching per intercepted syscall.
+        if not self.enabled:
+            self.stop_cost = 2 * PTRACE_STOP_COST  # entry stop + exit stop
+        elif self.kernel_version >= (4, 8):
+            self.stop_cost = SECCOMP_COMBINED_STOP_COST
+        else:
+            self.stop_cost = LEGACY_DOUBLE_STOP_COST
+        #: Compiled per-name decision table (name -> bool), filled lazily.
+        self._verdicts: dict = {}
 
     def intercepts(self, name: str) -> bool:
-        if not self.enabled:
-            return True  # plain ptrace: everything stops
-        return name not in self.allow
-
-    @property
-    def stop_cost(self) -> float:
-        """Virtual seconds of context switching per intercepted syscall."""
-        if not self.enabled:
-            return 2 * PTRACE_STOP_COST  # entry stop + exit stop
-        if self.kernel_version >= (4, 8):
-            return SECCOMP_COMBINED_STOP_COST
-        return LEGACY_DOUBLE_STOP_COST
+        verdict = self._verdicts.get(name)
+        if verdict is None:
+            verdict = True if not self.enabled else name not in self.allow
+            self._verdicts[name] = verdict
+        return verdict
