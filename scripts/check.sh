@@ -6,6 +6,7 @@
 #   ./scripts/check.sh faults   # just the fault-injection smoke stage
 #   ./scripts/check.sh obs      # just the observability smoke stage
 #   ./scripts/check.sh perf     # just the hot-path perf stage
+#   ./scripts/check.sh fuzz     # just the differential-fuzz smoke stage
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -41,6 +42,15 @@ if [ "$stage" = "all" ] || [ "$stage" = "obs" ]; then
     cmp "$obs_tmp/a.json" "$obs_tmp/b.json"
     cmp "$obs_tmp/a.out" "$obs_tmp/b.out"
     echo "trace JSON and stdout byte-identical across reruns"
+fi
+
+if [ "$stage" = "all" ] || [ "$stage" = "fuzz" ]; then
+    echo "== differential-fuzz smoke stage (-m fuzz) =="
+    python -m pytest -x -q -m fuzz
+    echo "== fixed-seed 60s fuzz walk (full matrix, zero divergences) =="
+    python -m repro fuzz --seed 0 --budget 100000 --seconds 60
+    echo "== regression corpus replay =="
+    python -m repro fuzz --replay-corpus tests/fuzz/corpus
 fi
 
 if [ "$stage" = "all" ] || [ "$stage" = "perf" ]; then

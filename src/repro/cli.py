@@ -286,6 +286,28 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    """Differential determinism fuzzing (repro.fuzz)."""
+    from .fuzz import format_report, replay_corpus, run_fuzz
+
+    if args.replay_corpus:
+        failed = replay_corpus(args.replay_corpus, workers=args.workers,
+                               rnr=not args.no_rnr)
+        if failed:
+            for report in failed:
+                print("corpus FAIL:", report.summary())
+            return 1
+        print("corpus: all entries deterministic")
+        return 0
+    report = run_fuzz(seed=args.seed, budget=args.budget,
+                      seconds=args.seconds, workers=args.workers,
+                      rnr=not args.no_rnr, corpus_dir=args.corpus,
+                      do_shrink=not args.no_shrink,
+                      log=lambda line: _sys.stderr.write("fuzz: %s\n" % line))
+    print(format_report(report))
+    return 0 if report.ok else 1
+
+
 def cmd_selftest(args) -> int:
     """The appendix's `make test` in miniature: run `date` on two boots
     natively and under DetTrace and verify the expected (ir)reproducibility."""
@@ -379,6 +401,26 @@ def build_parser() -> argparse.ArgumentParser:
     selftest = sub.add_parser("selftest",
                               help="verify the reproducibility guarantee")
     selftest.set_defaults(fn=cmd_selftest)
+
+    fuzz = sub.add_parser("fuzz", help="differential determinism fuzzing")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="first program seed (walk is seed..seed+budget)")
+    fuzz.add_argument("--budget", type=int, default=100,
+                      help="number of generated programs to check")
+    fuzz.add_argument("--seconds", type=float, default=None,
+                      help="wall-clock cap for the walk (smoke use)")
+    fuzz.add_argument("--workers", type=int, default=2,
+                      help="pool size for the serial-vs-parallel axis "
+                           "(1 disables that axis)")
+    fuzz.add_argument("--no-rnr", action="store_true",
+                      help="skip the record/replay axis")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="keep divergent programs unshrunk")
+    fuzz.add_argument("--corpus", metavar="DIR", default=None,
+                      help="bank shrunk reproducers into DIR")
+    fuzz.add_argument("--replay-corpus", metavar="DIR", default=None,
+                      help="re-check every entry in DIR instead of fuzzing")
+    fuzz.set_defaults(fn=cmd_fuzz)
 
     bench = sub.add_parser("bench", help="run a built-in benchmark")
     bench.add_argument("what", choices=["hotpath"],

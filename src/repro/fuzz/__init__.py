@@ -1,0 +1,55 @@
+"""repro.fuzz — the differential determinism fuzzer.
+
+DetTrace's thesis is that a container run is a pure function of
+(image, config, host); the repo now carries several independently-cached
+fast paths (the O(log n) scheduler, the namei/dirent caches, the obs-off
+dispatch ring, the parallel fan-out) whose equivalence used to rest on
+hand-written differential tests alone.  This package applies DiOS/rr
+style adversarial pressure instead:
+
+* :mod:`repro.fuzz.grammar` — a seeded grammar generates randomized
+  guest programs (rename/link/rmdir storms over shared trees, thread
+  spawns, signals and timers, time/random reads, pipes) as plain
+  JSON-able op lists;
+* :mod:`repro.fuzz.guest` — a fixed guest interpreter executes an op
+  list inside the container, logging every outcome and auditing POSIX
+  invariants (nlink bookkeeping, orphan-inode identity) as it goes;
+* :mod:`repro.fuzz.runner` — each program runs across the configuration
+  matrix (``logical`` vs ``logical-ref`` scheduler × fs caches on/off ×
+  observe on/off × serial vs ``repro.parallel`` fan-out × record/replay
+  via ``repro.rnr``) and the harness asserts byte-identical output
+  hashes, schedules and virtual times;
+* :mod:`repro.fuzz.shrinker` — divergent programs are shrunk to a
+  minimal reproducer;
+* :mod:`repro.fuzz.corpus` — reproducers are written as corpus entries
+  that the test suite replays forever after (regression tests by
+  construction);
+* :mod:`repro.fuzz.driver` — the ``repro fuzz`` loop tying it together.
+"""
+
+from .corpus import CorpusEntry, load_corpus, replay_corpus, save_entry
+from .driver import FuzzReport, format_report, run_fuzz
+from .grammar import ProgramSpec, generate_program
+from .guest import build_image, fuzz_guest_main
+from .runner import Cell, MATRIX, MatrixReport, check_program, run_cell
+from .shrinker import shrink
+
+__all__ = [
+    "Cell",
+    "CorpusEntry",
+    "FuzzReport",
+    "MATRIX",
+    "MatrixReport",
+    "ProgramSpec",
+    "build_image",
+    "check_program",
+    "format_report",
+    "fuzz_guest_main",
+    "generate_program",
+    "load_corpus",
+    "replay_corpus",
+    "run_cell",
+    "run_fuzz",
+    "save_entry",
+    "shrink",
+]

@@ -1,0 +1,97 @@
+"""The ``repro fuzz`` loop: generate, check, shrink, bank.
+
+A fuzz run is itself deterministic: ``--seed S --budget N`` walks seeds
+``S, S+1, ... S+N-1`` through :func:`~repro.fuzz.runner.check_program`
+in order, so a CI failure is reproducible locally with the same flags.
+A wall-clock budget (``--seconds``) can bound the walk for smoke use;
+the seed at which it stopped is printed so the walk can resume.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable, List, Optional
+
+from .corpus import CorpusEntry, save_entry
+from .grammar import generate_program
+from .runner import MatrixReport, check_program
+from .shrinker import shrink
+
+
+@dataclasses.dataclass
+class FuzzReport:
+    """Outcome of one fuzzing session."""
+
+    start_seed: int
+    programs_run: int
+    divergences: List[MatrixReport]
+    saved_paths: List[str]
+    elapsed: float
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+def run_fuzz(seed: int = 0, budget: int = 100,
+             seconds: Optional[float] = None,
+             workers: int = 2, rnr: bool = True,
+             corpus_dir: Optional[str] = None,
+             do_shrink: bool = True,
+             log: Callable[[str], None] = lambda s: None) -> FuzzReport:
+    """Fuzz seeds ``[seed, seed+budget)``; bank shrunk reproducers.
+
+    *corpus_dir* of ``None`` disables banking (reports still carry the
+    shrunk spec).  *seconds* optionally cuts the walk short.
+    """
+    t0 = time.monotonic()
+    divergences: List[MatrixReport] = []
+    saved: List[str] = []
+    ran = 0
+    for s in range(seed, seed + budget):
+        if seconds is not None and time.monotonic() - t0 >= seconds:
+            log("time budget exhausted at seed %d (%d programs)" % (s, ran))
+            break
+        spec = generate_program(s)
+        report = check_program(spec, workers=workers, rnr=rnr)
+        ran += 1
+        if report.ok:
+            if ran % 10 == 0:
+                log("... %d programs, all deterministic" % ran)
+            continue
+        log("DIVERGENCE %s" % report.summary())
+        if do_shrink:
+            small = shrink(spec, lambda sp: not check_program(
+                sp, workers=workers, rnr=rnr).ok)
+            final = check_program(small, workers=workers, rnr=rnr)
+            # Shrinking can (rarely) lose the failure; keep the original.
+            report = final if not final.ok else report
+            log("shrunk to %d ops" % len(report.spec.ops))
+        divergences.append(report)
+        if corpus_dir is not None:
+            entry = CorpusEntry(spec=report.spec,
+                                reason="found by repro fuzz",
+                                original_failures=tuple(report.failures))
+            saved.append(save_entry(entry, corpus_dir))
+            log("banked %s" % saved[-1])
+    return FuzzReport(start_seed=seed, programs_run=ran,
+                      divergences=divergences, saved_paths=saved,
+                      elapsed=time.monotonic() - t0)
+
+
+def format_report(report: FuzzReport) -> str:
+    lines = [
+        "fuzz: %d programs from seed %d in %.1fs" % (
+            report.programs_run, report.start_seed, report.elapsed),
+    ]
+    if report.ok:
+        lines.append("fuzz: no divergences — every program was a pure "
+                     "function of its spec across the full matrix")
+    else:
+        lines.append("fuzz: %d DIVERGENT program(s):" % len(report.divergences))
+        for rep in report.divergences:
+            lines.append("  " + rep.summary())
+        for path in report.saved_paths:
+            lines.append("  banked: " + path)
+    return "\n".join(lines)

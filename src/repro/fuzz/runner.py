@@ -1,0 +1,249 @@
+"""Execute one program across the configuration matrix and compare.
+
+The determinism claim under test: a container's guest-visible outcome is
+a pure function of (image, config-surface, nothing else).  The repo's
+internal knobs — which scheduler implementation runs, whether the namei/
+dirent caches are on, whether the observability plane records — and the
+host the container happens to boot on must all be invisible.  Two
+comparisons express that:
+
+* **cell axis** — every cell of :data:`MATRIX` runs the program on the
+  *same* host with different internal knobs; the full fingerprint
+  (stdout, tree, virtual wall time, syscall counts, metrics, trace)
+  must match byte for byte;
+* **host axis** — the base cell re-runs on two more hosts (different
+  entropy, boot epoch, pid/inode bases, getdents salt); the
+  guest-visible surface (exit/stdout/stderr/tree) must match.
+
+Three further axes ride on top:
+
+* **serial vs parallel** — the exact cell list re-runs through
+  ``repro.parallel.run_jobs`` on a worker pool; the records must equal
+  the serial ones (this is what caught the unpicklable-error bug);
+* **record/replay** — thread-free programs are recorded natively via
+  ``repro.rnr`` and replayed on a different boot; a
+  ``ReplayDivergence`` is a failure;
+* **guest oracle** — any ``VIOLATION`` line the in-guest POSIX auditor
+  printed fails the program outright, even if every cell agrees.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.config import ContainerConfig
+from ..core.container import DetTrace, OK
+from ..cpu.machine import HostEnvironment
+from ..parallel import Job, run_jobs
+from ..repro_tools.hashing import tree_digest
+from .grammar import ProgramSpec
+from .guest import build_image
+
+
+@dataclasses.dataclass(frozen=True)
+class Cell:
+    """One point of the configuration matrix."""
+
+    name: str
+    scheduler: str = "logical"
+    fs_caches: bool = True
+    observe: bool = False
+    #: Part of the *config surface* (a different seed is a different
+    #: container, legitimately divergent).  MATRIX keeps it fixed; tests
+    #: vary it as a known-divergent negative control for the harness.
+    prng_seed: int = 0
+
+    def config(self) -> ContainerConfig:
+        return ContainerConfig(scheduler=self.scheduler,
+                               fs_caches=self.fs_caches,
+                               observe=self.observe,
+                               prng_seed=self.prng_seed)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Cell":
+        return cls(**data)
+
+
+#: The matrix.  Every determinism-relevant internal knob appears both on
+#: and off, and the reference scheduler shadows the O(log n) one.
+MATRIX: Tuple[Cell, ...] = (
+    Cell("base"),
+    Cell("sched-ref", scheduler="logical-ref"),
+    Cell("nocache", fs_caches=False),
+    Cell("observe", observe=True),
+    Cell("ref-nocache-obs", scheduler="logical-ref", fs_caches=False,
+         observe=True),
+)
+
+def _host_for(spec_seed: int, index: int) -> HostEnvironment:
+    """Deterministic host #index for one program: entropy, boot epoch,
+    pid/ino bases and getdents salt all vary with *index*."""
+    return HostEnvironment(
+        entropy_seed=(spec_seed * 31 + index * 7 + 1) & 0xFFFFFFFF,
+        boot_epoch=1.5e9 + 1e7 * index + (spec_seed % 997),
+        pid_start=1000 + 500 * index,
+        inode_start=100_000 + 10_000 * index,
+        dirent_hash_salt=index * 0x9E37 + spec_seed % 251,
+    )
+
+
+#: Fields every matrix cell (same host, different internal knobs) must
+#: agree on.  ``trace`` is deliberately absent (it only exists under
+#: observe=True; the observe cells compare it among themselves).
+COMPARED_FIELDS = ("status", "exit_code", "stdout", "stderr", "tree",
+                   "wall_time", "syscalls", "counters", "totals")
+
+#: Fields that must survive a change of *host* (different boot, entropy,
+#: pid/inode bases): the guest-visible surface.  Host wall time and raw
+#: syscall counts may legitimately absorb scheduling jitter once threads
+#: are involved, so they are excluded here — matching what the repo's
+#: cross-host property tests guarantee.
+HOST_INVARIANT_FIELDS = ("status", "exit_code", "stdout", "stderr", "tree")
+
+
+def run_cell(spec_dict: Dict[str, Any], cell_dict: Dict[str, Any],
+             host_index: int = 0) -> Dict[str, Any]:
+    """Run one program in one cell; return its fingerprint record.
+
+    Module-level and dict-in/dict-out on purpose: the parallel axis
+    ships exactly this function to forked workers, so only JSON-able
+    payloads ever cross the pickle boundary.
+    """
+    spec = ProgramSpec.from_dict(spec_dict)
+    cell = Cell.from_dict(cell_dict)
+    host = _host_for(spec.seed, host_index)
+    result = DetTrace(cell.config()).run(build_image(spec), "/bin/fuzz",
+                                         host=host)
+    record: Dict[str, Any] = {
+        "cell": cell.name,
+        "status": result.status,
+        "exit_code": result.exit_code,
+        "stdout": result.stdout,
+        "stderr": result.stderr,
+        "tree": tree_digest(result.output_tree),
+        "wall_time": result.wall_time,
+        "syscalls": result.syscall_count,
+        "counters": dict(result.metrics.counters) if result.metrics else {},
+        "totals": dict(result.metrics.totals) if result.metrics else {},
+        "trace": None,
+        "violations": [line for line in result.stdout.splitlines()
+                       if "VIOLATION" in line],
+    }
+    if result.trace is not None:
+        chrome = json.dumps(result.trace.to_chrome(), sort_keys=True)
+        record["trace"] = hashlib.sha256(chrome.encode()).hexdigest()
+    return record
+
+
+@dataclasses.dataclass
+class MatrixReport:
+    """Everything :func:`check_program` learned about one program."""
+
+    spec: ProgramSpec
+    records: List[Dict[str, Any]]
+    failures: List[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        if self.ok:
+            return "seed=%d ops=%d ok" % (self.spec.seed, len(self.spec.ops))
+        return "seed=%d ops=%d FAIL: %s" % (
+            self.spec.seed, len(self.spec.ops), "; ".join(self.failures))
+
+
+def _diff_records(base: Dict[str, Any], other: Dict[str, Any],
+                  fields) -> List[str]:
+    out = []
+    for field in fields:
+        if base[field] != other[field]:
+            out.append("%s!=%s on %r" % (base["cell"], other["cell"], field))
+    return out
+
+
+def check_program(spec: ProgramSpec, workers: int = 2,
+                  rnr: bool = True,
+                  matrix: Optional[Tuple[Cell, ...]] = None) -> MatrixReport:
+    """Run *spec* across every axis; return the full report.
+
+    *matrix* defaults to :data:`MATRIX`; tests substitute a matrix with
+    a known-divergent cell to prove the harness detects differences.
+    """
+    matrix = MATRIX if matrix is None else matrix
+    failures: List[str] = []
+    spec_dict = spec.to_dict()
+
+    # Axis 1: the cell matrix, serially.
+    records = [run_cell(spec_dict, cell.to_dict()) for cell in matrix]
+    base = records[0]
+    if base["status"] != OK or base["exit_code"] != 0:
+        failures.append("base run failed: status=%s exit=%r stderr=%r"
+                        % (base["status"], base["exit_code"],
+                           base["stderr"][-200:]))
+    for rec in records:
+        if rec["violations"]:
+            failures.append("%s: %s" % (rec["cell"], rec["violations"][0]))
+            break  # one oracle line is enough; cells agree or also fail below
+    for other in records[1:]:
+        failures.extend(_diff_records(base, other, COMPARED_FIELDS))
+    observed = [r for r in records if r["trace"] is not None]
+    for other in observed[1:]:
+        if other["trace"] != observed[0]["trace"]:
+            failures.append("%s!=%s on 'trace'" % (observed[0]["cell"],
+                                                   other["cell"]))
+
+    # Axis 1b: same knobs, different hosts — guest-visible surface only.
+    for host_index in (1, 2):
+        rec = run_cell(spec_dict, matrix[0].to_dict(), host_index=host_index)
+        for failure in _diff_records(base, rec, HOST_INVARIANT_FIELDS):
+            failures.append("host%d: %s" % (host_index, failure))
+
+    # Axis 2: the same cells through the parallel fan-out.  Exact record
+    # equality — fan-out must be a pure reordering of serial execution.
+    if workers > 1:
+        jobs = [Job(key=i, fn=run_cell, args=(spec_dict, cell.to_dict()))
+                for i, cell in enumerate(matrix)]
+        try:
+            pooled = [rec for _k, rec in run_jobs(jobs, workers=workers)]
+        except Exception as err:
+            failures.append("parallel axis raised: %s: %s"
+                            % (type(err).__name__, err))
+        else:
+            for serial_rec, pooled_rec in zip(records, pooled):
+                if serial_rec != pooled_rec:
+                    failures.append("serial!=parallel on cell %r"
+                                    % serial_rec["cell"])
+
+    # Axis 3: record natively, replay on a different boot.
+    if rnr and not spec.uses_threads():
+        failures.extend(_check_rnr(spec))
+
+    return MatrixReport(spec=spec, records=records, failures=failures)
+
+
+def _check_rnr(spec: ProgramSpec) -> List[str]:
+    from .. import rnr as rnr_mod
+
+    image = build_image(spec)
+    host_a = HostEnvironment(entropy_seed=spec.seed * 13 + 5,
+                             boot_epoch=1.61e9)
+    host_b = HostEnvironment(entropy_seed=spec.seed * 17 + 11,
+                             boot_epoch=1.93e9, pid_start=4000,
+                             inode_start=777_000, dirent_hash_salt=99)
+    rec = rnr_mod.record(image, "/bin/fuzz", host=host_a)
+    if rec.status != "ok":
+        return ["rnr record failed: %s %s" % (rec.status, rec.error)]
+    try:
+        rnr_mod.replay(build_image(spec), "/bin/fuzz", rec.recording,
+                       host=host_b)
+    except Exception as err:
+        return ["rnr replay diverged: %s: %s" % (type(err).__name__, err)]
+    return []

@@ -42,6 +42,12 @@ class OpenFile:
     #: Send-direction pipe for SOCKETPAIR descriptions.
     peer_pipe: Optional[Pipe] = None
 
+    #: True when this description was counted in its inode's
+    #: ``open_count`` (set by sys_open); the last close must then report
+    #: back to the filesystem so unlinked-but-open inode numbers are
+    #: recycled only after the final descriptor goes away.
+    counts_inode: bool = False
+
     @property
     def is_pipe(self) -> bool:
         return self.kind in (FdKind.PIPE_READ, FdKind.PIPE_WRITE,

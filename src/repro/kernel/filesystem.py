@@ -227,6 +227,28 @@ class Filesystem:
         target.ctime = now
         parent.mtime = parent.ctime = now
 
+    # -- open-description accounting ----------------------------------------
+    #
+    # POSIX keeps an unlinked-but-open inode alive until its last close;
+    # releasing the inode *number* early lets the allocator hand the same
+    # st_ino to a new file while the orphan is still fstat-able — two live
+    # objects sharing an identity.  The syscall layer reports opens and
+    # closes here so unlink/rmdir/rename defer the release.
+
+    def inode_opened(self, node: Inode) -> None:
+        """An open file description now references *node*."""
+        node.open_count += 1
+
+    def inode_closed(self, node: Inode) -> None:
+        """The last descriptor on one description closed."""
+        node.open_count -= 1
+        self._maybe_release(node)
+
+    def _maybe_release(self, node: Inode) -> None:
+        """Recycle the inode number once no name and no open fd keeps it."""
+        if node.nlink <= 0 and node.open_count <= 0:
+            self._alloc.release(node.ino)
+
     def unlink(self, parent: Inode, name: str, now: float = 0.0) -> None:
         node = parent.lookup(name)
         if node is None:
@@ -237,8 +259,7 @@ class Filesystem:
         node.nlink -= 1
         node.ctime = now
         parent.mtime = parent.ctime = now
-        if node.nlink <= 0:
-            self._alloc.release(node.ino)
+        self._maybe_release(node)
 
     def rmdir(self, parent: Inode, name: str, now: float = 0.0) -> None:
         node = parent.lookup(name)
@@ -250,8 +271,9 @@ class Filesystem:
             raise SyscallError(Errno.ENOTEMPTY, "rmdir", name)
         parent.remove_entry(name)
         parent.nlink -= 1
+        node.nlink = 0  # the name and the self-referential "." both die
         parent.mtime = parent.ctime = now
-        self._alloc.release(node.ino)
+        self._maybe_release(node)
 
     def rename(self, old_parent: Inode, old_name: str, new_parent: Inode,
                new_name: str, now: float = 0.0) -> None:
@@ -262,14 +284,28 @@ class Filesystem:
         if existing is node:
             return  # POSIX: renaming a file onto itself is a no-op
         if existing is not None:
+            if node.is_dir and not existing.is_dir:
+                raise SyscallError(Errno.ENOTDIR, "rename", new_name)
+            if not node.is_dir and existing.is_dir:
+                raise SyscallError(Errno.EISDIR, "rename", new_name)
             if existing.is_dir and existing.entries:
                 raise SyscallError(Errno.ENOTEMPTY, "rename", new_name)
             new_parent.remove_entry(new_name)
-            existing.nlink -= 1
-            if existing.nlink <= 0 and not existing.is_dir:
-                self._alloc.release(existing.ino)
+            if existing.is_dir:
+                # An empty directory victim: its name and its "." die,
+                # and its ".." stops linking to new_parent.
+                new_parent.nlink -= 1
+                existing.nlink = 0
+            else:
+                existing.nlink -= 1
+                existing.ctime = now
+            self._maybe_release(existing)
         old_parent.remove_entry(old_name)
         new_parent.add_entry(new_name, node)
+        if node.is_dir and old_parent is not new_parent:
+            # The moved directory's ".." now links new_parent, not old.
+            old_parent.nlink -= 1
+            new_parent.nlink += 1
         node.ctime = now
         old_parent.mtime = old_parent.ctime = now
         new_parent.mtime = new_parent.ctime = now

@@ -65,8 +65,14 @@ class Inode:
     # ``_dirent_cache`` memoizes this directory's salted-hash getdents
     # order *on the inode itself* (so a recycled object can never
     # inherit a stale order); any entry mutation clears it.
+    #
+    # ``open_count`` counts open file *descriptions* referencing this
+    # inode: POSIX keeps an unlinked inode (and its number) alive until
+    # the last close, so the allocator must not recycle the number while
+    # any description is live (Filesystem.inode_opened/inode_closed).
     namei_epoch = 0
     _dirent_cache = None
+    open_count = 0
 
     @property
     def size(self) -> int:

@@ -200,6 +200,11 @@ class SyscallTable:
             of = OpenFile(kind=FdKind.FILE, flags=flags, path=abspath, inode=node)
         else:
             raise SyscallError(Errno.EINVAL, "open", path)
+        if of.inode is not None:
+            # Keep the inode number alive until the last close even if
+            # every name is unlinked meanwhile (POSIX orphan semantics).
+            self._fs.inode_opened(of.inode)
+            of.counts_inode = True
         return proc.fdtable.install(of)
 
     def sys_close(self, t: Thread, fd: int):
@@ -211,6 +216,8 @@ class SyscallTable:
         of.refcount -= 1
         if of.refcount > 0:
             return
+        if of.counts_inode and of.inode is not None:
+            self._fs.inode_closed(of.inode)
         if of.kind is FdKind.PIPE_READ and of.pipe is not None:
             self.kernel.notify(of.pipe.close_reader())
         elif of.kind is FdKind.PIPE_WRITE and of.pipe is not None:

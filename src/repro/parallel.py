@@ -28,7 +28,60 @@ from __future__ import annotations
 import dataclasses
 import multiprocessing
 import os
+import pickle
+import traceback
 from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+
+class WorkerError(Exception):
+    """Picklable carrier for a worker exception that cannot itself cross
+    the process boundary.
+
+    Exceptions with custom ``__init__`` signatures (e.g. the kernel's
+    ``SyscallError(errno, syscall)``) pickle but explode on *unpickle*,
+    which would crash ``pool.map`` at a completion-order-dependent
+    moment — a non-deterministic teardown.  Such errors are converted to
+    this carrier *in the worker*, preserving the original type name,
+    message, errno (when present) and formatted traceback.  The same
+    conversion runs on the serial path so the raised error is a pure
+    function of the jobs, never of the worker count.
+    """
+
+    def __init__(self, type_name: str, message: str, errno: int = 0,
+                 tb: str = ""):
+        self.type_name = type_name
+        self.message = message
+        self.errno = errno
+        self.tb = tb
+        super().__init__("%s: %s" % (type_name, message))
+
+    def __reduce__(self):
+        return (WorkerError, (self.type_name, self.message, self.errno,
+                              self.tb))
+
+    def format_traceback(self) -> str:
+        return self.tb
+
+
+def _sanitize_error(err: BaseException) -> BaseException:
+    """Return *err* if it survives a pickle round-trip, else a carrier.
+
+    The round-trip includes ``loads``: pickling an exception succeeds for
+    almost anything (the default reduce stores ``args``), but rebuilding
+    it calls ``type(err)(*args)``, which fails for custom signatures.
+    """
+    try:
+        rebuilt = pickle.loads(pickle.dumps(err))
+        if type(rebuilt) is type(err):
+            return err
+    except Exception:
+        pass
+    return WorkerError(
+        type_name=type(err).__name__,
+        message=str(err),
+        errno=int(getattr(err, "errno", 0) or 0),
+        tb="".join(traceback.format_exception(type(err), err,
+                                              err.__traceback__)))
 
 
 @dataclasses.dataclass(frozen=True)
@@ -46,11 +99,18 @@ class Job:
 
 
 def _execute(job: Job) -> Tuple[Any, str, Any]:
-    """Worker trampoline: never raises, so pool teardown stays orderly."""
+    """Worker trampoline: never raises, so pool teardown stays orderly.
+
+    Errors are sanitized *here* — before the result crosses the process
+    boundary — so an unpicklable exception can never detonate inside
+    ``pool.map``'s result plumbing (which would tear the pool down at a
+    completion-order-dependent point).  The serial path runs the same
+    sanitizer, keeping the raised error independent of worker count.
+    """
     try:
         return (job.key, "ok", job.fn(*job.args, **job.kwargs))
     except BaseException as err:  # re-raised deterministically by caller
-        return (job.key, "err", err)
+        return (job.key, "err", _sanitize_error(err))
 
 
 def default_workers() -> int:

@@ -4,9 +4,18 @@ The contract under test: the result list (and any raised error) is a
 pure function of the jobs, independent of the worker count — completion
 races in the pool must never be observable.
 """
+import pickle
+
 import pytest
 
-from repro.parallel import Job, default_workers, fan_out, run_jobs
+from repro.kernel.errors import Errno, SyscallError
+from repro.parallel import (
+    Job,
+    WorkerError,
+    default_workers,
+    fan_out,
+    run_jobs,
+)
 
 # Workers are forked processes: job functions must be module-level.
 
@@ -62,6 +71,56 @@ def test_kwargs_and_empty_inputs():
     assert run_jobs([]) == []
     jobs = [Job(key="a", fn=_tag, args=("x",), kwargs={"n": 7})]
     assert run_jobs(jobs, workers=2) == [("a", "x:7")]
+
+
+def _raise_syscall_error(x):
+    # SyscallError(errno, syscall, detail) has a custom __init__ whose
+    # args don't round-trip through the default Exception pickling: it
+    # pickles fine but explodes on *unpickle* inside pool.map's result
+    # plumbing — exactly the non-deterministic teardown the carrier
+    # prevents.
+    raise SyscallError(Errno.ENOSPC, "write", "disk full on job %d" % x)
+
+
+def test_unpicklable_exception_does_not_crash_the_pool():
+    jobs = [Job(key=k, fn=_raise_syscall_error, args=(k,))
+            for k in range(4)]
+    with pytest.raises(WorkerError) as exc_info:
+        run_jobs(jobs, workers=3)
+    err = exc_info.value
+    assert err.type_name == "SyscallError"
+    assert err.errno == int(Errno.ENOSPC)
+    assert "job 0" in err.message  # smallest key's error, as serial would
+    assert "SyscallError" in err.format_traceback()
+
+
+@pytest.mark.parametrize("workers", [1, 3])
+def test_carrier_identical_serial_and_pooled(workers):
+    """The raised error must be a pure function of the jobs: the same
+    WorkerError whether the exception crossed a process boundary or not."""
+    jobs = [Job(key=k, fn=_raise_syscall_error, args=(k,))
+            for k in range(3)]
+    with pytest.raises(WorkerError) as exc_info:
+        run_jobs(jobs, workers=workers)
+    assert exc_info.value.type_name == "SyscallError"
+    assert exc_info.value.errno == int(Errno.ENOSPC)
+    assert "job 0" in exc_info.value.message
+
+
+def test_worker_error_survives_pickle():
+    err = WorkerError("SyscallError", "boom", errno=28, tb="trace\n")
+    back = pickle.loads(pickle.dumps(err))
+    assert isinstance(back, WorkerError)
+    assert (back.type_name, back.message, back.errno, back.tb) \
+        == ("SyscallError", "boom", 28, "trace\n")
+
+
+def test_picklable_exceptions_pass_through_unwrapped():
+    # ValueError round-trips, so callers keep catching the real type
+    # (the existing error-precedence contract depends on this).
+    jobs = [Job(key=0, fn=_boom, args=(1,))]
+    with pytest.raises(ValueError, match="odd 1"):
+        run_jobs(jobs, workers=2)
 
 
 def test_workers_clamped_to_job_count():

@@ -1,0 +1,85 @@
+"""The corpus is the fuzzer's long-term memory: every checked-in
+reproducer must replay clean on the current tree, forever."""
+import json
+import os
+
+import pytest
+
+from repro.fuzz.corpus import (
+    CorpusEntry,
+    load_corpus,
+    replay_corpus,
+    save_entry,
+)
+from repro.fuzz.grammar import ProgramSpec, generate_program
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        entry = CorpusEntry(spec=generate_program(5), reason="why",
+                            original_failures=("a", "b"))
+        path = save_entry(entry, str(tmp_path))
+        [loaded] = load_corpus(str(tmp_path))
+        assert loaded.spec == entry.spec
+        assert loaded.reason == "why"
+        assert loaded.original_failures == ("a", "b")
+        assert os.path.basename(path) == entry.name + ".json"
+
+    def test_load_is_sorted_and_filtered(self, tmp_path):
+        for seed in (3, 1, 2):
+            save_entry(CorpusEntry(spec=generate_program(seed)),
+                       str(tmp_path), filename="s%d" % seed)
+        (tmp_path / "notes.txt").write_text("ignore me")
+        loaded = load_corpus(str(tmp_path))
+        assert [e.spec.seed for e in loaded] == [1, 2, 3]
+
+    def test_missing_dir_is_empty(self, tmp_path):
+        assert load_corpus(str(tmp_path / "absent")) == []
+
+
+class TestCheckedInCorpus:
+    def test_corpus_is_not_empty(self):
+        entries = load_corpus(CORPUS_DIR)
+        assert len(entries) >= 6
+        for entry in entries:
+            assert entry.reason  # every entry documents its bug
+
+    def test_entries_are_canonical_json(self):
+        for fname in sorted(os.listdir(CORPUS_DIR)):
+            if not fname.endswith(".json"):
+                continue
+            with open(os.path.join(CORPUS_DIR, fname)) as fh:
+                data = json.load(fh)
+            assert CorpusEntry.from_dict(data).spec.ops
+
+    def test_full_corpus_replays_clean(self):
+        """The regression gate: every reproducer runs the full matrix
+        (cells, hosts, serial-vs-parallel, rnr where applicable) and
+        must report zero divergences on the current tree."""
+        failed = replay_corpus(CORPUS_DIR, workers=2, rnr=True)
+        assert failed == [], [r.summary() for r in failed]
+
+
+@pytest.mark.fuzz
+class TestReplayFailurePath:
+    def test_replay_reports_divergent_entries(self, tmp_path, monkeypatch):
+        """replay_corpus must *report* a failing entry, not hide it."""
+        import repro.fuzz.corpus as corpus_mod
+        import repro.fuzz.runner as runner_mod
+        from repro.fuzz.runner import Cell, MATRIX
+
+        save_entry(CorpusEntry(
+            spec=ProgramSpec(seed=0, ops=({"op": "random", "count": 4},
+                                          {"op": "audit"}))), str(tmp_path))
+        real = runner_mod.check_program
+
+        def sabotaged(spec, workers=2, rnr=True, matrix=None):
+            return real(spec, workers=workers, rnr=rnr,
+                        matrix=(MATRIX[0], Cell("bad", prng_seed=9)))
+
+        monkeypatch.setattr(runner_mod, "check_program", sabotaged)
+        failed = corpus_mod.replay_corpus(str(tmp_path), workers=1,
+                                          rnr=False)
+        assert len(failed) == 1 and not failed[0].ok

@@ -1,0 +1,67 @@
+"""The grammar must be a pure function of the seed — a corpus entry
+names a program by (seed, ops) and that naming must hold on any
+machine."""
+import json
+
+from repro.fuzz.grammar import (
+    DIR_POOL,
+    FILE_POOL,
+    ProgramSpec,
+    generate_program,
+)
+
+
+class TestGeneration:
+    def test_same_seed_same_program(self):
+        for seed in range(30):
+            assert generate_program(seed) == generate_program(seed)
+
+    def test_different_seeds_differ(self):
+        specs = {generate_program(s).digest for s in range(30)}
+        assert len(specs) > 25  # near-universal uniqueness
+
+    def test_every_program_ends_with_audit(self):
+        for seed in range(30):
+            assert generate_program(seed).ops[-1]["op"] == "audit"
+
+    def test_ops_within_bounds(self):
+        for seed in range(30):
+            spec = generate_program(seed, min_ops=4, max_ops=18)
+            # +audit and the seeding prologue may exceed max_ops slightly,
+            # but the program stays small.
+            assert 2 <= len(spec.ops) <= 18 + 6
+
+    def test_paths_come_from_the_shared_pools(self):
+        pool = set(DIR_POOL) | set(FILE_POOL) | {"."}
+        for seed in range(30):
+            for op in generate_program(seed).ops:
+                for key in ("path", "old", "new", "target"):
+                    if key in op:
+                        assert op[key] in pool
+
+
+class TestSpec:
+    def test_json_round_trip(self):
+        spec = generate_program(7)
+        assert ProgramSpec.from_json(spec.to_json()) == spec
+
+    def test_digest_stable_under_round_trip(self):
+        spec = generate_program(11)
+        assert ProgramSpec.from_json(spec.to_json()).digest == spec.digest
+
+    def test_json_is_canonical(self):
+        spec = generate_program(3)
+        parsed = json.loads(spec.to_json())
+        assert parsed == spec.to_dict()
+
+    def test_uses_threads(self):
+        plain = ProgramSpec(seed=0, ops=({"op": "audit"},))
+        threaded = ProgramSpec(seed=0, ops=(
+            {"op": "threads", "bodies": [[{"op": "time"}]]},))
+        assert not plain.uses_threads()
+        assert threaded.uses_threads()
+
+    def test_with_ops_keeps_seed(self):
+        spec = generate_program(5)
+        cut = spec.with_ops(spec.ops[:2])
+        assert cut.seed == 5 and len(cut.ops) == 2

@@ -1,0 +1,167 @@
+"""POSIX bookkeeping invariants under random fs-op storms.
+
+Two layers:
+
+* directly against :class:`repro.kernel.filesystem.Filesystem` — after
+  any sequence of create/link/unlink/rmdir/rename (including cross-
+  directory directory moves and rename-over-existing), every inode's
+  ``nlink`` equals its reachable-name count (+2+subdirs for dirs) and an
+  unlinked-but-open inode keeps its number until the last close;
+* through a full DetTrace container — the fuzz interpreter's in-guest
+  auditor must stay silent with the namei/dirent caches on *and* off,
+  and both runs must be byte-identical.
+"""
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import ContainerConfig
+from repro.core.container import DetTrace
+from repro.cpu.machine import HostEnvironment
+from repro.fuzz.grammar import ProgramSpec, _gen_op
+from repro.fuzz.guest import build_image
+from repro.kernel.errors import SyscallError
+from repro.kernel.filesystem import Filesystem
+
+names_st = st.sampled_from(["a", "b", "c", "d"])
+dirs_st = st.sampled_from(["", "d1", "d2"])  # "" = root
+op_st = st.lists(
+    st.tuples(
+        st.sampled_from(["write", "mkdir", "link", "unlink", "rmdir",
+                         "rename", "open", "close"]),
+        dirs_st, names_st, dirs_st, names_st),
+    max_size=50)
+
+
+def _parent(fs, dirname):
+    if not dirname:
+        return fs.root
+    node = fs.root.lookup(dirname)
+    return node if node is not None and node.is_dir else fs.root
+
+
+def _apply(fs, ops):
+    """Apply ops; returns the list of (node, names-at-open) still open."""
+    open_nodes = []
+    for kind, d1, n1, d2, n2 in ops:
+        p1, p2 = _parent(fs, d1), _parent(fs, d2)
+        try:
+            if kind == "write":
+                path = ("/" + d1 + "/" + n1) if d1 else ("/" + n1)
+                fs.write_file(path, b"x", now=1.0)
+            elif kind == "mkdir":
+                fs.create_dir(p1, n1, now=1.0)
+            elif kind == "link":
+                target = p2.lookup(n2)
+                if target is not None and not target.is_dir:
+                    fs.hard_link(p1, n1, target, now=1.0)
+            elif kind == "unlink":
+                fs.unlink(p1, n1, now=1.0)
+            elif kind == "rmdir":
+                fs.rmdir(p1, n1, now=1.0)
+            elif kind == "rename":
+                fs.rename(p1, n1, p2, n2, now=1.0)
+            elif kind == "open":
+                node = p1.lookup(n1)
+                if node is not None and node.is_regular:
+                    fs.inode_opened(node)
+                    open_nodes.append(node)
+            elif kind == "close":
+                if open_nodes:
+                    fs.inode_closed(open_nodes.pop())
+        except SyscallError:
+            pass  # rejected sequences are fine; invariants must hold anyway
+    return open_nodes
+
+
+def _name_counts(fs):
+    """id(node) -> number of reachable names, plus dir subdir counts."""
+    file_names = {}
+    dir_subdirs = {}
+    for path, node in fs.walk():
+        if node.is_dir:
+            dir_subdirs[id(node)] = (
+                node, sum(1 for child in node.entries.values()
+                          if child.is_dir))
+        else:
+            entry = file_names.setdefault(id(node), [node, 0])
+            entry[1] += 1
+    return file_names, dir_subdirs
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=op_st)
+def test_nlink_equals_reachable_name_count(ops):
+    fs = Filesystem(HostEnvironment())
+    fs.create_dir(fs.root, "d1", now=0.0)
+    fs.create_dir(fs.root, "d2", now=0.0)
+    _apply(fs, ops)
+    file_names, dir_subdirs = _name_counts(fs)
+    for node, count in file_names.values():
+        if not node.is_regular:
+            continue  # symlinks/devices: names count, but keep it simple
+        assert node.nlink == count, (node.ino, node.nlink, count)
+    for node, subdirs in dir_subdirs.values():
+        assert node.nlink == 2 + subdirs, (node.ino, node.nlink, subdirs)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=op_st)
+def test_live_and_open_inode_numbers_stay_unique(ops):
+    """No two live inodes — reachable *or* merely held open — may share
+    an inode number; an orphan's number is only recycled after its last
+    close."""
+    fs = Filesystem(HostEnvironment())
+    fs.create_dir(fs.root, "d1", now=0.0)
+    fs.create_dir(fs.root, "d2", now=0.0)
+    open_nodes = _apply(fs, ops)
+    live = {}
+    for _path, node in fs.walk():
+        live.setdefault(id(node), node)
+    for node in open_nodes:
+        live.setdefault(id(node), node)
+    inos = [node.ino for node in live.values()]
+    assert len(inos) == len(set(inos)), sorted(inos)
+    # Closing every orphan frees its number for reuse.
+    for node in list(open_nodes):
+        fs.inode_closed(node)
+    before = fs.create_file(fs.root, "fresh-after-close", now=2.0)
+    assert before.ino not in \
+        [n.ino for n in live.values() if n is not before and n.nlink > 0]
+
+
+# -- guest-level: the auditor under both cache settings ----------------------
+
+_FS_MENU = (("write", 5), ("mkdir", 4), ("rename", 6), ("link", 4),
+            ("unlink", 4), ("rmdir", 3), ("stat", 2), ("listdir", 2),
+            ("open", 3), ("close", 2), ("fstat", 2))
+
+
+def _fs_program(seed):
+    rng = random.Random(seed)
+    ops = [{"op": "mkdir", "path": "d0"}, {"op": "mkdir", "path": "d1"},
+           {"op": "write", "path": "f0", "data": "alpha"}]
+    menu = [name for name, weight in _FS_MENU for _ in range(weight)]
+    for _ in range(rng.randint(6, 16)):
+        ops.append(_gen_op(rng, rng.choice(menu)))
+        if rng.random() < 0.25:
+            ops.append({"op": "audit"})
+    ops.append({"op": "audit"})
+    return ProgramSpec(seed=seed, ops=tuple(ops))
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_guest_audit_clean_with_and_without_fs_caches(seed):
+    spec = _fs_program(seed)
+    host = HostEnvironment(entropy_seed=seed)
+    runs = []
+    for caches in (True, False):
+        result = DetTrace(ContainerConfig(fs_caches=caches)).run(
+            build_image(spec), "/bin/fuzz", host=host)
+        assert result.status == "ok" and result.exit_code == 0
+        assert "VIOLATION" not in result.stdout, result.stdout
+        runs.append(result)
+    assert runs[0].stdout == runs[1].stdout
+    assert runs[0].output_tree == runs[1].output_tree
