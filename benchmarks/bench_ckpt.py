@@ -1,0 +1,198 @@
+"""Checkpoint cost: snapshot overhead vs barrier interval.
+
+Two claims get numbers here.  First, snapshotting is pay-as-you-go: the
+wall-time overhead scales with barrier frequency, and every interval
+still produces the byte-identical output tree (checkpointing must never
+perturb the run it protects).  Second, the disabled path is free: with
+``ContainerConfig.checkpoint`` unset the kernel only ever evaluates an
+``is not None`` guard, so disabled throughput is the trend-tracked
+number — ``check.sh ckpt`` gates fresh runs against the committed
+``BENCH_ckpt.json`` baseline the same way the hotpath stage does.
+
+Run as a module with a baseline path to apply the regression gate::
+
+    python -m benchmarks.bench_ckpt /path/to/baseline.json
+"""
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+import pytest
+
+from repro.core import ContainerConfig, DetTrace, Image
+from repro.core.config import CheckpointConfig
+from repro.cpu.machine import HostEnvironment
+from repro.repro_tools.hashing import tree_digest
+
+from .conftest import scaled
+
+ROUNDS = scaled(5)
+INTERVALS = (200, 50, 10)
+OUT_PATH = os.path.join(os.path.dirname(os.path.dirname(__file__)),
+                        "BENCH_ckpt.json")
+
+
+def _child(sys_):
+    yield from sys_.write_file("child.txt", b"from child\n")
+    return 0
+
+
+def _workload(sys_):
+    yield from sys_.mkdir_p("out")
+    for i in range(120):
+        yield from sys_.write_file("out/f%d.txt" % i, b"x" * (10 + i))
+    for i in range(0, 120, 7):
+        data = yield from sys_.read_file("out/f%d.txt" % i)
+        yield from sys_.write_file("out/c%d.bin" % i, data)
+    names = yield from sys_.listdir("out")
+    yield from sys_.println("%d entries" % len(names))
+    res = yield from sys_.run("/bin/child")
+    yield from sys_.println("child exit %d" % res.status)
+    return 0
+
+
+def _image() -> Image:
+    image = Image()
+    image.add_binary("/bin/main", _workload)
+    image.add_binary("/bin/child", _child)
+    return image
+
+
+def _run(cfg: ContainerConfig):
+    return DetTrace(cfg).run(_image(), "/bin/main",
+                             host=HostEnvironment(entropy_seed=7))
+
+
+def _calibration_ops_per_sec() -> float:
+    """Throughput of a fixed pure-Python loop on this machine right now.
+
+    Dividing the bench numbers by this cancels most machine-load and
+    interpreter-speed variation, so the cross-run regression gate
+    compares work-per-event rather than the host's mood."""
+    best = 0.0
+    for _ in range(3):
+        t0 = time.perf_counter()
+        x = 0
+        for i in range(200_000):
+            x += i & 7
+        best = max(best, 200_000 / (time.perf_counter() - t0))
+    return best
+
+
+def measure_ckpt_cost():
+    from repro.ckpt import scan
+
+    digests = set()
+    syscalls = 0
+    rows = {}
+    for every in (None,) + INTERVALS:
+        walls = []
+        snapshots = journal_bytes = 0
+        for _ in range(ROUNDS):
+            directory = tempfile.mkdtemp(prefix="bench-ckpt-")
+            try:
+                if every is None:
+                    cfg = ContainerConfig()
+                else:
+                    cfg = ContainerConfig(checkpoint=CheckpointConfig(
+                        directory=directory, every=every, keep=0))
+                t0 = time.perf_counter()
+                result = _run(cfg)
+                walls.append(time.perf_counter() - t0)
+                assert result.exit_code == 0, (result.status, result.error)
+                digests.add(tree_digest(result.output_tree))
+                syscalls = result.syscall_count
+                if every is not None:
+                    infos = scan(directory)
+                    snapshots += len(infos)
+                    journal_bytes += sum(i.payload_len for i in infos)
+            finally:
+                shutil.rmtree(directory, ignore_errors=True)
+        # min() is the least-noise estimator for a deterministic run.
+        rows[every] = {
+            "wall_s": round(min(walls), 6),
+            "snapshots": snapshots // ROUNDS,
+            "journal_bytes": journal_bytes // ROUNDS,
+        }
+    assert len(digests) == 1, "checkpointing perturbed the output tree"
+    disabled = rows.pop(None)
+    calibration = _calibration_ops_per_sec()
+    per_sec = syscalls / disabled["wall_s"]
+    report = {
+        "rounds": ROUNDS,
+        "workload_syscalls": syscalls,
+        "calibration_ops_per_sec": round(calibration, 1),
+        "disabled_wall_s": disabled["wall_s"],
+        "disabled_syscalls_per_sec": round(per_sec, 1),
+        "disabled_normalized": round(per_sec / calibration, 6),
+        "intervals": {
+            str(every): dict(row, overhead_ratio=round(
+                row["wall_s"] / disabled["wall_s"], 4))
+            for every, row in rows.items()
+        },
+    }
+    return report
+
+
+@pytest.mark.ckpt
+def test_ckpt_overhead(benchmark, capsys):
+    report = benchmark.pedantic(measure_ckpt_cost, rounds=1, iterations=1)
+    with open(OUT_PATH, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    with capsys.disabled():
+        print()
+        print("ckpt: disabled %.1f syscalls/s (%.3fs)"
+              % (report["disabled_syscalls_per_sec"],
+                 report["disabled_wall_s"]))
+        for every in sorted(report["intervals"], key=int):
+            row = report["intervals"][every]
+            print("  every %4s: %.2fx wall, %d snapshots, %d KiB journal"
+                  % (every, row["overhead_ratio"], row["snapshots"],
+                     row["journal_bytes"] // 1024))
+        print("-> %s" % os.path.basename(OUT_PATH))
+    for every, row in report["intervals"].items():
+        assert row["snapshots"] > 0, "interval %s never snapshotted" % every
+    # Sparse checkpointing must stay cheap (measured ~1.4x); the densest
+    # interval is a stress case and is reported, not gated.
+    assert report["intervals"][str(max(INTERVALS))]["overhead_ratio"] < 3.0
+
+
+def gate_against_baseline(baseline_path: str, tolerance: float = 0.40) -> int:
+    """Compare a fresh BENCH_ckpt.json against the committed baseline:
+    the *disabled* path regressing more than *tolerance* fails — that is
+    the "checkpointing off costs nothing" contract, enforced as a trend.
+    The tolerance is wide because even the load-normalized metric swings
+    ~25% between a quiet and a saturated host; the gate exists to catch
+    gross mistakes (e.g. tape recording running with checkpointing off,
+    a 2x+ hit), not single-digit drift.
+    """
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    with open(OUT_PATH) as fh:
+        fresh = json.load(fh)
+    # Load-normalized when both sides have the calibration (cancels
+    # machine-load swings); raw throughput for old baselines.
+    key = ("disabled_normalized" if "disabled_normalized" in baseline
+           else "disabled_syscalls_per_sec")
+    base = baseline[key]
+    now = fresh[key]
+    floor = base * (1.0 - tolerance)
+    print("ckpt gate: disabled %s %.6g vs baseline %.6g (floor %.6g)"
+          % (key, now, base, floor))
+    if now < floor:
+        print("ckpt gate: FAIL — disabled-path regression > %d%%"
+              % int(tolerance * 100))
+        return 1
+    print("ckpt gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        raise SystemExit("usage: python -m benchmarks.bench_ckpt "
+                         "<baseline BENCH_ckpt.json>")
+    raise SystemExit(gate_against_baseline(sys.argv[1]))

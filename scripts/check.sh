@@ -7,6 +7,7 @@
 #   ./scripts/check.sh obs      # just the observability smoke stage
 #   ./scripts/check.sh perf     # just the hot-path perf stage
 #   ./scripts/check.sh fuzz     # just the differential-fuzz smoke stage
+#   ./scripts/check.sh ckpt     # just the checkpoint/resume smoke stage
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -16,7 +17,8 @@ stage="${1:-all}"
 
 obs_tmp=""
 perf_tmp=""
-trap 'rm -rf ${obs_tmp:+"$obs_tmp"} ${perf_tmp:+"$perf_tmp"}' EXIT
+ckpt_tmp=""
+trap 'rm -rf ${obs_tmp:+"$obs_tmp"} ${perf_tmp:+"$perf_tmp"} ${ckpt_tmp:+"$ckpt_tmp"}' EXIT
 
 if [ "$stage" = "all" ]; then
     echo "== compileall =="
@@ -51,6 +53,42 @@ if [ "$stage" = "all" ] || [ "$stage" = "fuzz" ]; then
     python -m repro fuzz --seed 0 --budget 100000 --seconds 60
     echo "== regression corpus replay =="
     python -m repro fuzz --replay-corpus tests/fuzz/corpus
+fi
+
+if [ "$stage" = "all" ] || [ "$stage" = "ckpt" ]; then
+    echo "== checkpoint/restore smoke stage (-m ckpt) =="
+    python -m pytest -x -q -m ckpt tests/ckpt
+    echo "== crash-resume-identity smoke (kill -> resume -> diff traces) =="
+    ckpt_tmp="$(mktemp -d)"
+    cat > "$ckpt_tmp/plan.json" <<'PLAN'
+{"rules": [{"fault": "kill", "at_tick": 40, "transient": true}]}
+PLAN
+    # Crashed run (exit 70 is the point), then resume, then the
+    # uninterrupted reference; resumed trace/stdout must be identical.
+    python -m repro run --checkpoint-dir "$ckpt_tmp/journal" \
+        --checkpoint-every 9 --faults "$ckpt_tmp/plan.json" \
+        --trace-out "$ckpt_tmp/crash.json" -- ls -l /bin \
+        > "$ckpt_tmp/crash.out" 2> /dev/null && exit 1 || true
+    python -m repro run --checkpoint-dir "$ckpt_tmp/journal" \
+        --checkpoint-every 9 --faults "$ckpt_tmp/plan.json" --resume \
+        --trace-out "$ckpt_tmp/resumed.json" -- ls -l /bin \
+        > "$ckpt_tmp/resumed.out" 2> /dev/null
+    python -m repro run --trace-out "$ckpt_tmp/base.json" -- ls -l /bin \
+        > "$ckpt_tmp/base.out" 2> /dev/null
+    cmp "$ckpt_tmp/resumed.json" "$ckpt_tmp/base.json"
+    cmp "$ckpt_tmp/resumed.out" "$ckpt_tmp/base.out"
+    echo "resumed trace and stdout byte-identical to uninterrupted run"
+    python -m repro ckpt verify "$ckpt_tmp/journal"
+    echo "== ckpt overhead bench + disabled-path regression gate =="
+    if [ -f BENCH_ckpt.json ]; then
+        cp BENCH_ckpt.json "$ckpt_tmp/baseline.json"
+    fi
+    python -m pytest -x -q benchmarks/bench_ckpt.py
+    if [ -f "$ckpt_tmp/baseline.json" ]; then
+        python -m benchmarks.bench_ckpt "$ckpt_tmp/baseline.json"
+    else
+        echo "no committed BENCH_ckpt.json baseline; skipping regression gate"
+    fi
 fi
 
 if [ "$stage" = "all" ] || [ "$stage" = "perf" ]; then

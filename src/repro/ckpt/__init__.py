@@ -1,0 +1,50 @@
+"""Crash-consistent checkpoint/restore with deterministic resume.
+
+A checkpoint is a *complete* serialization of the deterministic state of
+a run — kernel (filesystem, inodes, fds, pipes, signals, timers,
+procfs), the reproducible scheduler's heaps and token state, guest
+process continuations, the tracer's PRNG/logical clocks, and the
+observability counters — taken at a virtual-time barrier between kernel
+events.  Restoring a checkpoint and continuing the run produces
+byte-identical traces, metrics and output to a never-interrupted run:
+the strongest robustness property a deterministic container can claim.
+
+Layout:
+
+* :mod:`repro.ckpt.tape` — the resume tape: guest continuations are
+  Python generator frames (unserializable by design), so every value or
+  exception the kernel ever feeds a guest generator is recorded on an
+  append-only tape.  Restore rebuilds the frames by *fast-forwarding*:
+  re-driving the (pure) guest code with the taped inputs.
+* :mod:`repro.ckpt.snapshot` — capture/restore of everything else,
+  which is plain data and snapshots wholesale.
+* :mod:`repro.ckpt.journal` — the on-disk write-ahead journal: snapshots
+  are written temp-file + fsync + atomic rename under a header carrying
+  the format version, the config fingerprint and a content checksum, so
+  a torn write is always detectable and never shadows an older valid
+  snapshot.
+* :mod:`repro.ckpt.manager` — the barrier hook the kernel drives
+  (``kernel.ckpt``) and the startup recovery scan.
+"""
+
+from .journal import JournalError, SnapshotInfo, prune, scan, write_snapshot
+from .manager import CheckpointManager, RecoveryManager
+from .snapshot import CheckpointUnsupported, RestoreError, capture, restore
+from .tape import OPAQUE, encode_value, decode_value
+
+__all__ = [
+    "CheckpointManager",
+    "CheckpointUnsupported",
+    "JournalError",
+    "OPAQUE",
+    "RecoveryManager",
+    "RestoreError",
+    "SnapshotInfo",
+    "capture",
+    "decode_value",
+    "encode_value",
+    "prune",
+    "restore",
+    "scan",
+    "write_snapshot",
+]

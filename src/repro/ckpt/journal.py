@@ -1,0 +1,197 @@
+"""The on-disk checkpoint journal: torn-write-proof snapshot files.
+
+One snapshot is one file, ``ckpt-<barrier>.snap``::
+
+    <header JSON>\\n<payload bytes>
+
+The header is a single JSON line carrying the format version, the
+config fingerprint, the barrier coordinates (event tick + virtual
+clock) and a SHA-256 checksum + length of the payload.  Files are
+written write-ahead style — to a temp file in the same directory,
+flushed, fsynced, then atomically renamed over the final name, followed
+by a directory fsync — so a crash mid-write leaves either the old state
+or a temp file the scan ignores, never a torn ``.snap``.  A torn or
+bit-rotted snapshot is *detected* (length/checksum mismatch) and the
+recovery scan falls back to the next-newest valid one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+#: On-disk format version; bumped on any incompatible payload change.
+FORMAT_VERSION = 1
+
+_PREFIX = "ckpt-"
+_SUFFIX = ".snap"
+
+
+class JournalError(ValueError):
+    """A snapshot file is unreadable, torn, or from a different world."""
+
+
+@dataclasses.dataclass
+class SnapshotInfo:
+    """One scanned journal entry (valid or not)."""
+
+    path: str
+    barrier: int = -1
+    vclock: float = 0.0
+    fingerprint: str = ""
+    payload_len: int = 0
+    valid: bool = False
+    error: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+def snapshot_path(directory: str, barrier: int) -> str:
+    return os.path.join(directory, "%s%012d%s" % (_PREFIX, barrier, _SUFFIX))
+
+
+def write_snapshot(directory: str, barrier: int, vclock: float,
+                   fingerprint: str, payload: bytes) -> str:
+    """Atomically persist *payload* as the snapshot for *barrier*."""
+    os.makedirs(directory, exist_ok=True)
+    header = json.dumps({
+        "format": FORMAT_VERSION,
+        "barrier": barrier,
+        "vclock": vclock,
+        "fingerprint": fingerprint,
+        "payload_len": len(payload),
+        "payload_sha256": hashlib.sha256(payload).hexdigest(),
+    }, sort_keys=True).encode("utf-8")
+    final = snapshot_path(directory, barrier)
+    tmp = os.path.join(directory, ".tmp-%s%012d%s" % (_PREFIX, barrier, _SUFFIX))
+    fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        os.write(fd, header + b"\n" + payload)
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    os.rename(tmp, final)
+    _fsync_dir(directory)
+    return final
+
+
+def _fsync_dir(directory: str) -> None:
+    try:
+        dfd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dfd)
+    except OSError:
+        pass
+    finally:
+        os.close(dfd)
+
+
+def read_header(path: str) -> Dict[str, Any]:
+    """Parse and sanity-check the header line of a snapshot file."""
+    with open(path, "rb") as fh:
+        line = fh.readline(1 << 20)
+    if not line.endswith(b"\n"):
+        raise JournalError("%s: truncated header" % path)
+    try:
+        header = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as err:
+        raise JournalError("%s: unparsable header: %s" % (path, err))
+    if not isinstance(header, dict):
+        raise JournalError("%s: header is not an object" % path)
+    if header.get("format") != FORMAT_VERSION:
+        raise JournalError("%s: format %r, expected %d"
+                           % (path, header.get("format"), FORMAT_VERSION))
+    return header
+
+
+def load_snapshot(path: str,
+                  fingerprint: Optional[str] = None) -> Tuple[Dict[str, Any], bytes]:
+    """Read and *validate* one snapshot; returns (header, payload).
+
+    Raises :class:`JournalError` on any torn/corrupt/mismatched file.
+    """
+    header = read_header(path)
+    with open(path, "rb") as fh:
+        fh.readline(1 << 20)
+        payload = fh.read()
+    want_len = header.get("payload_len")
+    if not isinstance(want_len, int) or len(payload) != want_len:
+        raise JournalError("%s: payload length %d != header %r (torn write?)"
+                           % (path, len(payload), want_len))
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != header.get("payload_sha256"):
+        raise JournalError("%s: payload checksum mismatch (corrupt snapshot)"
+                           % path)
+    if fingerprint is not None and header.get("fingerprint") != fingerprint:
+        raise JournalError(
+            "%s: config fingerprint %s does not match this run's %s"
+            % (path, header.get("fingerprint"), fingerprint))
+    return header, payload
+
+
+def scan(directory: str,
+         fingerprint: Optional[str] = None) -> List[SnapshotInfo]:
+    """Scan the journal, newest barrier first, validating every file."""
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return []
+    snaps = sorted((n for n in names
+                    if n.startswith(_PREFIX) and n.endswith(_SUFFIX)),
+                   reverse=True)
+    out: List[SnapshotInfo] = []
+    for name in snaps:
+        path = os.path.join(directory, name)
+        info = SnapshotInfo(path=path)
+        try:
+            header, _payload = load_snapshot(path, fingerprint=fingerprint)
+            info.barrier = int(header.get("barrier", -1))
+            info.vclock = float(header.get("vclock", 0.0))
+            info.fingerprint = str(header.get("fingerprint", ""))
+            info.payload_len = int(header.get("payload_len", 0))
+            info.valid = True
+        except JournalError as err:
+            info.error = str(err)
+            try:
+                header = read_header(path)
+                info.barrier = int(header.get("barrier", -1))
+                info.fingerprint = str(header.get("fingerprint", ""))
+            except JournalError:
+                pass
+        out.append(info)
+    out.sort(key=lambda i: i.barrier, reverse=True)
+    return out
+
+
+def latest_valid(directory: str,
+                 fingerprint: Optional[str] = None) -> Optional[SnapshotInfo]:
+    """The newest snapshot that passes validation, or None."""
+    for info in scan(directory, fingerprint=fingerprint):
+        if info.valid:
+            return info
+    return None
+
+
+def prune(directory: str, keep: int) -> List[str]:
+    """Remove all but the newest *keep* valid snapshots (invalid files
+    are always removed — they are unrecoverable dead weight)."""
+    removed: List[str] = []
+    kept = 0
+    for info in scan(directory):
+        if info.valid and kept < keep:
+            kept += 1
+            continue
+        try:
+            os.remove(info.path)
+            removed.append(info.path)
+        except OSError:
+            pass
+    if removed:
+        _fsync_dir(directory)
+    return removed

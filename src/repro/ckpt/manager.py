@@ -1,0 +1,139 @@
+"""Barrier-driven checkpoint manager and the startup recovery scan.
+
+The :class:`CheckpointManager` lives on ``kernel.ckpt`` for the whole
+run.  It plays two roles:
+
+* **tape recorder** — the kernel calls the ``record_*`` hooks at every
+  generator interaction so guest continuations stay reconstructible
+  (see :mod:`repro.ckpt.tape`);
+* **barrier trigger** — after each event the kernel calls
+  :meth:`maybe_barrier`, which snapshots when the configured interval
+  elapses or an external request (SIGTERM) is pending.
+
+A snapshot failure (e.g. :class:`CheckpointUnsupported` state such as
+an open loopback socket) is recorded on ``last_error`` and never kills
+the run — checkpointing is strictly best-effort and must not perturb
+the run it protects.
+
+The :class:`RecoveryManager` is the startup half: scan the journal,
+skip torn/corrupt files, hand back the newest valid snapshot.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Dict, List, Optional, Tuple
+
+from . import journal
+from .snapshot import CheckpointUnsupported, capture
+from .tape import shallow_copy
+
+
+class CheckpointManager:
+    """Records the resume tape and writes barrier snapshots."""
+
+    def __init__(self, directory: str, every: int = 0, keep: int = 3,
+                 fingerprint: str = "") -> None:
+        self.directory = directory
+        self.every = every
+        self.keep = keep
+        self.fingerprint = fingerprint
+        #: Set asynchronously (e.g. from a SIGTERM handler); the next
+        #: barrier check snapshots and clears it.
+        self.requested = False
+        self.tape: List[Tuple] = []
+        self.snapshots_taken = 0
+        self.last_barrier = -1
+        self.last_error = ""
+
+    # -- external trigger -----------------------------------------------
+
+    def request(self) -> None:
+        """Ask for a snapshot at the next barrier (signal-safe: only
+        flips a flag)."""
+        self.requested = True
+
+    # -- tape hooks (hot path: keep them allocation-light) ---------------
+
+    def record_step(self, tid: int, value: Any,
+                    exc: Optional[BaseException]) -> None:
+        if exc is not None:
+            self.tape.append(("throw", tid, exc))
+        else:
+            self.tape.append(("send", tid, shallow_copy(value)))
+
+    def record_push(self, tid: int, signum: int, saved_value: Any,
+                    saved_exc: Optional[BaseException]) -> None:
+        self.tape.append(
+            ("push", tid, signum, shallow_copy(saved_value), saved_exc))
+
+    def record_spawn(self, tid: int, path: str, argv, env) -> None:
+        self.tape.append(("spawn", tid, path, list(argv), dict(env)))
+
+    def record_exec(self, tid: int, path: str, argv, env) -> None:
+        self.tape.append(("exec", tid, path, list(argv), dict(env)))
+
+    def record_tspawn(self, tid: int, caller_tid: int) -> None:
+        self.tape.append(("tspawn", tid, caller_tid))
+
+    def record_sigact(self, tid: int, signum: int) -> None:
+        self.tape.append(("sigact", tid, signum))
+
+    # -- barrier ----------------------------------------------------------
+
+    def maybe_barrier(self, kernel) -> None:
+        tick = kernel.stats.events_processed
+        due = self.requested or (self.every > 0 and tick % self.every == 0)
+        if not due or tick == self.last_barrier:
+            return
+        self.requested = False
+        try:
+            self.snapshot(kernel)
+        except CheckpointUnsupported as err:
+            self.last_error = str(err)
+        except (pickle.PicklingError, TypeError, OSError) as err:
+            self.last_error = "%s: %s" % (type(err).__name__, err)
+
+    def snapshot(self, kernel) -> str:
+        """Capture and atomically persist a snapshot right now."""
+        tick = kernel.stats.events_processed
+        payload = capture(kernel)
+        blob = pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)
+        path = journal.write_snapshot(
+            self.directory, tick, kernel.clock.now, self.fingerprint, blob)
+        self.snapshots_taken += 1
+        self.last_barrier = tick
+        self.last_error = ""
+        if self.keep > 0:
+            journal.prune(self.directory, self.keep)
+        return path
+
+
+class RecoveryManager:
+    """Startup-side journal scan and snapshot selection."""
+
+    def __init__(self, directory: str,
+                 fingerprint: Optional[str] = None) -> None:
+        self.directory = directory
+        self.fingerprint = fingerprint
+
+    def scan(self) -> List[journal.SnapshotInfo]:
+        """All journal entries, newest first, torn files marked invalid."""
+        return journal.scan(self.directory, fingerprint=self.fingerprint)
+
+    def latest(self) -> Optional[journal.SnapshotInfo]:
+        """The newest valid snapshot to resume from, or None."""
+        return journal.latest_valid(self.directory,
+                                    fingerprint=self.fingerprint)
+
+    def load(self, info: Optional[journal.SnapshotInfo] = None,
+             ) -> Tuple[journal.SnapshotInfo, Dict[str, Any]]:
+        """Load (and re-validate) a snapshot payload for restore."""
+        if info is None:
+            info = self.latest()
+        if info is None:
+            raise journal.JournalError(
+                "no valid snapshot in %s" % self.directory)
+        _header, blob = journal.load_snapshot(
+            info.path, fingerprint=self.fingerprint)
+        return info, pickle.loads(blob)

@@ -1,0 +1,942 @@
+"""Capture and restore of the complete deterministic run state.
+
+``capture(kernel)`` walks a quiescent kernel (between events, with the
+tracer not pumping) and produces a picklable payload dict holding
+
+* the host environment (with its RNG streams mid-state),
+* the filesystem as a node-record table (hard links and unlinked-but-
+  open inodes dedup through object identity; device nodes record their
+  path so restore can graft the live read/write hooks from a freshly
+  installed image),
+* pipes, open file descriptions (shared across forked fd tables by
+  identity) and per-process fd tables,
+* process/thread records with every scheduler-visible scalar,
+* the event heap (as descriptors, not closures), the parked-thread map
+  and the serialization token state,
+* the reproducible scheduler's heaps, the tracer's PRNG/logical-clock/
+  inode-table state, fault-injector progress, obs collector, stats,
+* and the resume tape (:mod:`repro.ckpt.tape`).
+
+``restore(kernel, payload)`` inverts it into a freshly *prepared* kernel
+(image installed, tracer attached, faults wired — the same code path a
+normal run uses, so device closures and handler tables are live objects).
+Guest generator frames are rebuilt by **fast-forward**: re-driving fresh
+generators with the taped input sequence in global order.  Everything
+else is overlaid directly.  Restore performs no host-RNG draws: the
+host's entropy streams continue exactly from the barrier.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..kernel.errors import GuestCrash, SyscallError
+from ..kernel.fds import FDTable, OpenFile
+from ..kernel.inode import Inode
+from ..kernel.ops import Syscall, VdsoCall
+from ..kernel.pipes import Pipe
+from ..kernel.process import Process, Thread, ThreadState
+from ..kernel.waiting import Channel
+from .tape import OPAQUE, decode_value, encode_tape, encode_value
+
+PAYLOAD_KIND = "repro.ckpt.payload"
+
+
+class CheckpointUnsupported(RuntimeError):
+    """The run holds state a snapshot cannot represent (e.g. open
+    loopback sockets, which embed live kernel callbacks)."""
+
+
+class RestoreError(RuntimeError):
+    """A snapshot could not be faithfully rehydrated (divergent replay,
+    missing binary, unknown descriptor)."""
+
+
+# ----------------------------------------------------------------------
+# small helpers shared by capture and restore
+# ----------------------------------------------------------------------
+
+def _procfs_pos(node: Inode) -> Optional[int]:
+    """Extract the procfs read-offset dict hidden in a device closure."""
+    fn = node.dev_read
+    cells = getattr(fn, "__closure__", None) or ()
+    for cell in cells:
+        try:
+            v = cell.cell_contents
+        except ValueError:  # pragma: no cover - empty cell
+            continue
+        if isinstance(v, dict) and set(v) == {"pos"}:
+            return v["pos"]
+    return None
+
+
+def _set_procfs_pos(node: Inode, pos: int) -> None:
+    fn = node.dev_read
+    cells = getattr(fn, "__closure__", None) or ()
+    for cell in cells:
+        try:
+            v = cell.cell_contents
+        except ValueError:  # pragma: no cover
+            continue
+        if isinstance(v, dict) and set(v) == {"pos"}:
+            v["pos"] = pos
+            return
+
+
+def _encode_call(call: Optional[Syscall]) -> Optional[Tuple]:
+    if call is None:
+        return None
+    return ("syscall", call.name, encode_value(dict(call.args)))
+
+
+# ----------------------------------------------------------------------
+# capture
+# ----------------------------------------------------------------------
+
+def capture(kernel) -> Dict[str, Any]:
+    """Serialize the complete deterministic state of *kernel*.
+
+    Must be called at a barrier: between events, tracer not mid-pump.
+    Raises :class:`CheckpointUnsupported` for state that cannot cross a
+    snapshot.  Pure reads — the running kernel is never mutated.
+    """
+    tracer = kernel.tracer
+    mgr = kernel.ckpt
+    if mgr is None:
+        raise CheckpointUnsupported(
+            "capture requires tape recording enabled from boot "
+            "(ContainerConfig.checkpoint)")
+
+    # -- channels & pipes ------------------------------------------------
+    pipes: Dict[int, Pipe] = {}
+    chan_desc: Dict[Channel, Tuple] = {}
+
+    def note_pipe(pipe: Optional[Pipe]) -> None:
+        if pipe is None or pipe.pipe_id in pipes:
+            return
+        pipes[pipe.pipe_id] = pipe
+        for nm in ("readable", "writable", "reader_arrived", "writer_arrived"):
+            chan_desc[getattr(pipe, nm)] = ("pipe", pipe.pipe_id, nm)
+
+    for proc in kernel.processes:
+        chan_desc[proc.exit_channel] = ("proc_exit", proc.pid)
+        chan_desc[proc.signal_channel] = ("proc_signal", proc.pid)
+        for addr, ch in proc.futex_channels.items():
+            chan_desc[ch] = ("futex", proc.pid, addr)
+
+    # -- filesystem node table ------------------------------------------
+    nodes: List[Dict[str, Any]] = []
+    nid_of: Dict[int, int] = {}
+
+    def visit_node(node: Inode, path: str) -> int:
+        key = id(node)
+        nid = nid_of.get(key)
+        if nid is not None:
+            return nid
+        nid = len(nodes)
+        nid_of[key] = nid
+        is_device = node.dev_read is not None or node.dev_write is not None
+        rec: Dict[str, Any] = {
+            "ino": node.ino, "kind": node.kind, "mode": node.mode,
+            "uid": node.uid, "gid": node.gid, "nlink": node.nlink,
+            "atime": node.atime, "mtime": node.mtime, "ctime": node.ctime,
+            "data": bytes(node.data), "symlink_target": node.symlink_target,
+            "generation": node.generation, "open_count": node.open_count,
+            "device": is_device, "path": path,
+            "proc_pos": _procfs_pos(node) if is_device else None,
+            "fifo": None, "entries": None,
+        }
+        nodes.append(rec)
+        if node.fifo_pipe is not None:
+            note_pipe(node.fifo_pipe)
+            rec["fifo"] = node.fifo_pipe.pipe_id
+        if node.is_dir:
+            base = path.rstrip("/")
+            rec["entries"] = {
+                name: visit_node(child, base + "/" + name)
+                for name, child in node.entries.items()}
+        return nid
+
+    root_nid = visit_node(kernel.fs.root, "/")
+
+    # -- open file descriptions (shared by identity across fdtables) ----
+    of_records: Dict[int, Dict[str, Any]] = {}
+
+    def visit_of(of: OpenFile) -> int:
+        key = id(of)
+        if key not in of_records:
+            if getattr(of, "socket", None) is not None:
+                raise CheckpointUnsupported(
+                    "open loopback socket fds cannot cross a snapshot "
+                    "(path %r)" % of.path)
+            note_pipe(of.pipe)
+            note_pipe(of.peer_pipe)
+            of_records[key] = {
+                "kind": of.kind, "flags": of.flags, "offset": of.offset,
+                "path": of.path,
+                "inode": None if of.inode is None else visit_of_inode(of),
+                "pipe": of.pipe.pipe_id if of.pipe is not None else None,
+                "peer_pipe": (of.peer_pipe.pipe_id
+                              if of.peer_pipe is not None else None),
+                "refcount": of.refcount, "counts_inode": of.counts_inode,
+            }
+        return key
+
+    def visit_of_inode(of: OpenFile) -> int:
+        # Unlinked-but-open inodes are unreachable from the root walk;
+        # entering through the description discovers them (dedup by id).
+        return visit_node(of.inode, of.path or "?")
+
+    # -- processes & threads --------------------------------------------
+    def chan_ref(ch: Channel) -> Tuple:
+        desc = chan_desc.get(ch)
+        if desc is None:
+            raise CheckpointUnsupported(
+                "thread waits on unknown channel %r" % ch.name)
+        return desc
+
+    plan_rules = (tuple(kernel.faults.plan.rules)
+                  if kernel.faults is not None else ())
+
+    def armed_ref(armed) -> Optional[Tuple]:
+        if armed is None:
+            return None
+        pos = next((i for i, r in enumerate(plan_rules) if r is armed.rule),
+                   None)
+        if pos is None:  # pragma: no cover - rule always from the plan
+            pos = plan_rules.index(armed.rule)
+        return (pos, armed.pid, armed.index, armed.syscall)
+
+    threads_seen: Dict[int, Thread] = {}
+    proc_records: List[Dict[str, Any]] = []
+    for proc in kernel.processes:
+        fdt = {fd: visit_of(of) for fd, of in proc.fdtable.items()}
+        step_queue = None
+        squeue = proc.memory.get("_step_queue")
+        if squeue is not None:
+            step_queue = [(t.tid, encode_value(v), encode_value(e))
+                          for t, v, e in squeue]
+        token = getattr(proc, "_step_token", None)
+        threads = []
+        for th in proc.threads:
+            threads_seen[th.tid] = th
+            threads.append({
+                "tid": th.tid, "state": th.state,
+                "cpu_time": th.cpu_time,
+                "compute_since_syscall": th.compute_since_syscall,
+                "pending_signals": list(th.pending_signals),
+                "det_clock": th.det_clock, "det_bound": th.det_bound,
+                "pending_latency": th.pending_latency,
+                "token_queued": th.token_queued,
+                "current_syscall_index": th.current_syscall_index,
+                "obs_attempt": th.obs_attempt, "obs_faulted": th.obs_faulted,
+                "signal_interrupted": getattr(th, "signal_interrupted", False),
+                "io_cost": getattr(th, "_io_cost", 0.0),
+                "on_core": getattr(th, "_on_core", False),
+                "wait_channels": [chan_ref(ch) for ch in th.wait_channels],
+                "parked_call": _encode_call(getattr(th, "_parked_call", None)),
+                "cs_none": th.current_syscall is None,
+                "armed": armed_ref(th.armed_fault),
+            })
+        proc_records.append({
+            "pid": proc.pid, "nspid": proc.nspid,
+            "parent": proc.parent.pid if proc.parent is not None else None,
+            "children": [c.pid for c in proc.children],
+            "cwd_nid": visit_node(proc.cwd, proc.cwd_path),
+            "cwd_path": proc.cwd_path,
+            "uid": proc.uid, "gid": proc.gid, "aslr_base": proc.aslr_base,
+            "exit_status": proc.exit_status, "reaped": proc.reaped,
+            "exe_path": proc.exe_path, "vdso_patched": proc.vdso_patched,
+            "syscall_index": proc.syscall_index,
+            "argv": list(proc.argv), "env": dict(proc.env),
+            "sigmask": proc.memory.get("_sigmask"),
+            "step_queue": step_queue,
+            "step_token": token.tid if token is not None else None,
+            "signals_delivered": getattr(proc, "_signals_delivered", 0),
+            "pause_acks": getattr(proc, "_pause_acks", 0),
+            "fdtable": fdt,
+            "threads": threads,
+        })
+
+    # -- event heap (descriptors, verbatim heap order) ------------------
+    events = []
+    for entry in kernel._events:
+        t, seq, _fn, desc = entry
+        if desc is None:
+            raise CheckpointUnsupported(
+                "scheduled event without a descriptor: %r" % (_fn,))
+        if desc[0] == "step":
+            desc = ("step", desc[1], encode_value(desc[2]),
+                    encode_value(desc[3]))
+        events.append((t, seq, desc))
+
+    parked = [(chan_ref(ch), [t.tid for t in ts])
+              for ch, ts in kernel._parked.items()]
+
+    # -- pipes -----------------------------------------------------------
+    pipe_records = {
+        pid: {
+            "capacity": p.capacity, "buffer": bytes(p.buffer),
+            "readers": p.readers, "writers": p.writers,
+            "ever_had_reader": p.ever_had_reader,
+            "ever_had_writer": p.ever_had_writer,
+        } for pid, p in pipes.items()}
+
+    # -- scheduler -------------------------------------------------------
+    sched_rec = _capture_sched(tracer.sched) if tracer is not None else None
+
+    # -- tracer ----------------------------------------------------------
+    tracer_rec = None
+    if tracer is not None:
+        tracer_rec = {
+            "counters": tracer.counters,
+            "busy_until": tracer.busy_until,
+            "span_cost": tracer._span_cost,
+            "prng_state": tracer.prng.state,
+            "logical": tracer.logical,
+            "inodes": tracer.inodes,
+            "io_state": dict(tracer.io_state),
+            "last_proc": (tracer._last_proc.pid
+                          if tracer._last_proc is not None else None),
+        }
+
+    # -- faults ----------------------------------------------------------
+    faults_rec = None
+    if kernel.faults is not None:
+        inj = kernel.faults
+        faults_rec = {
+            "attempt": inj.attempt,
+            "fired": dict(inj._fired),
+            "trace": list(inj.trace),
+            "transient_fired": inj.transient_fired,
+        }
+
+    fs = kernel.fs
+    return {
+        "kind": PAYLOAD_KIND,
+        "host": kernel.host,
+        "clock_now": kernel.clock.now,
+        "stats": kernel.stats,
+        "obs": kernel.obs,
+        "network": dict(kernel.network),
+        "stdout": list(kernel.stdout.chunks),
+        "stderr": list(kernel.stderr.chunks),
+        "timers": kernel.timers,
+        "pid_next": kernel._pid_next,
+        "tid_next": kernel._tid_next,
+        "nspid_next": kernel._nspid_next,
+        "seq": kernel._seq,
+        "cores_busy": kernel.cores_busy,
+        "core_queue": [(t.tid, d) for t, d in kernel._core_queue],
+        "fs_nodes": nodes,
+        "fs_root": root_nid,
+        "fs_meta": {
+            "alloc_next": fs._alloc._next,
+            "alloc_free": list(fs._alloc._free),
+            "device_id": fs.device_id,
+            "bytes_written": fs._bytes_written,
+            "resolve_hits": fs.resolve_hits,
+            "resolve_misses": fs.resolve_misses,
+            "dirent_hits": fs.dirent_hits,
+            "dirent_misses": fs.dirent_misses,
+        },
+        "pipes": pipe_records,
+        "pipe_counter": Pipe._counter,
+        "of_records": of_records,
+        "processes": proc_records,
+        "events": events,
+        "parked": parked,
+        "sched": sched_rec,
+        "tracer": tracer_rec,
+        "faults": faults_rec,
+        "tape": encode_tape(mgr.tape),
+    }
+
+
+def _capture_sched(sched) -> Optional[Dict[str, Any]]:
+    from ..core.scheduler import (
+        LogicalClockRefScheduler,
+        LogicalClockScheduler,
+        StrictQueueScheduler,
+    )
+
+    if sched is None:
+        return None
+    if isinstance(sched, LogicalClockScheduler):
+        return {
+            "kind": "logical",
+            "index": [(t.tid, i) for t, i in sched._index.items()],
+            "next_index": sched._next_index,
+            "service_seq": sched._service_seq,
+            "fail_seq": [(t.tid, s) for t, s in sched._fail_seq.items()],
+            "stop_heap": [(c, i, t.tid) for c, i, t in sched._stop_heap],
+            "stash": [(c, i, t.tid) for c, i, t in sched._stash],
+            "bound_heap": [(b, i, t.tid, s)
+                           for b, i, t, s in sched._bound_heap],
+        }
+    if isinstance(sched, LogicalClockRefScheduler):
+        return {
+            "kind": "logical-ref",
+            "threads": [t.tid for t in sched._threads],
+            "index": [(t.tid, i) for t, i in sched._index.items()],
+            "next_index": sched._next_index,
+            "service_seq": sched._service_seq,
+            "fail_seq": [(t.tid, s) for t, s in sched._fail_seq.items()],
+        }
+    if isinstance(sched, StrictQueueScheduler):
+        return {
+            "kind": "strict",
+            "parallel": [t.tid for t in sched.parallel],
+            "runnable": [t.tid for t in sched.runnable],
+            "blocked": [t.tid for t in sched.blocked],
+            "probe_credit": sched._probe_credit,
+        }
+    raise CheckpointUnsupported(
+        "unknown scheduler implementation %r" % type(sched).__name__)
+
+
+# ----------------------------------------------------------------------
+# fast-forward: rebuilding generator frames from the tape
+# ----------------------------------------------------------------------
+
+class _FastForward:
+    """Re-drives fresh guest generators with the taped input sequence."""
+
+    def __init__(self, kernel, threads_by_tid: Dict[int, Thread]):
+        self.kernel = kernel
+        self.threads = threads_by_tid
+        #: Last op each tid yielded (live object, real callables intact).
+        self.last_op: Dict[int, Any] = {}
+        #: Last op that would have been *dispatched* as a syscall.
+        self.last_dispatchable: Dict[int, Syscall] = {}
+        #: Old-disposition value of the most recent sigaction per tid —
+        #: the substitution source for OPAQUE tape values.
+        self.pending_override: Dict[int, Any] = {}
+        self.done: set = set()
+        #: The tape in live (unencoded) form, to seed the resumed
+        #: manager so later snapshots keep working.
+        self.live_tape: List[Tuple] = []
+
+    def _thread(self, tid: int) -> Thread:
+        th = self.threads.get(tid)
+        if th is None:
+            raise RestoreError("tape references unknown tid %d" % tid)
+        return th
+
+    def _sub(self, tid: int) -> Callable[[], Any]:
+        def sub():
+            if tid not in self.pending_override:
+                raise RestoreError(
+                    "opaque tape value for tid %d with no sigaction "
+                    "old-disposition to substitute" % tid)
+            return self.pending_override[tid]
+        return sub
+
+    def _drive(self, th: Thread, value: Any, exc: Optional[BaseException]) -> None:
+        tid = th.tid
+        if tid in self.done:
+            return
+        if not th.gen_stack:
+            raise RestoreError("send to tid %d before its spawn entry" % tid)
+        gen = th.gen_stack[-1]
+        try:
+            if exc is not None:
+                op = gen.throw(exc)
+            else:
+                op = gen.send(value)
+        except StopIteration:
+            if len(th.gen_stack) > 1:
+                th.gen_stack.pop()
+                saved = th.process.memory.get("_saved_%d" % tid) or []
+                if saved:
+                    saved.pop()
+                return
+            self.done.add(tid)
+            return
+        except (GuestCrash, SyscallError):
+            self.done.add(tid)
+            return
+        except BaseException as err:
+            raise RestoreError(
+                "fast-forward diverged for tid %d: guest raised %s: %s"
+                % (tid, type(err).__name__, err))
+        self.last_op[tid] = op
+        if isinstance(op, Syscall):
+            self.last_dispatchable[tid] = op
+        elif isinstance(op, VdsoCall):
+            self.last_dispatchable[tid] = Syscall(op.name, dict(op.args))
+
+    def run(self, tape: List[Tuple]) -> None:
+        k = self.kernel
+        for entry in tape:
+            kind = entry[0]
+            if kind == "send":
+                _, tid, enc = entry
+                th = self._thread(tid)
+                value = decode_value(enc, self._sub(tid))
+                self.live_tape.append(("send", tid, value))
+                self._drive(th, value, None)
+            elif kind == "throw":
+                _, tid, enc = entry
+                th = self._thread(tid)
+                exc = decode_value(enc, self._sub(tid))
+                self.live_tape.append(("throw", tid, exc))
+                self._drive(th, None, exc)
+            elif kind == "push":
+                _, tid, signum, enc_v, enc_e = entry
+                th = self._thread(tid)
+                action = th.process.signal_handlers.get(signum)
+                if not callable(action):
+                    raise RestoreError(
+                        "push of signal %d for tid %d but handler is %r"
+                        % (signum, tid, action))
+                v = decode_value(enc_v, self._sub(tid))
+                e = decode_value(enc_e, self._sub(tid))
+                th.process.memory.setdefault(
+                    "_saved_%d" % tid, []).append((v, e))
+                th.gen_stack.append(action(k.make_sys(th), signum))
+                self.live_tape.append(("push", tid, signum, v, e))
+            elif kind == "spawn":
+                _, tid, path, argv, env = entry
+                th = self._thread(tid)
+                proc = th.process
+                proc.argv = list(argv)
+                proc.env = dict(env)
+                proc.exe_path = path
+                factory = k.binaries.get(path)
+                if factory is None:
+                    raise RestoreError("binary %r not in image" % path)
+                th.gen_stack = [factory(k.make_sys(th))]
+                self.live_tape.append(entry)
+            elif kind == "exec":
+                _, tid, path, argv, env = entry
+                th = self._thread(tid)
+                proc = th.process
+                proc.argv = list(argv)
+                proc.env = dict(env)
+                proc.exe_path = path
+                proc.memory.pop("_saved_%d" % tid, None)
+                factory = k.binaries.get(path)
+                if factory is None:
+                    raise RestoreError("binary %r not in image" % path)
+                th.gen_stack = [factory(k.make_sys(th))]
+                self.done.discard(tid)
+                self.live_tape.append(entry)
+            elif kind == "tspawn":
+                _, tid, caller_tid = entry
+                th = self._thread(tid)
+                op = self.last_op.get(caller_tid)
+                if not isinstance(op, Syscall) or "func" not in op.args:
+                    raise RestoreError(
+                        "tspawn for tid %d: caller %d not suspended at "
+                        "spawn_thread" % (tid, caller_tid))
+                th.gen_stack = [op.args["func"](k.make_sys(th))]
+                self.live_tape.append(entry)
+            elif kind == "sigact":
+                _, tid, signum = entry
+                th = self._thread(tid)
+                op = self.last_op.get(tid)
+                if not isinstance(op, Syscall) or op.name != "sigaction":
+                    raise RestoreError(
+                        "sigact for tid %d but last op is %r" % (tid, op))
+                proc = th.process
+                old = proc.signal_handlers.get(signum, "default")
+                proc.signal_handlers[signum] = op.args.get("action")
+                self.pending_override[tid] = old
+                self.live_tape.append(entry)
+            else:
+                raise RestoreError("unknown tape entry kind %r" % kind)
+
+
+# ----------------------------------------------------------------------
+# restore
+# ----------------------------------------------------------------------
+
+def restore(kernel, payload: Dict[str, Any]) -> List[Tuple]:
+    """Rehydrate *payload* into a freshly prepared *kernel*.
+
+    The kernel must have been prepared exactly as for a normal run of
+    the same config: image installed, tracer attached, fault plan
+    wired.  Returns the live resume tape (for the resumed run's own
+    checkpoint manager).  Raises :class:`RestoreError` on divergence.
+    """
+    if payload.get("kind") != PAYLOAD_KIND:
+        raise RestoreError("not a checkpoint payload")
+    tracer = kernel.tracer
+
+    # -- plain overlays --------------------------------------------------
+    kernel.clock.now = payload["clock_now"]
+    kernel.stats = payload["stats"]
+    kernel.obs = payload["obs"]
+    if tracer is not None:
+        tracer.obs = kernel.obs
+    kernel.network = dict(payload["network"])
+    kernel.stdout.chunks[:] = list(payload["stdout"])
+    kernel.stderr.chunks[:] = list(payload["stderr"])
+    kernel.timers = payload["timers"]
+    kernel._pid_next = payload["pid_next"]
+    kernel._tid_next = payload["tid_next"]
+    kernel._nspid_next = payload["nspid_next"]
+    kernel._seq = payload["seq"]
+
+    # -- pipes -----------------------------------------------------------
+    pipes_by_id: Dict[int, Pipe] = {}
+    for pid_, rec in payload["pipes"].items():
+        p = Pipe.__new__(Pipe)
+        p.pipe_id = pid_
+        p.capacity = rec["capacity"]
+        p.buffer = bytearray(rec["buffer"])
+        p.readers = rec["readers"]
+        p.writers = rec["writers"]
+        p.readable = Channel("pipe%d.readable" % pid_)
+        p.writable = Channel("pipe%d.writable" % pid_)
+        p.reader_arrived = Channel("pipe%d.reader_arrived" % pid_)
+        p.writer_arrived = Channel("pipe%d.writer_arrived" % pid_)
+        p.ever_had_reader = rec["ever_had_reader"]
+        p.ever_had_writer = rec["ever_had_writer"]
+        pipes_by_id[pid_] = p
+    Pipe._counter = payload["pipe_counter"]
+
+    # -- filesystem ------------------------------------------------------
+    fs = kernel.fs
+    fresh_devices: Dict[str, Inode] = {}
+    for path, node in fs.walk():
+        if node.dev_read is not None or node.dev_write is not None:
+            fresh_devices[path] = node
+    recs = payload["fs_nodes"]
+    objs: List[Inode] = []
+    for rec in recs:
+        node = Inode(ino=rec["ino"], kind=rec["kind"], mode=rec["mode"],
+                     uid=rec["uid"], gid=rec["gid"], nlink=rec["nlink"],
+                     atime=rec["atime"], mtime=rec["mtime"],
+                     ctime=rec["ctime"], data=bytearray(rec["data"]),
+                     symlink_target=rec["symlink_target"],
+                     generation=rec["generation"])
+        if rec["open_count"]:
+            node.open_count = rec["open_count"]
+        if rec["fifo"] is not None:
+            node.fifo_pipe = pipes_by_id[rec["fifo"]]
+        if rec["device"]:
+            fresh = fresh_devices.get(rec["path"])
+            if fresh is None:
+                raise RestoreError(
+                    "device %r in snapshot has no counterpart in the "
+                    "freshly installed image" % rec["path"])
+            node.dev_read = fresh.dev_read
+            node.dev_write = fresh.dev_write
+            if rec["proc_pos"] is not None:
+                _set_procfs_pos(node, rec["proc_pos"])
+        objs.append(node)
+    for nid, rec in enumerate(recs):
+        if rec["entries"] is not None:
+            objs[nid].entries = {name: objs[cnid]
+                                 for name, cnid in rec["entries"].items()}
+    fs.root = objs[payload["fs_root"]]
+    meta = payload["fs_meta"]
+    fs._alloc._next = meta["alloc_next"]
+    fs._alloc._free = list(meta["alloc_free"])
+    fs.device_id = meta["device_id"]
+    fs._bytes_written = meta["bytes_written"]
+    fs.resolve_hits = meta["resolve_hits"]
+    fs.resolve_misses = meta["resolve_misses"]
+    fs.dirent_hits = meta["dirent_hits"]
+    fs.dirent_misses = meta["dirent_misses"]
+    # Identity-keyed caches cannot survive object replacement.
+    fs._namei_cache.clear()
+    fs._namei_epoch_seen = Inode.namei_epoch
+
+    # -- open file descriptions -----------------------------------------
+    ofs_by_id: Dict[int, OpenFile] = {}
+    for ofid, rec in payload["of_records"].items():
+        ofs_by_id[ofid] = OpenFile(
+            kind=rec["kind"], flags=rec["flags"], offset=rec["offset"],
+            path=rec["path"],
+            inode=None if rec["inode"] is None else objs[rec["inode"]],
+            pipe=None if rec["pipe"] is None else pipes_by_id[rec["pipe"]],
+            refcount=rec["refcount"],
+            peer_pipe=(None if rec["peer_pipe"] is None
+                       else pipes_by_id[rec["peer_pipe"]]),
+            counts_inode=rec["counts_inode"])
+
+    # -- processes & threads (shells first; frames come from replay) ----
+    procs_by_pid: Dict[int, Process] = {}
+    threads_by_tid: Dict[int, Thread] = {}
+    kernel.processes = []
+    for prec in payload["processes"]:
+        proc = Process(pid=prec["pid"], nspid=prec["nspid"], parent=None,
+                       root=fs.root, cwd=objs[prec["cwd_nid"]],
+                       cwd_path=prec["cwd_path"], env={}, argv=[],
+                       uid=prec["uid"], gid=prec["gid"],
+                       aslr_base=prec["aslr_base"])
+        proc.exit_status = prec["exit_status"]
+        proc.reaped = prec["reaped"]
+        proc.vdso_patched = prec["vdso_patched"]
+        proc.syscall_index = prec["syscall_index"]
+        proc.fdtable = FDTable()
+        for fd, ofid in prec["fdtable"].items():
+            proc.fdtable._fds[fd] = ofs_by_id[ofid]
+        if prec["signals_delivered"]:
+            proc._signals_delivered = prec["signals_delivered"]
+        if prec["pause_acks"]:
+            proc._pause_acks = prec["pause_acks"]
+        for trec in prec["threads"]:
+            th = Thread(tid=trec["tid"], process=proc, gen=None)
+            th.gen_stack = []
+            proc.threads.append(th)
+            threads_by_tid[trec["tid"]] = th
+        procs_by_pid[proc.pid] = proc
+        kernel.processes.append(proc)
+    for prec in payload["processes"]:
+        proc = procs_by_pid[prec["pid"]]
+        if prec["parent"] is not None:
+            proc.parent = procs_by_pid[prec["parent"]]
+        proc.children = [procs_by_pid[c] for c in prec["children"]]
+
+    # -- fault injector overlay (installed fresh by the caller) ---------
+    inj = kernel.faults
+    frec = payload["faults"]
+    if (inj is None) != (frec is None):
+        raise RestoreError("fault plane presence differs from snapshot")
+    if inj is not None:
+        if inj.attempt != frec["attempt"]:
+            raise RestoreError(
+                "resume attempt %d != snapshot attempt %d"
+                % (inj.attempt, frec["attempt"]))
+        inj._fired = dict(frec["fired"])
+        inj.trace = list(frec["trace"])
+        inj.transient_fired = frec["transient_fired"]
+    # Never re-fire the crash that interrupted the original run.
+    kernel._kill_at = None
+
+    # -- fast-forward replay --------------------------------------------
+    ff = _FastForward(kernel, threads_by_tid)
+    ff.run(payload["tape"])
+
+    # Divergence check: replayed guest state must agree with the barrier.
+    for prec in payload["processes"]:
+        proc = procs_by_pid[prec["pid"]]
+        if list(proc.argv) != list(prec["argv"]) or \
+                dict(proc.env) != dict(prec["env"]):
+            raise RestoreError(
+                "fast-forward diverged for pid %d: argv/env mismatch"
+                % prec["pid"])
+        proc.exe_path = prec["exe_path"]
+
+    def chan_of(desc: Tuple) -> Channel:
+        k0 = desc[0]
+        if k0 == "proc_exit":
+            return procs_by_pid[desc[1]].exit_channel
+        if k0 == "proc_signal":
+            return procs_by_pid[desc[1]].signal_channel
+        if k0 == "futex":
+            return procs_by_pid[desc[1]].futex_channel(desc[2])
+        if k0 == "pipe":
+            return getattr(pipes_by_id[desc[1]], desc[2])
+        raise RestoreError("unknown channel descriptor %r" % (desc,))
+
+    # -- thread scalar overlays -----------------------------------------
+    for prec in payload["processes"]:
+        proc = procs_by_pid[prec["pid"]]
+        if prec["sigmask"] is not None:
+            proc.memory["_sigmask"] = prec["sigmask"]
+        for trec in prec["threads"]:
+            th = threads_by_tid[trec["tid"]]
+            tid = trec["tid"]
+            th.state = trec["state"]
+            th.cpu_time = trec["cpu_time"]
+            th.compute_since_syscall = trec["compute_since_syscall"]
+            th.pending_signals = list(trec["pending_signals"])
+            th.det_clock = trec["det_clock"]
+            th.det_bound = trec["det_bound"]
+            th.pending_latency = trec["pending_latency"]
+            th.token_queued = trec["token_queued"]
+            th.current_syscall_index = trec["current_syscall_index"]
+            th.obs_attempt = trec["obs_attempt"]
+            th.obs_faulted = trec["obs_faulted"]
+            if trec["signal_interrupted"]:
+                th.signal_interrupted = True
+            if trec["io_cost"]:
+                th._io_cost = trec["io_cost"]
+            if trec["on_core"]:
+                th._on_core = True
+            th.wait_channels = [chan_of(d) for d in trec["wait_channels"]]
+            pc = trec["parked_call"]
+            if pc is not None:
+                call = Syscall(pc[1], decode_value(pc[2], ff._sub(tid)))
+                th._parked_call = call
+            if trec["cs_none"]:
+                th.current_syscall = None
+            else:
+                lop = ff.last_op.get(tid)
+                if isinstance(lop, Syscall):
+                    # Genuinely stopped at (or stale from) this syscall;
+                    # the live op keeps real callables (spawn_thread).
+                    th.current_syscall = lop
+                elif (isinstance(lop, VdsoCall)
+                      and th.state is ThreadState.TRACE_STOP):
+                    th.current_syscall = Syscall(lop.name, dict(lop.args))
+                else:
+                    # Stale value from an earlier dispatch: only its
+                    # non-None-ness is scheduler-visible.
+                    th.current_syscall = (
+                        ff.last_dispatchable.get(tid)
+                        or Syscall("restored-stale", {}))
+            if trec["armed"] is not None:
+                from ..faults.injector import ArmedFault
+                pos, apid, aindex, asyscall = trec["armed"]
+                th.armed_fault = ArmedFault(inj.plan.rules[pos], apid,
+                                            aindex, asyscall)
+        if prec["step_queue"] is not None:
+            proc.memory["_step_queue"] = [
+                (threads_by_tid[tid],
+                 decode_value(v, ff._sub(tid)),
+                 decode_value(e, ff._sub(tid)))
+                for tid, v, e in prec["step_queue"]]
+        if prec["step_token"] is not None:
+            proc._step_token = threads_by_tid[prec["step_token"]]
+
+    # -- event heap ------------------------------------------------------
+    kernel._events = []
+    for t, seq, desc in payload["events"]:
+        kernel._events.append(
+            (t, seq, _event_fn(kernel, desc, threads_by_tid, procs_by_pid, ff),
+             _decode_desc(desc, ff)))
+    # The captured array was a literal heap snapshot; order is preserved.
+
+    kernel._parked = {}
+    for desc, tids in payload["parked"]:
+        kernel._parked[chan_of(desc)] = [threads_by_tid[t] for t in tids
+                                         if t in threads_by_tid]
+
+    kernel.cores_busy = payload["cores_busy"]
+    kernel._core_queue = [(threads_by_tid[tid], d)
+                          for tid, d in payload["core_queue"]
+                          if tid in threads_by_tid]
+
+    # -- scheduler -------------------------------------------------------
+    if tracer is not None:
+        _restore_sched(tracer.sched, payload["sched"], threads_by_tid)
+
+    # -- tracer ----------------------------------------------------------
+    trec = payload["tracer"]
+    if (tracer is None) != (trec is None):
+        raise RestoreError("tracer presence differs from snapshot")
+    if tracer is not None:
+        tracer.counters = trec["counters"]
+        tracer.busy_until = trec["busy_until"]
+        tracer._span_cost = trec["span_cost"]
+        # In place: /dev/random's read hook is a bound method of this
+        # exact Lfsr object (grafted above from the fresh image).
+        tracer.prng.state = trec["prng_state"]
+        tracer.logical = trec["logical"]
+        tracer.inodes = trec["inodes"]
+        tracer.io_state = dict(trec["io_state"])
+        tracer._last_proc = (procs_by_pid[trec["last_proc"]]
+                             if trec["last_proc"] is not None else None)
+        tracer._pumping = False
+        tracer._ctx_cache.clear()
+        if inj is not None:
+            inj.counters = tracer.counters
+            inj.obs = kernel.obs
+
+    return ff.live_tape
+
+
+def _decode_desc(desc: Tuple, ff: _FastForward) -> Tuple:
+    if desc[0] == "step":
+        tid = desc[1]
+        return ("step", tid, decode_value(desc[2], ff._sub(tid)),
+                decode_value(desc[3], ff._sub(tid)))
+    return desc
+
+
+def _event_fn(kernel, desc: Tuple, threads: Dict[int, Thread],
+              procs: Dict[int, Process], ff: _FastForward) -> Callable[[], None]:
+    kind = desc[0]
+    if kind == "timer":
+        proc = procs[desc[1]]
+        generation = desc[2]
+        return lambda: kernel._fire_timer(proc, generation)
+    th = threads.get(desc[1])
+    if th is None:
+        # The thread object was dropped (execve sibling teardown); the
+        # live event would have been a no-op on the dead thread, but it
+        # still consumes a tick and advances the clock.
+        return lambda: None
+    if kind == "step":
+        tid = desc[1]
+        value = decode_value(desc[2], ff._sub(tid))
+        exc = decode_value(desc[3], ff._sub(tid))
+        return lambda: kernel._step_or_wait(th, value, exc)
+    if kind == "finish_compute":
+        return lambda: kernel._finish_compute(th)
+    if kind == "retry_parked":
+        return lambda: kernel._retry_parked(th)
+    if kind == "release_token":
+        return lambda: kernel._release_token(th)
+    raise RestoreError("unknown event descriptor %r" % (desc,))
+
+
+def _restore_sched(sched, rec: Optional[Dict[str, Any]],
+                   threads: Dict[int, Thread]) -> None:
+    from ..core.scheduler import (
+        LogicalClockRefScheduler,
+        LogicalClockScheduler,
+        StrictQueueScheduler,
+    )
+
+    if sched is None or rec is None:
+        if (sched is None) != (rec is None):
+            raise RestoreError("scheduler presence differs from snapshot")
+        return
+
+    def tmap(tid):
+        return threads.get(tid)
+
+    if rec["kind"] == "logical":
+        if not isinstance(sched, LogicalClockScheduler):
+            raise RestoreError("scheduler kind mismatch")
+        sched._index = {threads[tid]: i for tid, i in rec["index"]
+                        if tid in threads}
+        sched._next_index = rec["next_index"]
+        sched._service_seq = rec["service_seq"]
+        sched._fail_seq = {threads[tid]: s for tid, s in rec["fail_seq"]
+                           if tid in threads}
+        # Entries for dropped thread objects were permanently stale (the
+        # index check can never match again); with them filtered out the
+        # remaining keys are unique, so heapify reproduces pop order.
+        sched._stop_heap = [(c, i, threads[tid])
+                            for c, i, tid in rec["stop_heap"]
+                            if tid in threads]
+        heapq.heapify(sched._stop_heap)
+        sched._stash = [(c, i, threads[tid]) for c, i, tid in rec["stash"]
+                        if tid in threads]
+        sched._bound_heap = [(b, i, threads[tid], s)
+                             for b, i, tid, s in rec["bound_heap"]
+                             if tid in threads]
+        heapq.heapify(sched._bound_heap)
+    elif rec["kind"] == "logical-ref":
+        if not isinstance(sched, LogicalClockRefScheduler):
+            raise RestoreError("scheduler kind mismatch")
+        sched._threads = [threads[tid] for tid in rec["threads"]
+                          if tid in threads]
+        sched._index = {threads[tid]: i for tid, i in rec["index"]
+                        if tid in threads}
+        sched._next_index = rec["next_index"]
+        sched._service_seq = rec["service_seq"]
+        sched._fail_seq = {threads[tid]: s for tid, s in rec["fail_seq"]
+                           if tid in threads}
+    elif rec["kind"] == "strict":
+        if not isinstance(sched, StrictQueueScheduler):
+            raise RestoreError("scheduler kind mismatch")
+        from collections import deque
+        sched.parallel = deque(threads[tid] for tid in rec["parallel"]
+                               if tid in threads)
+        sched.runnable = deque(threads[tid] for tid in rec["runnable"]
+                               if tid in threads)
+        sched.blocked = deque(threads[tid] for tid in rec["blocked"]
+                              if tid in threads)
+        sched._probe_credit = rec["probe_credit"]
+    else:
+        raise RestoreError("unknown scheduler record %r" % rec["kind"])

@@ -23,7 +23,16 @@ import argparse
 import sys as _sys
 from typing import List, Optional
 
-from .core import ContainerConfig, DetTrace, Image, NativeRunner, OK, RETRIED
+from .core import (
+    CheckpointConfig,
+    ContainerConfig,
+    DetTrace,
+    Image,
+    NativeRunner,
+    OK,
+    RESUMED,
+    RETRIED,
+)
 from .cpu.machine import ALL_MACHINES, SKYLAKE_CLOUDLAB, HostEnvironment
 from .faults import FaultPlan, FaultPlanError
 from .guest.coreutils import COREUTILS_PATHS, install_coreutils
@@ -68,21 +77,66 @@ def _wants_obs(args) -> bool:
                 or getattr(args, "trace_out", None))
 
 
+def _checkpoint_config(args) -> Optional[CheckpointConfig]:
+    directory = getattr(args, "checkpoint_dir", None)
+    if not directory:
+        if getattr(args, "resume", False):
+            raise SystemExit("repro: --resume requires --checkpoint-dir")
+        return None
+    return CheckpointConfig(directory=directory,
+                            every=getattr(args, "checkpoint_every", 0),
+                            keep=getattr(args, "checkpoint_keep", 3))
+
+
+def _install_sigterm(container):
+    """SIGTERM requests a snapshot at the next virtual-time barrier, so
+    an orderly kill (systemd stop, preemption notice) leaves a resumable
+    journal.  Returns a restore thunk for the previous handler."""
+    import signal
+
+    def _on_term(_signum, _frame):
+        manager = container.active_ckpt
+        if manager is not None:
+            manager.request()
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _on_term)
+    except ValueError:  # not the main thread (embedded use)
+        return lambda: None
+    return lambda: signal.signal(signal.SIGTERM, previous)
+
+
 def _run_container(args, image, path, argv) -> "object":
     plan = _load_faults(args)
     config = ContainerConfig(prng_seed=args.seed, fault_plan=plan,
-                             observe=bool(getattr(args, "trace_out", None)))
+                             observe=bool(getattr(args, "trace_out", None)),
+                             checkpoint=_checkpoint_config(args))
     container = DetTrace(config)
-    if getattr(args, "supervised", False):
-        return container.run_supervised(image, path, argv=argv,
-                                        host=_host(args))
-    return container.run(image, path, argv=argv, host=_host(args))
+    restore_sigterm = (_install_sigterm(container)
+                       if config.checkpoint is not None else None)
+    try:
+        if getattr(args, "resume", False):
+            from .ckpt import JournalError
+
+            try:
+                return container.resume(image, path, argv=argv)
+            except JournalError as err:
+                _sys.stderr.write(
+                    "repro: no valid checkpoint to resume (%s); "
+                    "starting a fresh run\n" % err)
+        if getattr(args, "supervised", False):
+            return container.run_supervised(image, path, argv=argv,
+                                            host=_host(args))
+        return container.run(image, path, argv=argv, host=_host(args))
+    finally:
+        if restore_sigterm is not None:
+            restore_sigterm()
 
 
 def _report(result, verbose: bool) -> int:
     _sys.stdout.write(result.stdout)
     _sys.stderr.write(result.stderr)
-    if result.status not in (OK, RETRIED):
+    if result.status not in (OK, RETRIED, RESUMED):
         _sys.stderr.write("container error: %s (%s)\n"
                           % (result.status, result.error))
         if result.crash_report is not None:
@@ -171,7 +225,7 @@ def _cmd_run_parallel(args, path: str, argv: List[str]) -> int:
            "identical" if identical else "DIVERGENT", first["tree_digest"][:16]))
     if not identical:
         return 70
-    if first["status"] not in (OK, RETRIED):
+    if first["status"] not in (OK, RETRIED, RESUMED):
         _sys.stderr.write("container error: %s\n" % first["status"])
         return 70
     return first["exit_code"] if first["exit_code"] is not None else 1
@@ -193,6 +247,10 @@ def cmd_run(args) -> int:
         return 127
     argv = [args.command[0]] + args.command[1:]
     if not args.native and (args.jobs != 1 or args.repeat != 1):
+        if getattr(args, "checkpoint_dir", None):
+            _sys.stderr.write("repro: --checkpoint-dir is per-run; it "
+                              "cannot be combined with --jobs/--repeat\n")
+            return 2
         return _cmd_run_parallel(args, path, argv)
     if args.native:
         result = NativeRunner(fault_plan=_load_faults(args)).run(
@@ -308,6 +366,43 @@ def cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_ckpt(args) -> int:
+    """Inspect/verify/prune a checkpoint journal directory."""
+    from .ckpt import prune as ckpt_prune
+    from .ckpt import scan
+
+    if args.action == "prune":
+        removed = ckpt_prune(args.directory, keep=args.keep)
+        print("pruned %d file(s) from %s" % (len(removed), args.directory))
+        for path in removed:
+            print("  removed %s" % path)
+        return 0
+    infos = scan(args.directory, fingerprint=args.fingerprint)
+    for info in infos:
+        if info.valid:
+            print("barrier %8d  vclock %14.6f  %8d bytes  fp %s  %s"
+                  % (info.barrier, info.vclock, info.payload_len,
+                     info.fingerprint[:12] or "-", info.path))
+        else:
+            print("INVALID  %s: %s" % (info.path, info.error))
+    if args.action == "inspect":
+        if not infos:
+            print("no snapshots in %s" % args.directory)
+        return 0
+    # verify: every file must validate and at least one must exist.
+    bad = [info for info in infos if not info.valid]
+    good = [info for info in infos if info.valid]
+    if bad:
+        print("verify: FAIL — %d torn/corrupt snapshot(s)" % len(bad))
+        return 1
+    if not good:
+        print("verify: FAIL — no snapshots in %s" % args.directory)
+        return 1
+    print("verify: OK — %d snapshot(s), newest barrier %d"
+          % (len(good), good[0].barrier))
+    return 0
+
+
 def cmd_selftest(args) -> int:
     """The appendix's `make test` in miniature: run `date` on two boots
     natively and under DetTrace and verify the expected (ir)reproducibility."""
@@ -359,6 +454,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run a toolbox command in a container")
     common(run)
+    run.add_argument("--checkpoint-dir", metavar="DIR", dest="checkpoint_dir",
+                     help="journal directory for crash-consistent "
+                          "checkpoints (enables repro.ckpt)")
+    run.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                     dest="checkpoint_every",
+                     help="snapshot every N kernel events (0 = only on "
+                          "SIGTERM)")
+    run.add_argument("--checkpoint-keep", type=int, default=3, metavar="K",
+                     dest="checkpoint_keep",
+                     help="valid snapshots to retain after each barrier")
+    run.add_argument("--resume", action="store_true",
+                     help="continue from the newest valid checkpoint in "
+                          "--checkpoint-dir (falls back to a fresh run)")
     run.add_argument("--jobs", type=int, default=1, metavar="N",
                      help="worker processes for --repeat fan-out "
                           "(0 = auto); results are identical to --jobs 1")
@@ -430,6 +538,17 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out", metavar="FILE",
                        help="also write the machine-readable JSON report")
     bench.set_defaults(fn=cmd_bench)
+
+    ckpt = sub.add_parser("ckpt",
+                          help="inspect/verify/prune a checkpoint journal")
+    ckpt.add_argument("action", choices=["inspect", "verify", "prune"])
+    ckpt.add_argument("directory", help="journal directory "
+                                        "(the run's --checkpoint-dir)")
+    ckpt.add_argument("--keep", type=int, default=3,
+                      help="snapshots to retain when pruning")
+    ckpt.add_argument("--fingerprint", default=None,
+                      help="additionally require this config fingerprint")
+    ckpt.set_defaults(fn=cmd_ckpt)
     return parser
 
 

@@ -1,10 +1,17 @@
 """DetTrace: the reproducible container abstraction (paper §5)."""
 
-from .config import CANONICAL_ENV, ContainerConfig, ablated, full_config
+from .config import (
+    CANONICAL_ENV,
+    CheckpointConfig,
+    ContainerConfig,
+    ablated,
+    full_config,
+)
 from .container import (
     CRASHED,
     DEADLOCK,
     OK,
+    RESUMED,
     RETRIED,
     TIMEOUT,
     UNSUPPORTED,
@@ -30,6 +37,8 @@ __all__ = [
     "BusyWaitError",
     "CANONICAL_ENV",
     "CRASHED",
+    "CheckpointConfig",
+    "RESUMED",
     "RETRIED",
     "ContainerConfig",
     "ContainerDeadlock",

@@ -9,6 +9,8 @@ it).  The defaults reproduce the full DetTrace behaviour.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from typing import Dict, Optional
 
 from ..faults.plan import FaultPlan
@@ -28,6 +30,21 @@ CANONICAL_ENV: Dict[str, str] = {
 
 #: Fixed ASLR base inside the container.
 FIXED_ASLR_BASE = 0x5555_5555_0000
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckpointConfig:
+    """Crash-consistent checkpointing (repro.ckpt).
+
+    Snapshots are taken at virtual-time barriers — between kernel
+    events — every ``every`` event ticks (0 = only on request, e.g.
+    SIGTERM) and journalled atomically under ``directory``.  ``keep``
+    bounds how many valid snapshots survive pruning.
+    """
+
+    directory: str
+    every: int = 0
+    keep: int = 3
 
 
 @dataclasses.dataclass
@@ -150,10 +167,36 @@ class ContainerConfig:
     #: (doubles per retry; pure virtual seconds, never host time).
     retry_backoff: float = 0.05
 
+    # -- robustness: crash-consistent checkpointing (repro.ckpt) -------------
+
+    #: Checkpoint/restore configuration; None = checkpointing off (and
+    #: the kernel's tape hooks stay a single attribute test).
+    checkpoint: Optional[CheckpointConfig] = None
+
     def env_for(self, host_env: Dict[str, str]) -> Dict[str, str]:
         if self.canonical_env:
             return dict(CANONICAL_ENV)
         return dict(host_env)
+
+    def fingerprint(self) -> str:
+        """Stable digest of every determinism-relevant knob.
+
+        Stamped into snapshot headers so a resume refuses state from a
+        differently-configured world.  ``checkpoint`` itself is excluded:
+        where/how often you snapshot does not change what the run
+        computes (the zero-perturbation invariant the identity tests
+        enforce).
+        """
+        spec: Dict[str, object] = {}
+        for field in dataclasses.fields(self):
+            if field.name == "checkpoint":
+                continue
+            value = getattr(self, field.name)
+            if field.name == "fault_plan":
+                value = value.to_dict() if value is not None else None
+            spec[field.name] = value
+        blob = json.dumps(spec, sort_keys=True, default=repr)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def full_config(**overrides) -> ContainerConfig:

@@ -24,6 +24,7 @@ contract, §2/§5.9: a run either reproduces or fails *reproducibly*).
 from __future__ import annotations
 
 import dataclasses
+import os
 from typing import Dict, List, Optional
 
 from ..cpu.machine import HostEnvironment
@@ -57,9 +58,12 @@ DEADLOCK = "deadlock"
 CRASHED = "crashed"
 #: A supervised run failed transiently and then succeeded on a retry.
 RETRIED = "retried"
+#: The run completed after resuming from a crash-consistent checkpoint
+#: (repro.ckpt) instead of restarting from scratch.
+RESUMED = "resumed"
 
 #: Statuses under which the guest completed with an exit status.
-_SUCCESS_STATUSES = (OK, RETRIED)
+_SUCCESS_STATUSES = (OK, RETRIED, RESUMED)
 
 
 @dataclasses.dataclass
@@ -134,6 +138,10 @@ def _collect_output_tree(kernel: Kernel, build_dir: str) -> Dict[str, bytes]:
 
 def _classify(err: BaseException):
     """Map an exception escaping the kernel loop to a (status, error)."""
+    from ..faults.injector import KilledAtTick
+
+    if isinstance(err, KilledAtTick):
+        return CRASHED, str(err)
     if isinstance(err, SimTimeout):
         return TIMEOUT, "virtual deadline exceeded"
     if isinstance(err, ContainerTimeout):
@@ -217,6 +225,10 @@ class DetTrace:
 
     def __init__(self, config: Optional[ContainerConfig] = None):
         self.config = config or ContainerConfig()
+        #: The CheckpointManager of the currently executing run, when
+        #: checkpointing is configured — lets a host signal handler call
+        #: ``active_ckpt.request()`` to snapshot at the next barrier.
+        self.active_ckpt = None
 
     def run(self, image: Image, command: str,
             argv: Optional[List[str]] = None,
@@ -239,29 +251,16 @@ class DetTrace:
         proc = None
         status, error = OK, ""
         try:
-            if cfg.disable_aslr:
-                kernel.aslr_override = FIXED_ASLR_BASE
-            kernel.serialize_threads = cfg.serialize_threads
-            kernel.busy_wait_budget = cfg.busy_wait_budget
-            kernel.fs.cache_enabled = cfg.fs_caches
-            if cfg.deterministic_pids:
-                kernel.enable_pid_namespace(1)
-            kernel.default_uid = 0 if cfg.map_user_to_root else 1000
+            tracer = self._prepare(kernel, image, _attempt)
+            if cfg.checkpoint is not None:
+                # Installed before boot: the resume tape must cover the
+                # guest's whole life, starting with the init spawn.
+                from ..ckpt import CheckpointManager
 
-            image.install(kernel, cfg.working_dir)
-            canonicalize_identity_files(kernel)
-
-            tracer = DetTraceTracer(cfg, uidmap=UidGidMap(
-                host_uid=1000,
-                uid_overrides=tuple(sorted(cfg.uid_map.items())),
-                gid_overrides=tuple(sorted(cfg.gid_map.items()))))
-            if cfg.deterministic_randomness:
-                self._replace_random_devices(kernel, tracer)
-            tracer.attach(kernel)
-            if cfg.fault_plan is not None:
-                injector = kernel.install_faults(cfg.fault_plan, attempt=_attempt)
-                injector.counters = tracer.counters
-                injector.obs = kernel.obs
+                kernel.ckpt = CheckpointManager(
+                    cfg.checkpoint.directory, every=cfg.checkpoint.every,
+                    keep=cfg.checkpoint.keep, fingerprint=cfg.fingerprint())
+                self.active_ckpt = kernel.ckpt
 
             env = cfg.env_for(host.env)
             proc = kernel.boot(command, argv=argv, env=env, uid=0,
@@ -272,6 +271,91 @@ class DetTrace:
         exit_code, error = _decode_exit(proc, status, error)
         return _finish(kernel, cfg.working_dir, host, status, exit_code,
                        error, tracer.counters if tracer is not None else None)
+
+    def _prepare(self, kernel: Kernel, image: Image,
+                 _attempt: int) -> DetTraceTracer:
+        """Configure a fresh kernel up to (but excluding) boot.
+
+        Shared verbatim by :meth:`run` and :meth:`resume`: a restored
+        kernel must be prepared by exactly the code path a normal run
+        uses, so device closures, handler tables and the seccomp filter
+        are the same live objects in both worlds.
+        """
+        cfg = self.config
+        if cfg.disable_aslr:
+            kernel.aslr_override = FIXED_ASLR_BASE
+        kernel.serialize_threads = cfg.serialize_threads
+        kernel.busy_wait_budget = cfg.busy_wait_budget
+        kernel.fs.cache_enabled = cfg.fs_caches
+        if cfg.deterministic_pids:
+            kernel.enable_pid_namespace(1)
+        kernel.default_uid = 0 if cfg.map_user_to_root else 1000
+
+        image.install(kernel, cfg.working_dir)
+        canonicalize_identity_files(kernel)
+
+        tracer = DetTraceTracer(cfg, uidmap=UidGidMap(
+            host_uid=1000,
+            uid_overrides=tuple(sorted(cfg.uid_map.items())),
+            gid_overrides=tuple(sorted(cfg.gid_map.items()))))
+        if cfg.deterministic_randomness:
+            self._replace_random_devices(kernel, tracer)
+        tracer.attach(kernel)
+        if cfg.fault_plan is not None:
+            injector = kernel.install_faults(cfg.fault_plan, attempt=_attempt)
+            injector.counters = tracer.counters
+            injector.obs = kernel.obs
+        return tracer
+
+    def resume(self, image: Image, command: str,
+               argv: Optional[List[str]] = None,
+               host: Optional[HostEnvironment] = None,
+               _attempt: int = 0) -> ContainerResult:
+        """Resume the newest valid checkpoint and run to completion.
+
+        The snapshot carries the host environment (mid-state RNG streams
+        included), so the *host* argument is ignored — a resumed run is
+        a continuation of the interrupted one, not a new sample.  Raises
+        :class:`repro.ckpt.JournalError` when the journal holds no valid
+        snapshot for this config; every later failure degrades to a
+        classified result like :meth:`run`.  A resumed run that finishes
+        cleanly reports status ``RESUMED``.
+        """
+        cfg = self.config
+        if cfg.checkpoint is None:
+            raise ValueError("resume() requires ContainerConfig.checkpoint")
+        from ..ckpt import CheckpointManager, RecoveryManager, restore
+
+        fingerprint = cfg.fingerprint()
+        recovery = RecoveryManager(cfg.checkpoint.directory,
+                                   fingerprint=fingerprint)
+        info, payload = recovery.load()  # JournalError when none valid
+
+        kernel = Kernel(payload["host"])
+        kernel.obs = Collector(trace=cfg.observe, debug=cfg.debug)
+        tracer = None
+        proc = None
+        status, error = OK, ""
+        try:
+            tracer = self._prepare(kernel, image, _attempt)
+            mgr = CheckpointManager(
+                cfg.checkpoint.directory, every=cfg.checkpoint.every,
+                keep=cfg.checkpoint.keep, fingerprint=fingerprint)
+            mgr.tape = restore(kernel, payload)
+            mgr.last_barrier = info.barrier
+            kernel.ckpt = mgr
+            self.active_ckpt = mgr
+            proc = kernel.processes[0] if kernel.processes else None
+            kernel.run(deadline=cfg.timeout, max_events=cfg.max_events)
+        except Exception as err:
+            status, error = _classify(err)
+        exit_code, error = _decode_exit(proc, status, error)
+        result = _finish(kernel, cfg.working_dir, kernel.host, status,
+                         exit_code, error,
+                         tracer.counters if tracer is not None else None)
+        if result.status == OK:
+            result.status = RESUMED
+        return result
 
     def run_supervised(self, image: Image, command: str,
                        argv: Optional[List[str]] = None,
@@ -300,9 +384,25 @@ class DetTrace:
         total_wall = 0.0
         next_backoff = 0.0
         attempt = 0
+        #: The fault-plan attempt coordinate of the most recent
+        #: execution; a resume *continues* that attempt rather than
+        #: starting a new one, so it stays put across resumed retries.
+        run_attempt = 0
+        result: Optional[ContainerResult] = None
         while True:
-            result = self.run(image, command, argv=argv, host=host,
-                              _attempt=attempt)
+            if (attempt > 0 and result is not None
+                    and result.status == CRASHED
+                    and self._resumable()):
+                # Prefer continuing the crashed attempt from its newest
+                # checkpoint over a full restart: all completed work is
+                # kept, and the identity guarantee makes the combined
+                # run indistinguishable from an uninterrupted one.
+                result = self.resume(image, command, argv=argv,
+                                     _attempt=run_attempt)
+            else:
+                run_attempt = attempt
+                result = self.run(image, command, argv=argv, host=host,
+                                  _attempt=run_attempt)
             total_wall += next_backoff + result.wall_time
             faults_fired = (len(result.crash_report.fault_trace)
                             if result.crash_report is not None else 0)
@@ -323,13 +423,33 @@ class DetTrace:
         result.wall_time = total_wall
         if attempt > 1 and result.status == OK and result.exit_code == 0:
             result.status = RETRIED
+        # A successful resume keeps its more specific RESUMED status.
         if result.crash_report is None and (attempt > 1 or result.status != OK):
             result.crash_report = CrashReport(status=result.status,
                                               error=result.error)
         if result.crash_report is not None:
             result.crash_report.status = result.status
             result.crash_report.attempt_log = attempt_log
+            if cfg.checkpoint is not None:
+                # Persist crash forensics next to the snapshots it may be
+                # recovered with; write_json is atomic, so an interrupted
+                # supervisor never leaves a truncated report behind.
+                try:
+                    result.crash_report.write_json(os.path.join(
+                        cfg.checkpoint.directory, "crash-report.json"))
+                except OSError:
+                    pass  # forensics are best-effort; the run result stands
         return result
+
+    def _resumable(self) -> bool:
+        """Is there a valid checkpoint to continue from?"""
+        cfg = self.config
+        if cfg.checkpoint is None:
+            return False
+        from ..ckpt import RecoveryManager
+
+        return RecoveryManager(cfg.checkpoint.directory,
+                               fingerprint=cfg.fingerprint()).latest() is not None
 
     @staticmethod
     def _replace_random_devices(kernel: Kernel, tracer: DetTraceTracer) -> None:

@@ -29,6 +29,7 @@ from ..obs.events import FAULT, NO_VTS, ObsEvent
 from .plan import (
     DISK_FULL_FAULT,
     ERRNO_FAULTS,
+    KILL_FAULT,
     SHORT_IO_FAULTS,
     SIGNAL_FAULT,
     FaultPlan,
@@ -37,6 +38,15 @@ from .plan import (
 
 #: args keys that name container paths (for path_prefix matching).
 _PATH_ARGS = ("path", "old", "new", "target", "linkpath")
+
+
+class KilledAtTick(RuntimeError):
+    """An injected ``kill`` fault crashed the run at a fixed event tick
+    (the deterministic stand-in for an OOM-kill or host preemption)."""
+
+    def __init__(self, tick: int):
+        super().__init__("run killed at event tick %d (injected)" % tick)
+        self.tick = tick
 
 
 class ArmedFault:
@@ -86,7 +96,9 @@ class FaultInjector:
         thread.armed_fault = None
         thread.obs_faulted = False
         for pos, rule in enumerate(self.plan):
-            if rule.fault == DISK_FULL_FAULT:
+            if rule.fault in (DISK_FULL_FAULT, KILL_FAULT):
+                # Consulted elsewhere: disk_full by the filesystem,
+                # kill by the event loop.
                 continue
             if not self._matches(rule, pos, proc, call, index):
                 continue
@@ -198,6 +210,23 @@ class FaultInjector:
                 return type(call)(call.name, args)
             return call
         return call
+
+    # ------------------------------------------------------------------
+    # event-loop consult (kill faults)
+    # ------------------------------------------------------------------
+
+    def next_kill_tick(self) -> Optional[int]:
+        """The event tick at which an active kill rule crashes this
+        attempt, or None."""
+        return self.plan.kill_tick(self.attempt)
+
+    def record_kill(self, tick: int) -> None:
+        """Bookkeeping for a kill firing (the kernel raises the crash)."""
+        for pos, rule in enumerate(self.plan):
+            if (rule.fault == KILL_FAULT and rule.at_tick == tick
+                    and rule.active_on_attempt(self.attempt)):
+                self._record(rule, pos, 0, tick, "<event-loop>")
+                break
 
     # ------------------------------------------------------------------
     # filesystem consult

@@ -52,9 +52,16 @@ SIGNAL_FAULT = "signal"
 #: keyed on total bytes written (never on wall time).
 DISK_FULL_FAULT = "disk_full"
 
+#: Fault kind consulted by the event loop: crash the whole run (as a
+#: simulated host kill — OOM, preemption, power loss) at a fixed event
+#: tick.  The coordinate is the kernel's event counter, so the crash
+#: point is as reproducible as any syscall-level fault; the checkpoint
+#: plane (repro.ckpt) uses it to exercise crash-resume identity.
+KILL_FAULT = "kill"
+
 #: Every recognised kind, in a fixed documentation order.
 ALL_FAULT_KINDS: Tuple[str, ...] = tuple(ERRNO_FAULTS) + SHORT_IO_FAULTS + (
-    SIGNAL_FAULT, DISK_FULL_FAULT)
+    SIGNAL_FAULT, DISK_FULL_FAULT, KILL_FAULT)
 
 #: Syscalls that ENOMEM targets by default (fork/mmap analogues).
 NOMEM_SYSCALLS = ("spawn_process", "spawn_thread", "execve")
@@ -100,6 +107,8 @@ class FaultRule:
     keep_bytes: int = 1
     #: For ``disk_full``: the byte cap on cumulative written data.
     bytes: int = 0
+    #: For ``kill``: the event tick at which the run crashes.
+    at_tick: Optional[int] = None
     #: Transient rules stop firing after the attempt they are scoped to —
     #: the supervised-run layer's model of "the storm passed"; they make a
     #: failed attempt *retryable*.  ``attempts`` widens the scope: a
@@ -117,6 +126,11 @@ class FaultRule:
                 "rule %r needs start >= 0, stride >= 1, count >= 1" % self.fault)
         if self.fault == DISK_FULL_FAULT and self.bytes <= 0:
             raise FaultPlanError("disk_full rule needs a positive 'bytes' cap")
+        if self.fault == KILL_FAULT and (self.at_tick is None
+                                         or self.at_tick < 0):
+            raise FaultPlanError("kill rule needs 'at_tick' >= 0")
+        if self.fault != KILL_FAULT and self.at_tick is not None:
+            raise FaultPlanError("'at_tick' only applies to kill rules")
 
     # -- matching -------------------------------------------------------
 
@@ -158,7 +172,8 @@ class FaultRule:
 
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {"fault": self.fault}
-        defaults = FaultRule(fault=self.fault, bytes=self.bytes or 1)
+        defaults = FaultRule(fault=self.fault, bytes=self.bytes or 1,
+                             at_tick=self.at_tick)
         for field in dataclasses.fields(self):
             if field.name == "fault":
                 continue
@@ -166,6 +181,10 @@ class FaultRule:
             if field.name == "bytes":
                 if self.fault == DISK_FULL_FAULT:
                     out["bytes"] = value
+                continue
+            if field.name == "at_tick":
+                if value is not None:
+                    out["at_tick"] = value
                 continue
             if value != getattr(defaults, field.name):
                 out[field.name] = list(value) if isinstance(value, tuple) else value
@@ -227,6 +246,13 @@ class FaultPlan:
         caps = [rule.bytes for rule in self.rules
                 if rule.fault == DISK_FULL_FAULT and rule.active_on_attempt(attempt)]
         return min(caps) if caps else None
+
+    def kill_tick(self, attempt: int = 0) -> Optional[int]:
+        """The earliest ``kill`` tick active on *attempt*, if any."""
+        ticks = [rule.at_tick for rule in self.rules
+                 if rule.fault == KILL_FAULT and rule.at_tick is not None
+                 and rule.active_on_attempt(attempt)]
+        return min(ticks) if ticks else None
 
     # -- (de)serialization ----------------------------------------------
 

@@ -12,6 +12,8 @@ the same image and plan produce byte-identical reports.
 from __future__ import annotations
 
 import dataclasses
+import json
+import os
 from typing import Any, Dict, List
 
 from ..obs.events import ObsEvent
@@ -56,6 +58,33 @@ class CrashReport:
             "last_syscalls": [entry.to_dict() for entry in self.last_syscalls],
             "attempt_log": [dataclasses.asdict(rec) for rec in self.attempt_log],
         }
+
+    def write_json(self, path: str) -> None:
+        """Persist the report crash-consistently.
+
+        Write-temp-then-rename with an fsync, the same discipline the
+        checkpoint journal uses: a crash while writing can leave a stale
+        ``.tmp`` file behind but never a truncated report at *path*.
+        """
+        data = json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.rename(tmp, path)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CrashReport":
+        return cls(
+            status=data["status"],
+            error=data["error"],
+            fault_trace=list(data.get("fault_trace", [])),
+            last_syscalls=[ObsEvent.from_dict(entry)
+                           for entry in data.get("last_syscalls", [])],
+            attempt_log=[AttemptRecord(**rec)
+                         for rec in data.get("attempt_log", [])],
+        )
 
     def format(self) -> str:
         """Human-readable multi-line rendering for CLI error output."""

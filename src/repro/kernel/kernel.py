@@ -117,7 +117,7 @@ class Kernel:
         #: that are simply never surfaced.  Purely passive either way.
         self.obs = Collector()
 
-        self._events: List[Tuple[float, int, Callable[[], None]]] = []
+        self._events: List[Tuple[float, int, Callable[[], None], Any]] = []
         self._seq = 0
         #: Per-name caches for the syscall fast path: the resolved base
         #: cost and the interned counter key for untraced dispatches
@@ -134,6 +134,12 @@ class Kernel:
         self.tracer = None
         #: Deterministic fault injector (repro.faults); None = no plane.
         self.faults = None
+        #: Checkpoint manager (repro.ckpt); None = checkpointing off and
+        #: every hook below compiles down to one attribute test.
+        self.ckpt = None
+        #: Event tick at which an injected KILL_AT_TICK fault crashes
+        #: the run (None = never).
+        self._kill_at: Optional[int] = None
         self.cores_busy = 0
         self._core_queue: List[Tuple[Thread, float]] = []
         self._parked: Dict[Channel, List[Thread]] = {}
@@ -177,14 +183,20 @@ class Kernel:
         injector = FaultInjector(plan, attempt=attempt)
         self.faults = injector
         self.fs.fault_injector = injector
+        self._kill_at = injector.next_kill_tick()
         return injector
 
     # ------------------------------------------------------------------
     # event loop
     # ------------------------------------------------------------------
 
-    def schedule(self, time: float, fn: Callable[[], None]) -> None:
-        heapq.heappush(self._events, (max(time, self.clock.now), self._seq, fn))
+    def schedule(self, time: float, fn: Callable[[], None],
+                 desc: Any = None) -> None:
+        # *desc* is a picklable descriptor of *fn* for checkpointing;
+        # (time, seq) is unique so fn/desc never participate in heap
+        # comparisons.
+        heapq.heappush(self._events,
+                       (max(time, self.clock.now), self._seq, fn, desc))
         self._seq += 1
 
     def live_processes(self) -> List[Process]:
@@ -207,7 +219,19 @@ class Kernel:
                 raise DeadlockError(
                     "no progress possible; live pids=%s"
                     % [p.pid for p in self.live_processes()])
-            t, _seq, fn = heapq.heappop(self._events)
+            if (self._kill_at is not None
+                    and self.stats.events_processed >= self._kill_at):
+                # Injected crash (KILL_AT_TICK): fires *between* events,
+                # exactly where a checkpoint barrier sits, so a resumed
+                # run continues from event tick N as if nothing happened.
+                from ..faults.injector import KilledAtTick
+
+                tick = self.stats.events_processed
+                if self.faults is not None:
+                    self.faults.record_kill(tick)
+                self._kill_at = None
+                raise KilledAtTick(tick)
+            t, _seq, fn, _desc = heapq.heappop(self._events)
             if deadline is not None and t > deadline:
                 raise SimTimeout(deadline)
             self.clock.advance_to(t)
@@ -215,6 +239,8 @@ class Kernel:
             if self.stats.events_processed > max_events:
                 raise KernelPanic("event budget exhausted (%d)" % max_events)
             fn()
+            if self.ckpt is not None:
+                self.ckpt.maybe_barrier(self)
 
     # ------------------------------------------------------------------
     # process / thread creation
@@ -255,10 +281,14 @@ class Kernel:
         self.obs.record(ObsEvent(vts=0.0, pid=proc.nspid, index=-1,
                                  kind=SPAWN, name=path))
         thread = self._make_thread(proc, factory)
+        if self.ckpt is not None:
+            self.ckpt.record_spawn(thread.tid, path, proc.argv, proc.env)
         if self.tracer is not None:
             self.tracer.on_process_spawn(proc)
             self.tracer.on_execve(proc)
-        self.schedule(self.clock.now, lambda: self._step_or_wait(thread, None, None))
+        self.schedule(self.clock.now,
+                      lambda: self._step_or_wait(thread, None, None),
+                      ("step", thread.tid, None, None))
         return proc
 
     def _aslr_base(self) -> int:
@@ -325,6 +355,8 @@ class Kernel:
             vts=caller.det_clock if caller is not None else 0.0,
             pid=child.nspid, index=-1, kind=SPAWN, name=path))
         thread = self._make_thread(child, factory)
+        if self.ckpt is not None:
+            self.ckpt.record_spawn(thread.tid, path, child.argv, child.env)
         if caller is not None:
             # The spawn happens-before everything the child does: start
             # the child's deterministic clock at its creator's, so the
@@ -336,7 +368,8 @@ class Kernel:
             self.tracer.on_process_spawn(child)
             self.tracer.on_execve(child)
         start = self.clock.now + CHILD_START_DELAY * (1 + self.host.sched_jitter())
-        self.schedule(start, lambda: self._step_or_wait(thread, None, None))
+        self.schedule(start, lambda: self._step_or_wait(thread, None, None),
+                      ("step", thread.tid, None, None))
         return child.nspid
 
     def spawn_thread(self, proc: Process, func: Callable,
@@ -345,6 +378,8 @@ class Kernel:
         self._tid_next += 1
         proc.threads.append(thread)
         thread.gen_stack = [func(self.make_sys(thread))]
+        if self.ckpt is not None and caller is not None:
+            self.ckpt.record_tspawn(thread.tid, caller.tid)
         if caller is not None:
             thread.det_clock = caller.det_clock
             thread.det_bound = caller.det_clock
@@ -365,7 +400,8 @@ class Kernel:
             thread.token_queued = True
             return thread.tid
         start = self.clock.now + CHILD_START_DELAY * (1 + self.host.sched_jitter())
-        self.schedule(start, lambda: self._step_or_wait(thread, None, None))
+        self.schedule(start, lambda: self._step_or_wait(thread, None, None),
+                      ("step", thread.tid, None, None))
         return thread.tid
 
     # ------------------------------------------------------------------
@@ -422,9 +458,16 @@ class Kernel:
                     saved = thread.process.memory.setdefault("_saved_%d" % thread.tid, [])
                     saved.append((value, exc))
                     thread.gen_stack.append(handler_gen)
+                    if self.ckpt is not None:
+                        self.ckpt.record_push(thread.tid, signum, value, exc)
                     value, exc = None, None
             gen = thread.gen_stack[-1]
             thread.state = ThreadState.DISPATCH
+            if self.ckpt is not None:
+                # Every value/exception a guest frame ever receives flows
+                # through this one send/throw below — the resume tape
+                # records them all (repro.ckpt).
+                self.ckpt.record_step(thread.tid, value, exc)
             try:
                 if exc is not None:
                     op = gen.throw(exc)
@@ -526,7 +569,8 @@ class Kernel:
             thread._on_core = True
             thread.cpu_time += duration
             self.schedule(self.clock.now + duration,
-                          lambda: self._finish_compute(thread))
+                          lambda: self._finish_compute(thread),
+                          ("finish_compute", thread.tid))
         else:
             thread.state = ThreadState.RUNNABLE
             self._core_queue.append((thread, duration))
@@ -554,7 +598,8 @@ class Kernel:
             thread._on_core = True
             thread.cpu_time += duration
             self.schedule(self.clock.now + duration,
-                          lambda t=thread: self._finish_compute(t))
+                          lambda t=thread: self._finish_compute(t),
+                          ("finish_compute", thread.tid))
 
     # ------------------------------------------------------------------
     # instructions & vDSO
@@ -567,7 +612,9 @@ class Kernel:
             if resume_at <= self.clock.now:
                 return value
             thread.state = ThreadState.TRACE_STOP
-            self.schedule(resume_at, lambda: self._step_or_wait(thread, value, None))
+            self.schedule(resume_at,
+                          lambda: self._step_or_wait(thread, value, None),
+                          ("step", thread.tid, value, None))
             return _SUSPENDED
         return self.cpu.execute(op.name, self.clock.now)
 
@@ -650,7 +697,8 @@ class Kernel:
             thread.state = ThreadState.BLOCKED
             self._release_token(thread)
             self.schedule(self.clock.now + s.seconds,
-                          lambda: self._step_or_wait(thread, 0, None))
+                          lambda: self._step_or_wait(thread, 0, None),
+                          ("step", thread.tid, 0, None))
             return
         except SyscallError as err:
             self._resume_after(thread, self.syscall_cost(thread, call.name), exc=err)
@@ -670,7 +718,8 @@ class Kernel:
                       exc: Optional[BaseException] = None) -> None:
         thread.state = ThreadState.DISPATCH
         self.schedule(self.clock.now + delay,
-                      lambda: self._step_or_wait(thread, value, exc))
+                      lambda: self._step_or_wait(thread, value, exc),
+                      ("step", thread.tid, value, exc))
 
     # -- blocking ------------------------------------------------------------
 
@@ -694,7 +743,8 @@ class Kernel:
                     self._parked[ch].remove(thread)
             thread.wait_channels = []
             count += 1
-            self.schedule(self.clock.now, lambda t=thread: self._retry_parked(t))
+            self.schedule(self.clock.now, lambda t=thread: self._retry_parked(t),
+                          ("retry_parked", thread.tid))
         return count
 
     def _retry_parked(self, thread: Thread) -> None:
@@ -728,12 +778,15 @@ class Kernel:
         proc.vdso_patched = False
         thread.gen_stack = [factory(self.make_sys(thread))]
         proc.memory.pop("_saved_%d" % thread.tid, None)
+        if self.ckpt is not None:
+            self.ckpt.record_exec(thread.tid, ex.path, proc.argv, proc.env)
         if self.tracer is not None:
             self.tracer.on_execve(proc)
         at = resume_at if resume_at is not None else (
             self.clock.now + self.syscall_cost(thread, "execve"))
         thread.state = ThreadState.DISPATCH
-        self.schedule(at, lambda: self._step_or_wait(thread, None, None))
+        self.schedule(at, lambda: self._step_or_wait(thread, None, None),
+                      ("step", thread.tid, None, None))
 
     # ------------------------------------------------------------------
     # signals & alarms
@@ -769,7 +822,8 @@ class Kernel:
             return remaining
         generation = self.timers.arm(proc.pid, self.clock.now + seconds, signum)
         self.schedule(self.clock.now + seconds,
-                      lambda: self._fire_timer(proc, generation))
+                      lambda: self._fire_timer(proc, generation),
+                      ("timer", proc.pid, generation))
         return remaining
 
     def _fire_timer(self, proc: Process, generation: int) -> None:
@@ -872,9 +926,11 @@ class Kernel:
             queue.append((thread, value, exc))
             thread.state = ThreadState.RUNNABLE
             thread.token_queued = True
-            self.schedule(at, lambda: self._release_token(thread))
+            self.schedule(at, lambda: self._release_token(thread),
+                          ("release_token", thread.tid))
             return
-        self.schedule(at, lambda: self._step_or_wait(thread, value, exc))
+        self.schedule(at, lambda: self._step_or_wait(thread, value, exc),
+                      ("step", thread.tid, value, exc))
 
     def tracer_execve(self, thread: Thread, ex: ExecveReplace, at: float) -> None:
         self._do_execve(thread, ex, resume_at=at)

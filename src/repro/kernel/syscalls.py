@@ -668,6 +668,11 @@ class SyscallTable:
     # ------------------------------------------------------------------
 
     def sys_sigaction(self, t: Thread, signum: int, action):
+        if self.kernel.ckpt is not None:
+            # Taped at *execution* time (a traced sigaction may execute
+            # long after its yield, or never): fast-forward replays the
+            # handler-table update at exactly this point.
+            self.kernel.ckpt.record_sigact(t.tid, signum)
         old = t.process.signal_handlers.get(signum, "default")
         t.process.signal_handlers[signum] = action
         return old

@@ -1,0 +1,96 @@
+"""The tentpole guarantee: run → kill at tick T → resume is byte-identical
+to a never-interrupted run — trace, metrics, output tree, counters, the
+lot — across fs_caches/observe on and off, and even when recovery has to
+fall back past a deliberately truncated snapshot."""
+
+import os
+
+import pytest
+
+from repro.ckpt import JournalError, scan
+from repro.core import DetTrace
+from repro.cpu.machine import HostEnvironment
+
+from .conftest import ckpt_config, ckpt_image, result_fp, run_baseline
+
+pytestmark = pytest.mark.ckpt
+
+
+def _crash_then_resume(journal_dir, tick, **cfg_kwargs):
+    cfg = ckpt_config(journal_dir, tick=tick, **cfg_kwargs)
+    crashed = DetTrace(cfg).run(ckpt_image(), "/bin/main",
+                                host=HostEnvironment(entropy_seed=7))
+    assert crashed.status == "crashed", (crashed.status, crashed.error)
+    resumed = DetTrace(cfg).resume(ckpt_image(), "/bin/main")
+    assert resumed.status == "resumed", (resumed.status, resumed.error)
+    return resumed
+
+
+@pytest.mark.parametrize("tick", [10, 60, 100])
+@pytest.mark.parametrize("fs_caches", [True, False])
+@pytest.mark.parametrize("observe", [True, False])
+def test_resume_is_byte_identical_to_uninterrupted_run(
+        journal_dir, tick, fs_caches, observe):
+    baseline = run_baseline(fs_caches=fs_caches, observe=observe)
+    assert baseline.exit_code == 0, (baseline.status, baseline.error)
+    resumed = _crash_then_resume(journal_dir, tick,
+                                 fs_caches=fs_caches, observe=observe)
+    want, got = result_fp(baseline), result_fp(resumed)
+    diffs = [key for key in want if want[key] != got[key]]
+    assert not diffs, diffs
+
+
+def test_truncated_newest_snapshot_falls_back_to_previous(journal_dir):
+    baseline = run_baseline()
+    cfg = ckpt_config(journal_dir, tick=100)
+    crashed = DetTrace(cfg).run(ckpt_image(), "/bin/main",
+                                host=HostEnvironment(entropy_seed=7))
+    assert crashed.status == "crashed"
+    infos = [info for info in scan(journal_dir) if info.valid]
+    assert len(infos) >= 2, "need at least two snapshots to test fallback"
+    newest = infos[0]
+    with open(newest.path, "r+b") as fh:
+        fh.truncate(os.path.getsize(newest.path) - 20)
+    resumed = DetTrace(cfg).resume(ckpt_image(), "/bin/main")
+    assert resumed.status == "resumed", (resumed.status, resumed.error)
+    assert result_fp(resumed) == result_fp(baseline)
+
+
+def test_all_snapshots_torn_raises_journal_error(journal_dir):
+    cfg = ckpt_config(journal_dir, tick=60)
+    DetTrace(cfg).run(ckpt_image(), "/bin/main",
+                      host=HostEnvironment(entropy_seed=7))
+    for info in scan(journal_dir):
+        with open(info.path, "wb") as fh:
+            fh.write(b"torn")
+    with pytest.raises(JournalError):
+        DetTrace(cfg).resume(ckpt_image(), "/bin/main")
+
+
+def test_kill_at_tick_zero_crashes_before_any_event(journal_dir):
+    """Tick 0 is the extreme edge: the run dies before dispatching a
+    single event, so no snapshot can exist and no work survives."""
+    cfg = ckpt_config(journal_dir, tick=0)
+    result = DetTrace(cfg).run(ckpt_image(), "/bin/main",
+                               host=HostEnvironment(entropy_seed=7))
+    assert result.status == "crashed"
+    assert "tick 0" in result.error
+    assert result.stdout == ""
+    assert not [info for info in scan(journal_dir) if info.valid]
+
+
+def test_kill_past_final_tick_never_fires():
+    """A kill scheduled at/after the run's last event is dead code: the
+    run completes normally and reports no injected faults."""
+    from repro.core import ContainerConfig
+
+    from .conftest import kill_plan
+
+    baseline = run_baseline()
+    cfg = ContainerConfig(fault_plan=kill_plan(10_000_000))
+    result = DetTrace(cfg).run(ckpt_image(), "/bin/main",
+                               host=HostEnvironment(entropy_seed=7))
+    assert result.status == "ok", (result.status, result.error)
+    assert result.exit_code == 0
+    assert result.counters.faults_injected == 0
+    assert result_fp(result) == result_fp(baseline)

@@ -95,6 +95,7 @@ MATRIX_PLANS = {
     "short_write": storm("short_write", keep_bytes=2, count=5),
     "signal": storm("signal", signum=15, start=6, count=2),
     "disk_full": storm("disk_full", bytes=128),
+    "kill": storm("kill", at_tick=25),
 }
 
 

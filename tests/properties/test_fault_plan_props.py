@@ -13,6 +13,7 @@ from repro.faults.plan import (
     ALL_FAULT_KINDS,
     DISK_FULL_FAULT,
     ERRNO_FAULTS,
+    KILL_FAULT,
     FaultPlan,
     FaultPlanError,
     FaultRule,
@@ -43,6 +44,9 @@ def rules(draw):
         # the default so round-trips are exact.
         bytes=(draw(st.integers(min_value=1, max_value=1 << 20))
                if fault == DISK_FULL_FAULT else 0),
+        # `at_tick` is mandatory for kill rules and forbidden elsewhere.
+        at_tick=(draw(st.integers(min_value=0, max_value=1 << 20))
+                 if fault == KILL_FAULT else None),
         transient=draw(st.booleans()),
         attempts=draw(positive),
     )
