@@ -6,12 +6,18 @@ This bench quantifies what observability costs in *host* time: the same
 package sample is built with ``observe=False`` and ``observe=True`` and
 the wall-clock ratio is reported, plus a machine-readable
 ``BENCH_obs_overhead.json`` at the repo root for trend tracking.
+
+The diagnosis plane rides the same budget: a run-pair diff
+(``diff_captures``) and a checkpoint bisection over the known-leak
+harness are timed as well, so a slow alignment or an extra bisection
+probe shows up in the same trend file.
 """
 import json
 import os
 import time
 
 from repro.core import ContainerConfig
+from repro.diag import bisect_divergence, content_leak_pair, diff_captures
 from repro.repro_tools import first_build_host
 from repro.repro_tools.hashing import tree_digest
 from repro.workloads.debian import build_dettrace, generate_population
@@ -56,8 +62,28 @@ def measure_obs_overhead():
     }
 
 
+def measure_diag_cost():
+    """Wall cost of the diagnosis plane on the known-leak harness."""
+    spec_a, spec_b = content_leak_pair()
+    cap_a, cap_b = spec_a.capture(), spec_b.capture()
+    t0 = time.perf_counter()
+    report = diff_captures(cap_a, cap_b)
+    t1 = time.perf_counter()
+    assert report.diverged
+    t2 = time.perf_counter()
+    result = bisect_divergence(*content_leak_pair(), coarse=16)
+    t3 = time.perf_counter()
+    assert result.diverged and result.hi - result.lo == 1
+    return {
+        "diff_wall_s": round(t1 - t0, 6),
+        "bisect_wall_s": round(t3 - t2, 6),
+        "bisect_probes": result.probes,
+    }
+
+
 def test_obs_overhead(benchmark, capsys):
     row = benchmark.pedantic(measure_obs_overhead, rounds=1, iterations=1)
+    row.update(measure_diag_cost())
     with open(OUT_PATH, "w") as fh:
         json.dump(row, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -68,7 +94,12 @@ def test_obs_overhead(benchmark, capsys):
               % (row["packages"], row["obs_off_wall_s"], row["obs_on_wall_s"],
                  row["overhead_ratio"] or 0.0, row["trace_events"],
                  os.path.basename(OUT_PATH)))
+        print("diag cost: diff %.3fs, bisect %.3fs (%d probes)"
+              % (row["diff_wall_s"], row["bisect_wall_s"],
+                 row["bisect_probes"]))
     assert row["packages"] >= SAMPLE * 0.8
     assert row["trace_events"] > 0
     # Collecting the stream should stay cheap relative to the run itself.
     assert row["overhead_ratio"] is not None and row["overhead_ratio"] < 3.0
+    # Diffing an already-captured pair is pure alignment — no reruns.
+    assert row["diff_wall_s"] < row["bisect_wall_s"]

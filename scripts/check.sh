@@ -8,6 +8,7 @@
 #   ./scripts/check.sh perf     # just the hot-path perf stage
 #   ./scripts/check.sh fuzz     # just the differential-fuzz smoke stage
 #   ./scripts/check.sh ckpt     # just the checkpoint/resume smoke stage
+#   ./scripts/check.sh diag     # just the divergence-diagnosis stage
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -18,7 +19,8 @@ stage="${1:-all}"
 obs_tmp=""
 perf_tmp=""
 ckpt_tmp=""
-trap 'rm -rf ${obs_tmp:+"$obs_tmp"} ${perf_tmp:+"$perf_tmp"} ${ckpt_tmp:+"$ckpt_tmp"}' EXIT
+diag_tmp=""
+trap 'rm -rf ${obs_tmp:+"$obs_tmp"} ${perf_tmp:+"$perf_tmp"} ${ckpt_tmp:+"$ckpt_tmp"} ${diag_tmp:+"$diag_tmp"}' EXIT
 
 if [ "$stage" = "all" ]; then
     echo "== compileall =="
@@ -89,6 +91,30 @@ PLAN
     else
         echo "no committed BENCH_ckpt.json baseline; skipping regression gate"
     fi
+fi
+
+if [ "$stage" = "all" ] || [ "$stage" = "diag" ]; then
+    echo "== divergence-diagnosis stage (-m diag) =="
+    python -m pytest -x -q -m diag
+    echo "== self-diff identity gate (repro diff on byte-identical traces) =="
+    diag_tmp="$(mktemp -d)"
+    python -m repro run --trace-out "$diag_tmp/a.json" -- ls -l /bin \
+        > /dev/null 2> /dev/null
+    python -m repro run --trace-out "$diag_tmp/b.json" -- ls -l /bin \
+        > /dev/null 2> /dev/null
+    cmp "$diag_tmp/a.json" "$diag_tmp/b.json"
+    python -m repro diff "$diag_tmp/a.json" "$diag_tmp/b.json"
+    echo "== diag demo gate (leak localization + single-tick bisection) =="
+    python -m repro diag demo --workdir "$diag_tmp/demo"
+    echo "== corpus-entry divergence localization smoke =="
+    # The banked entry replays clean within the matrix but must produce
+    # a localized divergence (exit 1) across container PRNG seeds.
+    python -m repro diag fuzz \
+        --entry tests/fuzz/corpus/prng-seed-sensitivity.json \
+        --seed-b 1 --report "$diag_tmp/divergence.json" && exit 1 || \
+        [ $? -eq 1 ]
+    grep -q '"classification": "stream-content"' "$diag_tmp/divergence.json"
+    echo "cross-seed divergence localized and banked"
 fi
 
 if [ "$stage" = "all" ] || [ "$stage" = "perf" ]; then

@@ -29,22 +29,37 @@ Layout:
 
 from .journal import JournalError, SnapshotInfo, prune, scan, write_snapshot
 from .manager import CheckpointManager, RecoveryManager
-from .snapshot import CheckpointUnsupported, RestoreError, capture, restore
+from .snapshot import (
+    FULL_SCOPE,
+    GUEST_SCOPE,
+    CheckpointUnsupported,
+    RestoreError,
+    Snapshot,
+    canonical_state,
+    capture,
+    restore,
+    state_fingerprint,
+)
 from .tape import OPAQUE, encode_value, decode_value
 
 __all__ = [
     "CheckpointManager",
     "CheckpointUnsupported",
+    "FULL_SCOPE",
+    "GUEST_SCOPE",
     "JournalError",
     "OPAQUE",
     "RecoveryManager",
     "RestoreError",
+    "Snapshot",
     "SnapshotInfo",
+    "canonical_state",
     "capture",
     "decode_value",
     "encode_value",
     "prune",
     "restore",
     "scan",
+    "state_fingerprint",
     "write_snapshot",
 ]

@@ -25,7 +25,7 @@ import pickle
 from typing import Any, Dict, List, Optional, Tuple
 
 from . import journal
-from .snapshot import CheckpointUnsupported, capture
+from .snapshot import CheckpointUnsupported, Snapshot, capture
 from .tape import shallow_copy
 
 
@@ -137,3 +137,14 @@ class RecoveryManager:
         _header, blob = journal.load_snapshot(
             info.path, fingerprint=self.fingerprint)
         return info, pickle.loads(blob)
+
+    def snapshots(self) -> List[Snapshot]:
+        """Every valid snapshot as a live :class:`Snapshot`, oldest
+        barrier first — the walk checkpoint bisection and ``repro ckpt
+        verify`` fingerprint."""
+        out: List[Snapshot] = []
+        for info in reversed(self.scan()):
+            if info.valid:
+                out.append(Snapshot.load(info.path,
+                                         fingerprint=self.fingerprint))
+        return out

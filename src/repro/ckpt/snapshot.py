@@ -28,7 +28,10 @@ host's entropy streams continue exactly from the barrier.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import heapq
+import pickle
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..kernel.errors import GuestCrash, SyscallError
@@ -38,9 +41,19 @@ from ..kernel.ops import Syscall, VdsoCall
 from ..kernel.pipes import Pipe
 from ..kernel.process import Process, Thread, ThreadState
 from ..kernel.waiting import Channel
+from . import journal
 from .tape import OPAQUE, decode_value, encode_tape, encode_value
 
 PAYLOAD_KIND = "repro.ckpt.payload"
+
+#: Fingerprint scopes (see :func:`state_fingerprint`).
+GUEST_SCOPE = "guest"
+FULL_SCOPE = "full"
+
+#: Pickle protocol pinned for fingerprint stability: the digest of a
+#: canonical state must not change when the interpreter's
+#: HIGHEST_PROTOCOL does.
+_FP_PROTOCOL = 4
 
 
 class CheckpointUnsupported(RuntimeError):
@@ -940,3 +953,142 @@ def _restore_sched(sched, rec: Optional[Dict[str, Any]],
         sched._probe_credit = rec["probe_credit"]
     else:
         raise RestoreError("unknown scheduler record %r" % rec["kind"])
+
+
+# ----------------------------------------------------------------------
+# deterministic state fingerprints (repro.diag bisection, ckpt verify)
+# ----------------------------------------------------------------------
+
+#: Payload keys whose values describe the *guest-visible machine* — the
+#: surface two runs of the same program must agree on tick for tick.
+_GUEST_KEYS = (
+    "clock_now", "network", "stdout", "stderr", "timers",
+    "pid_next", "tid_next", "nspid_next", "seq",
+    "cores_busy", "core_queue", "fs_root", "events",
+)
+
+#: Additional keys for :data:`FULL_SCOPE`: determinization machinery
+#: internals (tracer PRNG, scheduler heaps, host RNG streams, obs
+#: counters, the resume tape).  Excluded from :data:`GUEST_SCOPE` so
+#: that two runs whose *configs* legitimately differ (e.g. different
+#: ``prng_seed``) fingerprint equal until the first tick where the
+#: difference leaks into guest-visible state — which is exactly the
+#: tick divergence bisection wants to find.
+_FULL_KEYS = ("host", "stats", "obs", "fs_meta", "sched", "tracer",
+              "faults", "tape")
+
+
+def canonical_state(payload: Dict[str, Any],
+                    scope: str = GUEST_SCOPE) -> Dict[str, Any]:
+    """Reduce a capture payload to a canonical, comparison-safe form.
+
+    Two identity-dependent namespaces in the raw payload make naive
+    hashing lie:
+
+    * pipe ids come from a *process-global* counter
+      (``Pipe._counter``), so the Nth run in one interpreter hands out
+      different ids than the first for identical state;
+    * open-file-description keys are ``id(of)`` memory addresses.
+
+    Both are remapped to dense, deterministic indices (pipes by sorted
+    creation order, descriptions by capture order, which follows the
+    deterministic process/fd walk), and every reference to them —
+    fd tables, fifo inodes, pipe-channel descriptors in wait lists and
+    the parked map — is rewritten to match.
+    """
+    if scope not in (GUEST_SCOPE, FULL_SCOPE):
+        raise ValueError("unknown fingerprint scope %r" % scope)
+    pipe_map = {pid: i for i, pid in enumerate(sorted(payload["pipes"]))}
+    of_map = {ofid: i for i, ofid in enumerate(payload["of_records"])}
+
+    def chan(desc: Tuple) -> Tuple:
+        if desc and desc[0] == "pipe":
+            return ("pipe", pipe_map.get(desc[1], -1), desc[2])
+        return tuple(desc)
+
+    fs_nodes = []
+    for rec in payload["fs_nodes"]:
+        rec = dict(rec)
+        if rec.get("fifo") is not None:
+            rec["fifo"] = pipe_map.get(rec["fifo"], -1)
+        fs_nodes.append(rec)
+
+    of_records = []
+    for rec in payload["of_records"].values():
+        rec = dict(rec)
+        for key in ("pipe", "peer_pipe"):
+            if rec.get(key) is not None:
+                rec[key] = pipe_map.get(rec[key], -1)
+        of_records.append(rec)
+
+    processes = []
+    for prec in payload["processes"]:
+        prec = dict(prec)
+        prec["fdtable"] = [(fd, of_map[ofid])
+                           for fd, ofid in sorted(prec["fdtable"].items())]
+        threads = []
+        for trec in prec["threads"]:
+            trec = dict(trec)
+            trec["wait_channels"] = [chan(d) for d in trec["wait_channels"]]
+            threads.append(trec)
+        prec["threads"] = threads
+        processes.append(prec)
+
+    pipes = [(pipe_map[pid], payload["pipes"][pid])
+             for pid in sorted(payload["pipes"])]
+    parked = [(chan(d), list(tids)) for d, tids in payload["parked"]]
+
+    state: Dict[str, Any] = {key: payload[key] for key in _GUEST_KEYS}
+    state.update({
+        "fs_nodes": fs_nodes,
+        "pipes": pipes,
+        "of_records": of_records,
+        "processes": processes,
+        "parked": parked,
+        "scope": scope,
+    })
+    if scope == FULL_SCOPE:
+        state.update({key: payload[key] for key in _FULL_KEYS})
+        state["pipe_counter"] = len(pipe_map)
+    return state
+
+
+def state_fingerprint(payload: Dict[str, Any],
+                      scope: str = GUEST_SCOPE) -> str:
+    """sha256 hex digest of the canonical state of *payload*.
+
+    Deterministic within a pinned pickle protocol: equal captured
+    states — regardless of interpreter object identities or how many
+    runs preceded them in this process — hash equal, and any
+    guest-visible difference hashes different.
+    """
+    blob = pickle.dumps(canonical_state(payload, scope), _FP_PROTOCOL)
+    return hashlib.sha256(blob).hexdigest()
+
+
+@dataclasses.dataclass
+class Snapshot:
+    """One loaded checkpoint: barrier coordinates plus the live payload.
+
+    The object the diagnosis plane works with: :meth:`fingerprint`
+    exposes the canonical state digest that checkpoint bisection
+    compares across two runs, and ``repro ckpt verify`` prints.
+    """
+
+    barrier: int
+    vclock: float
+    payload: Dict[str, Any]
+    path: str = ""
+
+    @classmethod
+    def load(cls, path: str,
+             fingerprint: Optional[str] = None) -> "Snapshot":
+        """Load (and validate) a journal snapshot file."""
+        header, blob = journal.load_snapshot(path, fingerprint=fingerprint)
+        return cls(barrier=int(header["barrier"]),
+                   vclock=float(header["vclock"]),
+                   payload=pickle.loads(blob), path=path)
+
+    def fingerprint(self, scope: str = GUEST_SCOPE) -> str:
+        """Deterministic sha256 of this snapshot's canonical state."""
+        return state_fingerprint(self.payload, scope=scope)

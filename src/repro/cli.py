@@ -172,6 +172,23 @@ def _emit_obs(args, result) -> None:
                 % (len(result.trace.to_chrome()["traceEvents"]), trace_out))
         else:
             _sys.stderr.write("repro: no trace collected (native run?)\n")
+    export_fmt = getattr(args, "export_metrics", None)
+    if export_fmt:
+        if result.metrics is None:
+            _sys.stderr.write("repro: no metrics to export for this run\n")
+        else:
+            from .diag.export import render_metrics
+
+            text = render_metrics(result.metrics, export_fmt)
+            metrics_out = getattr(args, "metrics_out", None)
+            if metrics_out:
+                with open(metrics_out, "w") as fh:
+                    fh.write(text)
+                _sys.stderr.write("metrics: wrote %s (%s, %d samples)\n"
+                                  % (metrics_out, export_fmt,
+                                     len(text.splitlines())))
+            else:
+                _sys.stderr.write(text)
 
 
 def _parallel_run_worker(payload) -> dict:
@@ -398,9 +415,157 @@ def cmd_ckpt(args) -> int:
     if not good:
         print("verify: FAIL — no snapshots in %s" % args.directory)
         return 1
+    # Deterministic guest-state fingerprints (repro.diag's bisection
+    # coordinate): equal runs produce equal fingerprints barrier for
+    # barrier, so these lines diff cleanly across journals.
+    from .ckpt import Snapshot
+
+    for info in reversed(good):
+        snap = Snapshot.load(info.path, fingerprint=args.fingerprint)
+        print("  barrier %8d  guest-state %s"
+              % (snap.barrier, snap.fingerprint()[:16]))
     print("verify: OK — %d snapshot(s), newest barrier %d"
           % (len(good), good[0].barrier))
     return 0
+
+
+def cmd_diff(args) -> int:
+    """First-divergence diff of two trace files (repro.diag).
+
+    Exit 0 when the traces align record for record, 1 when they
+    diverge (the report names the first divergent virtual-time
+    coordinate), 2 on unreadable inputs.
+    """
+    from .diag import diff_trace_files
+
+    try:
+        report = diff_trace_files(args.run_a, args.run_b,
+                                  labels=(args.run_a, args.run_b),
+                                  context=args.context)
+    except (OSError, ValueError) as err:
+        _sys.stderr.write("repro diff: cannot load trace: %s\n" % err)
+        return 2
+    print(report.format())
+    if args.report:
+        report.write_json(args.report)
+        _sys.stderr.write("diff: wrote %s\n" % args.report)
+    return 1 if report.diverged else 0
+
+
+def _diag_demo(args) -> int:
+    """Known-ground-truth smoke: the check.sh diag gate.
+
+    Verifies the three behaviours the diagnosis engine promises: a
+    self-pair reports no divergence; a control-flow leak localizes to a
+    trace record; a content-only leak (trace-invisible by construction)
+    bisects to a single snapshot interval.
+    """
+    from .diag import (bisect_divergence, content_leak_pair, diff_captures,
+                       identical_pair, leaky_pair)
+
+    failures = []
+    spec_a, spec_b = identical_pair()
+    report = diff_captures(spec_a.capture(), spec_b.capture())
+    print("[identical pair]")
+    print(report.format())
+    if report.diverged:
+        failures.append("identical pair reported a divergence")
+
+    spec_a, spec_b = leaky_pair()
+    report = diff_captures(spec_a.capture(), spec_b.capture())
+    print("\n[length leak: control-flow divergence]")
+    print(report.format())
+    if not report.diverged or report.vts is None:
+        failures.append("length leak not localized to a trace coordinate")
+
+    spec_a, spec_b = content_leak_pair()
+    result = bisect_divergence(spec_a, spec_b, coarse=args.coarse,
+                               workdir=args.workdir)
+    print("\n[content leak: checkpoint bisection]")
+    print(result.report.format())
+    if not result.diverged or result.hi is None:
+        failures.append("content leak not bracketed by bisection")
+    elif result.hi - result.lo != 1:
+        failures.append("bisection window wider than one tick: (%d, %d]"
+                        % (result.lo, result.hi))
+    if failures:
+        for failure in failures:
+            print("diag demo FAIL:", failure)
+        return 1
+    print("\ndiag demo: OK — self-diff clean, leak localized, "
+          "bisection narrowed to one tick")
+    return 0
+
+
+def _diag_bisect(args) -> int:
+    """Bisect two seeded runs of a toolbox command."""
+    from .diag import RunSpec, bisect_divergence
+
+    command = args.command
+    if command and command[0] == "--":
+        command = command[1:]
+    if not command:
+        _sys.stderr.write("repro diag bisect: missing command\n")
+        return 2
+    path = _resolve(command[0])
+    if path is None:
+        _sys.stderr.write("repro: %s: not in the toolbox\n" % command[0])
+        return 127
+    argv = [command[0]] + command[1:]
+    host = _host(args)
+    sides = []
+    for seed, label in ((args.seed_a, "seed-%d" % args.seed_a),
+                        (args.seed_b, "seed-%d" % args.seed_b)):
+        sides.append(RunSpec(
+            image_factory=base_image, command=path, argv=argv,
+            config=ContainerConfig(prng_seed=seed,
+                                   fault_plan=_load_faults(args)),
+            host=host, label=label))
+    result = bisect_divergence(sides[0], sides[1], coarse=args.coarse,
+                               max_probes=args.max_probes,
+                               workdir=args.workdir)
+    print(result.report.format())
+    print(result.summary())
+    if args.report:
+        result.report.write_json(args.report)
+        _sys.stderr.write("diag: wrote %s\n" % args.report)
+    return 1 if result.diverged else 0
+
+
+def _diag_fuzz(args) -> int:
+    """Diff one fuzz program (corpus entry or generated seed) across two
+    container PRNG seeds — the localization smoke for banked entries."""
+    import json as _json
+
+    from .diag import RunCapture, diff_captures
+    from .fuzz.corpus import CorpusEntry
+    from .fuzz.grammar import generate_program
+    from .fuzz.guest import build_image
+    from .fuzz.runner import Cell, _host_for
+
+    if args.entry:
+        try:
+            with open(args.entry) as fh:
+                spec = CorpusEntry.from_dict(_json.load(fh)).spec
+        except (OSError, ValueError, KeyError) as err:
+            _sys.stderr.write("repro diag fuzz: cannot load entry %s: %s\n"
+                              % (args.entry, err))
+            return 2
+    else:
+        spec = generate_program(args.fuzz_seed)
+    host = _host_for(spec.seed, 0)
+    captures = []
+    for seed in (args.seed_a, args.seed_b):
+        cell = Cell("diag-seed%d" % seed, observe=True, prng_seed=seed)
+        result = DetTrace(cell.config()).run(build_image(spec),
+                                             "/bin/fuzz", host=host)
+        captures.append(RunCapture.from_result(result, cell.name))
+    report = diff_captures(captures[0], captures[1])
+    print(report.format())
+    if args.report:
+        report.write_json(args.report)
+        _sys.stderr.write("diag: wrote %s\n" % args.report)
+    return 1 if report.diverged else 0
 
 
 def cmd_selftest(args) -> int:
@@ -451,6 +616,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--trace-out", metavar="FILE", dest="trace_out",
                        help="write a Chrome trace_event JSON trace keyed "
                             "on virtual time (byte-identical across reruns)")
+        p.add_argument("--export-metrics", metavar="FMT",
+                       dest="export_metrics", choices=["prom", "jsonl"],
+                       help="export the run's metrics snapshot as "
+                            "Prometheus text or JSONL (deterministic: "
+                            "identical runs export identical bytes)")
+        p.add_argument("--metrics-out", metavar="FILE", dest="metrics_out",
+                       help="write --export-metrics output to FILE "
+                            "instead of stderr")
 
     run = sub.add_parser("run", help="run a toolbox command in a container")
     common(run)
@@ -539,6 +712,81 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write the machine-readable JSON report")
     bench.set_defaults(fn=cmd_bench)
 
+    diff = sub.add_parser("diff",
+                          help="first-divergence diff of two trace files")
+    diff.add_argument("run_a", help="Chrome trace JSON of run A "
+                                    "(from --trace-out)")
+    diff.add_argument("run_b", help="Chrome trace JSON of run B")
+    diff.add_argument("--context", type=int, default=16, metavar="N",
+                      help="pre-divergence events to report per side")
+    diff.add_argument("--report", metavar="FILE",
+                      help="also write the structured DivergenceReport "
+                           "JSON (atomic write)")
+    diff.set_defaults(fn=cmd_diff)
+
+    diag = sub.add_parser("diag",
+                          help="divergence diagnosis: demo, checkpoint "
+                               "bisection, fuzz-entry localization")
+    diag_sub = diag.add_subparsers(dest="action", required=True)
+
+    diag_demo = diag_sub.add_parser(
+        "demo", help="known-ground-truth smoke: self-diff identity, "
+                     "leak localization, single-tick bisection")
+    diag_demo.add_argument("--coarse", type=int, default=16,
+                           help="coarse-pass snapshot interval (ticks)")
+    diag_demo.add_argument("--workdir", metavar="DIR", default=None,
+                           help="keep bisection journals under DIR")
+    diag_demo.set_defaults(fn=_diag_demo)
+
+    diag_bisect = diag_sub.add_parser(
+        "bisect", help="bisect two seeded runs of a toolbox command to "
+                       "the first divergent snapshot window")
+    diag_bisect.add_argument("--seed-a", type=int, default=0,
+                             dest="seed_a",
+                             help="container PRNG seed of side A")
+    diag_bisect.add_argument("--seed-b", type=int, default=1,
+                             dest="seed_b",
+                             help="container PRNG seed of side B")
+    diag_bisect.add_argument("--coarse", type=int, default=16,
+                             help="coarse-pass snapshot interval (ticks)")
+    diag_bisect.add_argument("--max-probes", type=int, default=10,
+                             dest="max_probes",
+                             help="binary-probe cap (each probe is two "
+                                  "runs)")
+    diag_bisect.add_argument("--workdir", metavar="DIR", default=None,
+                             help="keep bisection journals under DIR "
+                                  "instead of a temp dir")
+    diag_bisect.add_argument("--report", metavar="FILE",
+                             help="write the structured DivergenceReport "
+                                  "JSON")
+    diag_bisect.add_argument("--boot", type=int, default=1,
+                             help="simulated machine boot (both sides)")
+    diag_bisect.add_argument("--machine", default="cloudlab-c220g5",
+                             choices=sorted(ALL_MACHINES))
+    diag_bisect.add_argument("--faults", metavar="PLAN.json",
+                             help="fault plan applied to both sides")
+    diag_bisect.add_argument("command", nargs=argparse.REMAINDER,
+                             help="toolbox command to run on both sides")
+    diag_bisect.set_defaults(fn=_diag_bisect)
+
+    diag_fuzz = diag_sub.add_parser(
+        "fuzz", help="diff one fuzz program across two container PRNG "
+                     "seeds")
+    diag_fuzz.add_argument("--entry", metavar="FILE", default=None,
+                           help="corpus entry JSON to diagnose")
+    diag_fuzz.add_argument("--fuzz-seed", type=int, default=0,
+                           dest="fuzz_seed",
+                           help="generate the program from this seed "
+                                "when no --entry is given")
+    diag_fuzz.add_argument("--seed-a", type=int, default=0, dest="seed_a",
+                           help="container PRNG seed of side A")
+    diag_fuzz.add_argument("--seed-b", type=int, default=0, dest="seed_b",
+                           help="container PRNG seed of side B")
+    diag_fuzz.add_argument("--report", metavar="FILE",
+                           help="write the structured DivergenceReport "
+                                "JSON")
+    diag_fuzz.set_defaults(fn=_diag_fuzz)
+
     ckpt = sub.add_parser("ckpt",
                           help="inspect/verify/prune a checkpoint journal")
     ckpt.add_argument("action", choices=["inspect", "verify", "prune"])
@@ -555,8 +803,9 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if getattr(args, "command", None) == []:
-        parser.error("run: missing command")
+    if (getattr(args, "command", None) == []
+            and args.subcommand in ("run", "obs")):
+        parser.error("%s: missing command" % args.subcommand)
     return args.fn(args)
 
 

@@ -1,0 +1,102 @@
+"""Synthetic divergence workloads for tests, demos and benchmarks.
+
+A *leak writer* is a guest program that is deterministic everywhere
+except one parameterized write: a pair of runs built with different
+leak payloads models a real container with exactly one host-
+nondeterminism leak, at a known virtual-time coordinate.  The demo gate
+in ``scripts/check.sh`` and the diag test-suite both drive diagnosis
+against this pair because the ground truth — which write leaked, and in
+which tick window — is known by construction.
+
+The leak is written in fixed-size chunks (one ``write_file`` per
+chunk), which makes the two diagnosis regimes selectable by payload:
+
+* payloads of different *length* take a different number of write
+  syscalls, so the control-flow paths differ and trace alignment pins
+  the first divergent record (the trace timeline is deliberately blind
+  to IO payload bytes — det_clock advances per syscall, not per byte);
+* equal-length payloads with different *bytes* are trace-invisible by
+  construction: only filesystem state differs, which is exactly the
+  case checkpoint bisection exists for.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..core.config import ContainerConfig
+from ..core.image import Image
+from ..cpu.machine import HostEnvironment
+from .bisect import RunSpec
+
+#: Deterministic writes on either side of the leak, so the divergence
+#: sits mid-run (bisection has room on both flanks).
+PADDING_WRITES = 12
+#: Leak payloads are written one chunk per syscall.
+LEAK_CHUNK = 8
+
+
+def leak_writer_image(leak: bytes) -> Image:
+    """An image whose only nondeterminism is the *leak* payload."""
+
+    def _main(sys_):
+        yield from sys_.mkdir_p("out")
+        for i in range(PADDING_WRITES):
+            yield from sys_.write_file("out/pre%02d.txt" % i,
+                                       b"p" * (8 + i))
+        for n, off in enumerate(range(0, len(leak), LEAK_CHUNK)):
+            yield from sys_.write_file("out/leak%02d.bin" % n,
+                                       leak[off:off + LEAK_CHUNK])
+        for i in range(PADDING_WRITES):
+            yield from sys_.write_file("out/post%02d.txt" % i,
+                                       b"q" * (8 + i))
+        yield from sys_.println("leak writer done")
+        return 0
+
+    image = Image()
+    image.add_binary("/bin/main", _main)
+    return image
+
+
+def leak_spec(leak: bytes, label: str,
+              config: Optional[ContainerConfig] = None,
+              entropy_seed: int = 7) -> RunSpec:
+    """One side of a leaky pair, pinned to a fixed host boot."""
+    return RunSpec(
+        image_factory=lambda: leak_writer_image(leak),
+        command="/bin/main",
+        config=config if config is not None else ContainerConfig(),
+        host=HostEnvironment(entropy_seed=entropy_seed),
+        label=label)
+
+
+def leaky_pair(leak_a: bytes = b"A" * LEAK_CHUNK,
+               leak_b: bytes = b"B" * (2 * LEAK_CHUNK),
+               config: Optional[ContainerConfig] = None,
+               ) -> Tuple[RunSpec, RunSpec]:
+    """Two runs identical except for the leak payload.
+
+    With the defaults the payloads differ in *length* (one chunk-write
+    vs two), so the control-flow paths diverge at the leak and trace
+    alignment localizes the first divergent record; pass equal-length
+    payloads (see :func:`content_leak_pair`) to model a content-only
+    leak that only filesystem state (bisection) can see.
+    """
+    return (leak_spec(leak_a, "run-a", config),
+            leak_spec(leak_b, "run-b", config))
+
+
+def content_leak_pair(config: Optional[ContainerConfig] = None,
+                      ) -> Tuple[RunSpec, RunSpec]:
+    """Equal-length, different-byte leaks: invisible to the (payload-
+    blind) trace, visible to state fingerprints and tree digests."""
+    return (leak_spec(b"A" * LEAK_CHUNK, "run-a", config),
+            leak_spec(b"B" * LEAK_CHUNK, "run-b", config))
+
+
+def identical_pair(leak: bytes = b"CCCC",
+                   config: Optional[ContainerConfig] = None,
+                   ) -> Tuple[RunSpec, RunSpec]:
+    """Two byte-identical runs (the self-diff identity baseline)."""
+    return (leak_spec(leak, "run-a", config),
+            leak_spec(leak, "run-b", config))

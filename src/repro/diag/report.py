@@ -1,0 +1,178 @@
+"""The structured :class:`DivergenceReport` schema.
+
+A divergence report is to a failed identity compare what a crash report
+is to a failed run: a deterministic, structured account of *where* the
+comparison broke instead of a bare hash mismatch.  Everything in it
+derives from deterministic coordinates (virtual-time trace records,
+counter values, content digests, checkpoint barriers), so diagnosing
+the same pair of runs twice produces byte-identical reports — and the
+report is persisted with the same atomic-write discipline as
+``crash-report.json`` (:func:`repro.obs.jsonio.write_json_atomic`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..obs.jsonio import write_json_atomic
+
+#: Classification values, in report-precedence order.
+NONE = "none"
+SCHEDULE = "schedule"
+SYSCALL_RESULT = "syscall-result"
+EXIT_STATUS = "exit-status"
+FS_CONTENT = "fs-content"
+STREAM_CONTENT = "stream-content"
+COUNTERS = "counters"
+
+CLASSIFICATIONS = (NONE, SCHEDULE, SYSCALL_RESULT, EXIT_STATUS,
+                   FS_CONTENT, STREAM_CONTENT, COUNTERS)
+
+#: Schema tag stamped into the JSON form.
+REPORT_KIND = "repro.diag.divergence/1"
+
+
+@dataclasses.dataclass
+class DivergenceReport:
+    """Where (and in what way) two runs first stopped being identical."""
+
+    #: One of :data:`CLASSIFICATIONS`.
+    classification: str = NONE
+    #: One-line human statement of the finding.
+    summary: str = ""
+    #: Display labels for the two sides.
+    labels: Tuple[str, str] = ("a", "b")
+    #: First divergent virtual time in seconds (trace-level findings).
+    vts: Optional[float] = None
+    #: Index of the first divergent record in the aligned trace streams.
+    position: Optional[int] = None
+    #: The pair of first-divergent Chrome records: ``{"a": rec|None,
+    #: "b": rec|None}`` (None = that side's stream ended first).
+    divergent: Optional[Dict[str, Any]] = None
+    #: Last-N-events context per side, from the shared
+    #: :class:`repro.obs.events.EventRing` window.
+    context: Dict[str, List[Any]] = dataclasses.field(default_factory=dict)
+    #: Counter/total deltas: name -> [value_a, value_b] (differing only).
+    counter_deltas: Dict[str, List[Any]] = dataclasses.field(
+        default_factory=dict)
+    #: Per-side outcome surface (status, exit code, content digests).
+    surface: Dict[str, Dict[str, Any]] = dataclasses.field(
+        default_factory=dict)
+    #: First differing output-tree path (fs-content findings).
+    first_path: str = ""
+    #: Checkpoint-bisection window, when bisection ran: barrier ticks
+    #: ``lo`` (states fingerprint equal) and ``hi`` (first differing),
+    #: their virtual clocks, probe count and fingerprint scope.
+    bisect: Optional[Dict[str, Any]] = None
+    #: Free-form deterministic detail.
+    detail: str = ""
+
+    @property
+    def diverged(self) -> bool:
+        return self.classification != NONE
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": REPORT_KIND,
+            "classification": self.classification,
+            "summary": self.summary,
+            "labels": list(self.labels),
+            "vts": self.vts,
+            "position": self.position,
+            "divergent": self.divergent,
+            "context": {side: list(recs)
+                        for side, recs in sorted(self.context.items())},
+            "counter_deltas": {name: list(pair) for name, pair in
+                               sorted(self.counter_deltas.items())},
+            "surface": {side: dict(sorted(info.items()))
+                        for side, info in sorted(self.surface.items())},
+            "first_path": self.first_path,
+            "bisect": self.bisect,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DivergenceReport":
+        labels = data.get("labels") or ["a", "b"]
+        return cls(
+            classification=data.get("classification", NONE),
+            summary=data.get("summary", ""),
+            labels=(labels[0], labels[1]),
+            vts=data.get("vts"),
+            position=data.get("position"),
+            divergent=data.get("divergent"),
+            context=dict(data.get("context", {})),
+            counter_deltas=dict(data.get("counter_deltas", {})),
+            surface=dict(data.get("surface", {})),
+            first_path=data.get("first_path", ""),
+            bisect=data.get("bisect"),
+            detail=data.get("detail", ""),
+        )
+
+    def write_json(self, path: str) -> str:
+        """Persist atomically (temp + fsync + rename), like
+        ``crash-report.json``."""
+        return write_json_atomic(path, self.to_dict())
+
+    # -- rendering -----------------------------------------------------
+
+    def format(self) -> str:
+        """Human-readable multi-line rendering for CLI output."""
+        if not self.diverged:
+            lines = ["no divergence: runs are identical on every "
+                     "compared surface"]
+            if self.detail:
+                lines.append("  " + self.detail)
+            return "\n".join(lines)
+        la, lb = self.labels
+        lines = ["DIVERGENCE [%s]: %s" % (self.classification,
+                                          self.summary)]
+        if self.vts is not None:
+            lines.append("  first divergent virtual time: %.9fs"
+                         % self.vts)
+        if self.position is not None:
+            lines.append("  aligned-stream position: %d" % self.position)
+        if self.divergent is not None:
+            for side, label in (("a", la), ("b", lb)):
+                lines.append("    %-12s %s"
+                             % (label + ":",
+                                _render_record(self.divergent.get(side))))
+        if self.first_path:
+            lines.append("  first differing path: %s" % self.first_path)
+        for name, pair in sorted(self.counter_deltas.items())[:8]:
+            lines.append("  counter %s: %s != %s" % (name, pair[0], pair[1]))
+        for side, label in (("a", la), ("b", lb)):
+            recs = self.context.get(side) or []
+            if recs:
+                lines.append("  last %d events before divergence (%s):"
+                             % (len(recs), label))
+                for rec in recs[-8:]:
+                    lines.append("    " + _render_record(rec))
+        if self.bisect is not None:
+            b = self.bisect
+            hi = b.get("hi")
+            lines.append(
+                "  bisected window: state fingerprints equal at barrier "
+                "%s, first differ at %s (%d probe(s), scope=%s)"
+                % (b.get("lo"), "end-of-run" if hi is None else hi,
+                   b.get("probes", 0), b.get("scope", "guest")))
+            if hi is not None and b.get("hi_vclock") is not None:
+                lines.append("    vclock window: (%.9f, %.9f]"
+                             % (b.get("lo_vclock", 0.0), b["hi_vclock"]))
+        if self.detail:
+            lines.append("  " + self.detail)
+        return "\n".join(lines)
+
+
+def _render_record(rec: Any) -> str:
+    if rec is None:
+        return "(stream ended)"
+    if isinstance(rec, dict):
+        args = rec.get("args") or {}
+        return ("%s %s pid=%s tid=%s ts=%s dur=%s index=%s attempt=%s"
+                % (rec.get("ph", "?"), rec.get("name", "?"),
+                   rec.get("pid", "?"), rec.get("tid", "?"),
+                   rec.get("ts", "?"), rec.get("dur", "-"),
+                   args.get("index", "-"), args.get("attempt", "-")))
+    return repr(rec)

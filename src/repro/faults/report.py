@@ -12,11 +12,10 @@ the same image and plan produce byte-identical reports.
 from __future__ import annotations
 
 import dataclasses
-import json
-import os
 from typing import Any, Dict, List
 
 from ..obs.events import ObsEvent
+from ..obs.jsonio import write_json_atomic
 
 
 @dataclasses.dataclass
@@ -60,19 +59,11 @@ class CrashReport:
         }
 
     def write_json(self, path: str) -> None:
-        """Persist the report crash-consistently.
-
-        Write-temp-then-rename with an fsync, the same discipline the
-        checkpoint journal uses: a crash while writing can leave a stale
-        ``.tmp`` file behind but never a truncated report at *path*.
-        """
-        data = json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
-        tmp = path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            fh.write(data)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.rename(tmp, path)
+        """Persist the report crash-consistently (temp + fsync + rename
+        via the shared :func:`repro.obs.jsonio.write_json_atomic`, the
+        same discipline the checkpoint journal and divergence reports
+        use)."""
+        write_json_atomic(path, self.to_dict())
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "CrashReport":

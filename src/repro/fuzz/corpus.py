@@ -31,19 +31,26 @@ class CorpusEntry:
     #: Failure strings from the run that was shrunk (historical record —
     #: a healthy tree reproduces none of them).
     original_failures: tuple = ()
+    #: Corpus-relative path of the banked repro.diag divergence report
+    #: for the shrunk program ("" when diagnosis was off or clean).
+    divergence_report: str = ""
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "reason": self.reason,
             "original_failures": list(self.original_failures),
             "program": self.spec.to_dict(),
         }
+        if self.divergence_report:
+            data["divergence_report"] = self.divergence_report
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "CorpusEntry":
         return cls(spec=ProgramSpec.from_dict(data["program"]),
                    reason=data.get("reason", ""),
-                   original_failures=tuple(data.get("original_failures", ())))
+                   original_failures=tuple(data.get("original_failures", ())),
+                   divergence_report=data.get("divergence_report", ""))
 
     @property
     def name(self) -> str:
@@ -67,7 +74,9 @@ def load_corpus(corpus_dir: str) -> List[CorpusEntry]:
     if not os.path.isdir(corpus_dir):
         return entries
     for fname in sorted(os.listdir(corpus_dir)):
-        if not fname.endswith(".json"):
+        # Divergence reports are banked beside their entries; they are
+        # attachments, not corpus entries themselves.
+        if not fname.endswith(".json") or fname.endswith(".divergence.json"):
             continue
         with open(os.path.join(corpus_dir, fname)) as fh:
             entries.append(CorpusEntry.from_dict(json.load(fh)))

@@ -10,6 +10,7 @@ the seed at which it stopped is printed so the walk can resume.
 from __future__ import annotations
 
 import dataclasses
+import os
 import time
 from typing import Callable, List, Optional
 
@@ -54,7 +55,10 @@ def run_fuzz(seed: int = 0, budget: int = 100,
             log("time budget exhausted at seed %d (%d programs)" % (s, ran))
             break
         spec = generate_program(s)
-        report = check_program(spec, workers=workers, rnr=rnr)
+        # diagnose=True: the first mismatching pair of a divergent
+        # program is re-run under repro.diag for a localized report.
+        report = check_program(spec, workers=workers, rnr=rnr,
+                               diagnose=True)
         ran += 1
         if report.ok:
             if ran % 10 == 0:
@@ -62,9 +66,12 @@ def run_fuzz(seed: int = 0, budget: int = 100,
             continue
         log("DIVERGENCE %s" % report.summary())
         if do_shrink:
+            # The shrink predicate stays diagnosis-free: it runs O(ops)
+            # times and only needs a boolean.
             small = shrink(spec, lambda sp: not check_program(
                 sp, workers=workers, rnr=rnr).ok)
-            final = check_program(small, workers=workers, rnr=rnr)
+            final = check_program(small, workers=workers, rnr=rnr,
+                                  diagnose=True)
             # Shrinking can (rarely) lose the failure; keep the original.
             report = final if not final.ok else report
             log("shrunk to %d ops" % len(report.spec.ops))
@@ -73,6 +80,12 @@ def run_fuzz(seed: int = 0, budget: int = 100,
             entry = CorpusEntry(spec=report.spec,
                                 reason="found by repro fuzz",
                                 original_failures=tuple(report.failures))
+            if report.divergence is not None:
+                os.makedirs(corpus_dir, exist_ok=True)
+                diag_name = entry.name + ".divergence.json"
+                report.divergence.write_json(
+                    os.path.join(corpus_dir, diag_name))
+                entry.divergence_report = diag_name
             saved.append(save_entry(entry, corpus_dir))
             log("banked %s" % saved[-1])
     return FuzzReport(start_seed=seed, programs_run=ran,

@@ -148,6 +148,11 @@ class MatrixReport:
     spec: ProgramSpec
     records: List[Dict[str, Any]]
     failures: List[str]
+    #: First-divergence diagnosis (a :class:`repro.diag.DivergenceReport`)
+    #: of the first mismatching pair, when ``check_program(...,
+    #: diagnose=True)`` found one.  Typed loosely to keep the fuzz plane
+    #: importable without repro.diag.
+    divergence: Optional[Any] = None
 
     @property
     def ok(self) -> bool:
@@ -156,8 +161,11 @@ class MatrixReport:
     def summary(self) -> str:
         if self.ok:
             return "seed=%d ops=%d ok" % (self.spec.seed, len(self.spec.ops))
-        return "seed=%d ops=%d FAIL: %s" % (
+        text = "seed=%d ops=%d FAIL: %s" % (
             self.spec.seed, len(self.spec.ops), "; ".join(self.failures))
+        if self.divergence is not None and self.divergence.diverged:
+            text += " [first divergence: %s]" % self.divergence.summary
+        return text
 
 
 def _diff_records(base: Dict[str, Any], other: Dict[str, Any],
@@ -169,17 +177,47 @@ def _diff_records(base: Dict[str, Any], other: Dict[str, Any],
     return out
 
 
+def diagnose_pair(spec: ProgramSpec, cell_a: Cell, cell_b: Cell,
+                  host_a: int = 0, host_b: int = 0):
+    """Re-run one mismatching pair with event capture forced on and
+    return the first-divergence :class:`repro.diag.DivergenceReport`.
+
+    Observation is obs-invariant (the observe matrix cells prove it
+    every fuzz run), so forcing ``observe=True`` here reproduces the
+    divergence while adding the trace coordinates needed to localize
+    it.  Lazy import: the fuzz plane must not hard-depend on diag.
+    """
+    from ..diag import RunCapture, diff_captures
+
+    captures = []
+    for cell, host_index in ((cell_a, host_a), (cell_b, host_b)):
+        observed = dataclasses.replace(cell, observe=True)
+        result = DetTrace(observed.config()).run(
+            build_image(spec), "/bin/fuzz",
+            host=_host_for(spec.seed, host_index))
+        label = cell.name if host_a == host_b else (
+            "%s@host%d" % (cell.name, host_index))
+        captures.append(RunCapture.from_result(result, label))
+    return diff_captures(captures[0], captures[1])
+
+
 def check_program(spec: ProgramSpec, workers: int = 2,
                   rnr: bool = True,
-                  matrix: Optional[Tuple[Cell, ...]] = None) -> MatrixReport:
+                  matrix: Optional[Tuple[Cell, ...]] = None,
+                  diagnose: bool = False) -> MatrixReport:
     """Run *spec* across every axis; return the full report.
 
     *matrix* defaults to :data:`MATRIX`; tests substitute a matrix with
     a known-divergent cell to prove the harness detects differences.
+    With *diagnose*, the first mismatching pair is re-run under the
+    divergence differ and the report lands on ``MatrixReport.divergence``
+    (two extra runs, so the shrinker keeps it off its predicate).
     """
     matrix = MATRIX if matrix is None else matrix
     failures: List[str] = []
     spec_dict = spec.to_dict()
+    #: (cell_a, cell_b, host_a, host_b) of the first comparison mismatch.
+    first_pair: Optional[Tuple[Cell, Cell, int, int]] = None
 
     # Axis 1: the cell matrix, serially.
     records = [run_cell(spec_dict, cell.to_dict()) for cell in matrix]
@@ -192,19 +230,29 @@ def check_program(spec: ProgramSpec, workers: int = 2,
         if rec["violations"]:
             failures.append("%s: %s" % (rec["cell"], rec["violations"][0]))
             break  # one oracle line is enough; cells agree or also fail below
-    for other in records[1:]:
-        failures.extend(_diff_records(base, other, COMPARED_FIELDS))
+    for position, other in enumerate(records[1:], start=1):
+        diffs = _diff_records(base, other, COMPARED_FIELDS)
+        failures.extend(diffs)
+        if diffs and first_pair is None:
+            first_pair = (matrix[0], matrix[position], 0, 0)
     observed = [r for r in records if r["trace"] is not None]
     for other in observed[1:]:
         if other["trace"] != observed[0]["trace"]:
             failures.append("%s!=%s on 'trace'" % (observed[0]["cell"],
                                                    other["cell"]))
+            if first_pair is None:
+                by_name = {cell.name: cell for cell in matrix}
+                first_pair = (by_name[observed[0]["cell"]],
+                              by_name[other["cell"]], 0, 0)
 
     # Axis 1b: same knobs, different hosts — guest-visible surface only.
     for host_index in (1, 2):
         rec = run_cell(spec_dict, matrix[0].to_dict(), host_index=host_index)
-        for failure in _diff_records(base, rec, HOST_INVARIANT_FIELDS):
+        host_diffs = _diff_records(base, rec, HOST_INVARIANT_FIELDS)
+        for failure in host_diffs:
             failures.append("host%d: %s" % (host_index, failure))
+        if host_diffs and first_pair is None:
+            first_pair = (matrix[0], matrix[0], 0, host_index)
 
     # Axis 2: the same cells through the parallel fan-out.  Exact record
     # equality — fan-out must be a pure reordering of serial execution.
@@ -226,7 +274,13 @@ def check_program(spec: ProgramSpec, workers: int = 2,
     if rnr and not spec.uses_threads():
         failures.extend(_check_rnr(spec))
 
-    return MatrixReport(spec=spec, records=records, failures=failures)
+    divergence = None
+    if diagnose and failures and first_pair is not None:
+        cell_a, cell_b, host_a, host_b = first_pair
+        divergence = diagnose_pair(spec, cell_a, cell_b,
+                                   host_a=host_a, host_b=host_b)
+    return MatrixReport(spec=spec, records=records, failures=failures,
+                        divergence=divergence)
 
 
 def _check_rnr(spec: ProgramSpec) -> List[str]:

@@ -14,12 +14,12 @@ tracer layers above.
 from __future__ import annotations
 
 import heapq
-from collections import Counter, deque
+from collections import Counter
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..cpu.machine import HostEnvironment
 from ..obs.collector import Collector
-from ..obs.events import EXIT, SPAWN, ObsEvent
+from ..obs.events import EXIT, SPAWN, EventRing, ObsEvent
 from .clock import SimClock
 from .costs import (
     COMPUTE_JITTER_FRAC,
@@ -66,13 +66,15 @@ class KernelStats:
         self.processes_spawned = 0
         self.threads_spawned = 0
         self.events_processed = 0
-        #: Ring of ``(vts, nspid, index, name)`` tuples: forensics for the
-        #: crash report's "last N syscalls".  Stored compact because this
-        #: append sits on the per-syscall fast path; materialized into
-        #: the shared :class:`repro.obs.events.ObsEvent` schema on demand
-        #: by :meth:`recent_syscall_events`, so crash reports and traces
-        #: still agree.
-        self.recent_syscalls: deque = deque(maxlen=RECENT_SYSCALL_WINDOW)
+        #: The shared recent-events ring (repro.obs.events.EventRing) of
+        #: ``(vts, nspid, index, name)`` tuples: forensics for the crash
+        #: report's "last N syscalls" and the divergence differ's
+        #: context windows.  Entries stay compact because this append
+        #: sits on the per-syscall fast path; they materialize into the
+        #: shared :class:`repro.obs.events.ObsEvent` schema on demand
+        #: via :meth:`recent_syscall_events`, so crash reports, traces
+        #: and divergence reports all agree on coordinates.
+        self.recent_syscalls: EventRing = EventRing(RECENT_SYSCALL_WINDOW)
 
     def count_syscall(self, name: str) -> None:
         self.syscalls += 1
@@ -80,9 +82,7 @@ class KernelStats:
 
     def recent_syscall_events(self) -> List[ObsEvent]:
         """The ring as structured events (the crash-forensics view)."""
-        return [ObsEvent(vts=vts, pid=pid, index=index, kind="syscall",
-                         name=name)
-                for vts, pid, index, name in self.recent_syscalls]
+        return self.recent_syscalls.events()
 
     def count_instr(self, name: str) -> None:
         self.instructions[name] += 1
@@ -650,8 +650,7 @@ class Kernel:
         # carries it even when an injected signal storm kills the thread
         # before the advance happens.
         det_ts = max(thread.det_clock, thread.det_bound) + SYSCALL_TICK
-        self.stats.recent_syscalls.append(
-            (det_ts, proc.nspid, index, call.name))
+        self.stats.recent_syscalls.push(det_ts, proc.nspid, index, call.name)
         if self.faults is not None:
             self.faults.on_dispatch(self, thread, call, index, vts=det_ts)
             if not thread.alive:

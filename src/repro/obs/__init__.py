@@ -23,7 +23,19 @@ hashes, exit statuses, or virtual-time schedules.
 """
 
 from .collector import Collector
-from .events import DEBUG, EXIT, FAULT, NO_VTS, SPAWN, SYSCALL, TRAP, ObsEvent
+from .events import (
+    DEBUG,
+    EXIT,
+    FAULT,
+    NO_VTS,
+    RECENT_WINDOW,
+    SPAWN,
+    SYSCALL,
+    TRAP,
+    EventRing,
+    ObsEvent,
+)
+from .jsonio import dumps_canonical, write_json_atomic
 from .metrics import Metrics
 from .profiler import FS, HANDLER, INTERCEPTION, PHASES, SCHEDULER, PhaseProfile
 from .report import format_metrics, format_table2_summary
@@ -33,6 +45,7 @@ __all__ = [
     "Collector",
     "DEBUG",
     "EXIT",
+    "EventRing",
     "FAULT",
     "FS",
     "HANDLER",
@@ -40,6 +53,7 @@ __all__ = [
     "Metrics",
     "NO_VTS",
     "ObsEvent",
+    "RECENT_WINDOW",
     "PHASES",
     "PhaseProfile",
     "SCHEDULER",
@@ -48,6 +62,8 @@ __all__ = [
     "Span",
     "TRAP",
     "TraceLog",
+    "dumps_canonical",
     "format_metrics",
     "format_table2_summary",
+    "write_json_atomic",
 ]

@@ -18,7 +18,8 @@ import any other ``repro`` package (the kernel imports it).
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict
+from collections import deque
+from typing import Any, Dict, Iterator, List, Tuple
 
 #: Event kinds.
 SYSCALL = "syscall"
@@ -82,3 +83,63 @@ class ObsEvent:
         return cls(vts=data["vts"], pid=data["pid"], index=data["index"],
                    kind=data["kind"], name=data["name"],
                    detail=data.get("detail", ""))
+
+
+#: Default capacity of the recent-events ring (crash forensics and
+#: divergence-diagnosis context share this window).
+RECENT_WINDOW = 32
+
+
+class EventRing:
+    """A bounded ring of compact event entries.
+
+    This is the one "last N events" buffer in the tree: the kernel keeps
+    its recent-syscall forensics in one (feeding
+    :class:`repro.faults.report.CrashReport.last_syscalls`) and the
+    divergence differ (:mod:`repro.diag.align`) keeps its per-side
+    context windows in two more.  Entries stay whatever compact tuple or
+    record the producer pushed — the per-syscall fast path must not
+    allocate an :class:`ObsEvent` — and materialize into the shared
+    event schema only on demand via :meth:`events`.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, limit: int = RECENT_WINDOW):
+        self._entries = deque(maxlen=max(1, int(limit)))
+
+    def push(self, vts: float, pid: int, index: int, name: str) -> None:
+        """Append one syscall coordinate tuple (the kernel's hot path)."""
+        self._entries.append((vts, pid, index, name))
+
+    def push_entry(self, entry: Any) -> None:
+        """Append an arbitrary compact entry (e.g. a Chrome record)."""
+        self._entries.append(entry)
+
+    def entries(self) -> List[Any]:
+        """The retained entries, oldest first."""
+        return list(self._entries)
+
+    def events(self) -> List[ObsEvent]:
+        """Materialize ``(vts, pid, index, name)`` entries as ObsEvents."""
+        return [ObsEvent(vts=vts, pid=pid, index=index, kind=SYSCALL,
+                         name=name)
+                for vts, pid, index, name in self._entries]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    # Deques pickle fine, but slots-only classes need explicit state
+    # hooks on protocol 1 paths; be explicit so snapshots never care.
+    def __getstate__(self) -> Tuple[int, List[Any]]:
+        return (self._entries.maxlen, list(self._entries))
+
+    def __setstate__(self, state: Tuple[int, List[Any]]) -> None:
+        limit, entries = state
+        self._entries = deque(entries, maxlen=limit)

@@ -1,0 +1,37 @@
+"""Crash-consistent JSON persistence shared by structured reports.
+
+``crash-report.json`` (:class:`repro.faults.report.CrashReport`) and
+``divergence-report.json`` (:class:`repro.diag.report.DivergenceReport`)
+use the same write discipline as the checkpoint journal: write to a
+temp file in the same directory, flush, fsync, then atomically rename
+over the final name.  A crash mid-write can leave a stale ``.tmp`` file
+behind but never a truncated report at the destination path.
+
+Like :mod:`repro.obs.events`, this module must stay dependency-free
+within the tree (both the fault plane and the diagnosis plane import
+it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+
+def dumps_canonical(data: Any) -> str:
+    """Deterministic, human-diffable JSON text (sorted keys, trailing
+    newline) — byte-identical for equal report contents."""
+    return json.dumps(data, sort_keys=True, indent=2) + "\n"
+
+
+def write_json_atomic(path: str, data: Any) -> str:
+    """Persist *data* as canonical JSON at *path*, atomically."""
+    text = dumps_canonical(data)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.rename(tmp, path)
+    return path

@@ -10,7 +10,7 @@ builds are compared raw.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from ..core.config import ContainerConfig
 from ..cpu.machine import HostEnvironment, MachineSpec, SKYLAKE_CLOUDLAB
@@ -37,6 +37,10 @@ class ReprotestResult:
     first: Optional[BuildRecord]
     second: Optional[BuildRecord]
     diff: Optional[diffoscope.DiffReport]
+    #: First-divergence localization of an IRREPRODUCIBLE verdict (a
+    #: :class:`repro.diag.DivergenceReport` over the two artifact
+    #: trees); None for every other verdict.
+    divergence: Optional[Any] = None
 
     @property
     def reproducible(self) -> bool:
@@ -97,7 +101,16 @@ def _double_build(spec: PackageSpec,
         tree_b = strip_nondeterminism.strip_tree(tree_b)
     diff = diffoscope.compare(tree_a, tree_b)
     verdict = REPRODUCIBLE if diff.identical else IRREPRODUCIBLE
-    return ReprotestResult(spec.name, verdict, first, second, diff)
+    divergence = None
+    if verdict == IRREPRODUCIBLE:
+        # Localize the first differing artifact path.  Lazy import so
+        # the reprotest plane stays importable without repro.diag.
+        from ..diag import diff_trees
+
+        divergence = diff_trees(tree_a, tree_b,
+                                labels=("first-build", "second-build"))
+    return ReprotestResult(spec.name, verdict, first, second, diff,
+                           divergence=divergence)
 
 
 def reprotest_native(spec: PackageSpec,

@@ -1,0 +1,174 @@
+"""CLI surface of the diagnosis engine: `repro diff`, `repro diag`,
+`--export-metrics`, and the fuzz/reprotest integration points."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+pytestmark = pytest.mark.diag
+
+
+@pytest.fixture
+def trace_pair(tmp_path, capsys):
+    """Two byte-identical traces of the same run, plus a divergent one
+    (different command)."""
+    path_a = str(tmp_path / "a.json")
+    path_b = str(tmp_path / "b.json")
+    path_c = str(tmp_path / "c.json")
+    assert main(["run", "--trace-out", path_a, "date"]) == 0
+    assert main(["run", "--trace-out", path_b, "date"]) == 0
+    assert main(["run", "--trace-out", path_c, "ls", "/bin"]) == 0
+    capsys.readouterr()
+    return path_a, path_b, path_c
+
+
+class TestDiffCommand:
+    def test_identical_traces_exit_zero(self, trace_pair, capsys):
+        path_a, path_b, _ = trace_pair
+        assert main(["diff", path_a, path_b]) == 0
+        assert "no divergence" in capsys.readouterr().out
+
+    def test_trace_files_byte_identical(self, trace_pair):
+        path_a, path_b, _ = trace_pair
+        with open(path_a, "rb") as fh_a, open(path_b, "rb") as fh_b:
+            assert fh_a.read() == fh_b.read()
+
+    def test_divergent_traces_exit_one(self, trace_pair, capsys,
+                                       tmp_path):
+        path_a, _, path_c = trace_pair
+        report_path = str(tmp_path / "report.json")
+        assert main(["diff", path_a, path_c,
+                     "--report", report_path]) == 1
+        out = capsys.readouterr().out
+        assert "DIVERGENCE" in out
+        report = json.load(open(report_path))
+        assert report["kind"].startswith("repro.diag.divergence/")
+        assert report["classification"] != "none"
+        assert report["position"] is not None
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["diff", str(tmp_path / "nope.json"),
+                     str(tmp_path / "nope2.json")]) == 2
+
+
+class TestExportMetricsFlag:
+    def test_prom_to_file(self, tmp_path, capsys):
+        out_path = str(tmp_path / "m.prom")
+        assert main(["run", "--export-metrics", "prom",
+                     "--metrics-out", out_path, "date"]) == 0
+        text = open(out_path).read()
+        assert text.startswith("# TYPE repro_")
+        assert "repro_runs 1" in text
+
+    def test_jsonl_to_stderr(self, capsys):
+        assert main(["run", "--export-metrics", "jsonl", "date"]) == 0
+        err = capsys.readouterr().err
+        line = [l for l in err.splitlines() if l.startswith("{")][0]
+        assert json.loads(line)["metric"].startswith("repro_")
+
+    def test_export_deterministic_across_runs(self, tmp_path, capsys):
+        paths = [str(tmp_path / name) for name in ("x.jsonl", "y.jsonl")]
+        for path in paths:
+            assert main(["run", "--export-metrics", "jsonl",
+                         "--metrics-out", path, "date"]) == 0
+        assert open(paths[0]).read() == open(paths[1]).read()
+
+    def test_stdout_untouched_by_export(self, capsys):
+        assert main(["run", "date"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["run", "--export-metrics", "prom", "date"]) == 0
+        assert capsys.readouterr().out == plain
+
+
+class TestDiagCommands:
+    def test_demo_gate_passes(self, tmp_path, capsys):
+        assert main(["diag", "demo", "--workdir",
+                     str(tmp_path / "demo")]) == 0
+        out = capsys.readouterr().out
+        assert "diag demo: OK" in out
+        assert "bisected window" in out
+
+    def test_fuzz_entry_self_pair_clean(self, capsys):
+        assert main(["diag", "fuzz", "--entry",
+                     "tests/fuzz/corpus/prng-seed-sensitivity.json"]) == 0
+        assert "no divergence" in capsys.readouterr().out
+
+    def test_fuzz_entry_cross_seed_diverges(self, tmp_path, capsys):
+        report_path = str(tmp_path / "div.json")
+        assert main(["diag", "fuzz", "--entry",
+                     "tests/fuzz/corpus/prng-seed-sensitivity.json",
+                     "--seed-b", "1", "--report", report_path]) == 1
+        assert "DIVERGENCE" in capsys.readouterr().out
+        report = json.load(open(report_path))
+        assert report["classification"] == "stream-content"
+
+    def test_ckpt_verify_prints_fingerprints(self, tmp_path, capsys):
+        journal = str(tmp_path / "journal")
+        assert main(["run", "--checkpoint-dir", journal,
+                     "--checkpoint-every", "16",
+                     "--checkpoint-keep", "0", "ls", "/bin"]) == 0
+        capsys.readouterr()
+        assert main(["ckpt", "verify", journal]) == 0
+        out = capsys.readouterr().out
+        assert "guest-state" in out
+        assert "verify: OK" in out
+
+
+class TestFuzzIntegration:
+    def test_diagnose_flags_first_divergent_pair(self):
+        """A matrix with a known-divergent cell (different prng seed)
+        produces a localized divergence report on the MatrixReport."""
+        from repro.fuzz.grammar import generate_program
+        from repro.fuzz.runner import MATRIX, Cell, check_program
+
+        spec = None
+        for seed in range(40):
+            candidate = generate_program(seed)
+            if any(op["op"] == "random" for op in candidate.ops):
+                spec = candidate
+                break
+        assert spec is not None, "no random-op program in seed range"
+        matrix = (MATRIX[0], Cell("bad-seed", prng_seed=77))
+        report = check_program(spec, workers=1, rnr=False, matrix=matrix,
+                               diagnose=True)
+        assert not report.ok
+        assert report.divergence is not None
+        assert report.divergence.diverged
+        assert "first divergence" in report.summary()
+
+    def test_no_diagnosis_on_clean_program(self):
+        from repro.fuzz.grammar import generate_program
+        from repro.fuzz.runner import check_program
+
+        report = check_program(generate_program(0), workers=1, rnr=False,
+                               diagnose=True)
+        assert report.ok
+        assert report.divergence is None
+
+
+class TestReprotestIntegration:
+    def test_irreproducible_build_carries_divergence(self):
+        from repro.repro_tools import IRREPRODUCIBLE, reprotest_native
+        from repro.workloads.debian import PackageSpec
+
+        # §6.1: with no tar workaround nothing compares equal natively —
+        # and the result must now carry a localized tree diff.
+        spec = PackageSpec(name="clean", n_sources=2)
+        result = reprotest_native(spec, apply_tar_workaround=False)
+        assert result.verdict == IRREPRODUCIBLE
+        assert result.divergence is not None
+        assert result.divergence.classification == "fs-content"
+        assert result.divergence.first_path
+        assert result.divergence.labels == ("first-build",
+                                            "second-build")
+
+    def test_reproducible_build_has_no_divergence(self):
+        from repro.repro_tools import REPRODUCIBLE, reprotest_native
+        from repro.workloads.debian import PackageSpec
+
+        spec = PackageSpec(name="clean", n_sources=2)
+        result = reprotest_native(spec)
+        assert result.verdict == REPRODUCIBLE
+        assert result.divergence is None

@@ -1,0 +1,80 @@
+"""Metric exporters: determinism, format validity, and the shared
+sample iterator keeping both formats in agreement."""
+
+import json
+
+import pytest
+
+from repro.diag import metrics_jsonl, prometheus_text, render_metrics
+from repro.diag.harness import leak_spec
+from repro.obs.metrics import Metrics
+
+pytestmark = pytest.mark.diag
+
+
+@pytest.fixture(scope="module")
+def run_metrics():
+    result = leak_spec(b"E" * 8, "export").run(observe=True)
+    assert result.metrics is not None
+    return result.metrics
+
+
+class TestPrometheusText:
+    def test_deterministic_across_identical_runs(self, run_metrics):
+        again = leak_spec(b"E" * 8, "export").run(observe=True).metrics
+        assert prometheus_text(run_metrics) == prometheus_text(again)
+
+    def test_format_shape(self, run_metrics):
+        text = prometheus_text(run_metrics)
+        lines = text.splitlines()
+        assert text.endswith("\n")
+        assert any(line.startswith("# TYPE repro_counter ")
+                   for line in lines)
+        # Every non-comment line is `name{labels} value` or `name value`.
+        for line in lines:
+            if line.startswith("#"):
+                continue
+            name, value = line.rsplit(" ", 1)
+            assert name.startswith("repro_")
+            float(value)  # parses as a number
+
+    def test_samples_sorted(self, run_metrics):
+        lines = [line for line in
+                 prometheus_text(run_metrics).splitlines()
+                 if line.startswith("repro_counter{")]
+        assert lines == sorted(lines)
+
+    def test_label_escaping(self):
+        metrics = Metrics(counters={'weird"name\\with\nstuff': 3})
+        text = prometheus_text(metrics)
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+
+
+class TestJsonl:
+    def test_every_line_parses(self, run_metrics):
+        for line in metrics_jsonl(run_metrics).splitlines():
+            record = json.loads(line)
+            assert set(record) == {"metric", "labels", "value"}
+
+    def test_same_samples_as_prometheus(self, run_metrics):
+        jsonl_count = len(metrics_jsonl(run_metrics).splitlines())
+        prom_data_lines = [line for line in
+                           prometheus_text(run_metrics).splitlines()
+                           if not line.startswith("#")]
+        assert jsonl_count == len(prom_data_lines)
+
+    def test_deterministic(self, run_metrics):
+        again = leak_spec(b"E" * 8, "export").run(observe=True).metrics
+        assert metrics_jsonl(run_metrics) == metrics_jsonl(again)
+
+
+class TestRenderDispatch:
+    def test_known_formats(self, run_metrics):
+        assert render_metrics(run_metrics, "prom") == \
+            prometheus_text(run_metrics)
+        assert render_metrics(run_metrics, "jsonl") == \
+            metrics_jsonl(run_metrics)
+
+    def test_unknown_format_raises(self, run_metrics):
+        with pytest.raises(ValueError, match="unknown metrics export"):
+            render_metrics(run_metrics, "xml")

@@ -24,8 +24,9 @@ class TestRunFuzz:
         real = driver_mod.check_program
         bad = (MATRIX[0], Cell("otherseed", prng_seed=7))
 
-        def sabotaged(spec, workers=2, rnr=True):
-            return real(spec, workers=workers, rnr=False, matrix=bad)
+        def sabotaged(spec, workers=2, rnr=True, diagnose=False):
+            return real(spec, workers=workers, rnr=False, matrix=bad,
+                        diagnose=diagnose)
 
         monkeypatch.setattr(driver_mod, "check_program", sabotaged)
         # seed 0's generated program contains a `random` op, so the
@@ -38,6 +39,15 @@ class TestRunFuzz:
         assert entry.original_failures
         # shrunk: far fewer ops than the generated program
         assert len(entry.spec.ops) <= 3
+        # A localized divergence report is banked beside the entry.
+        assert entry.divergence_report
+        report_path = tmp_path / entry.divergence_report
+        assert report_path.is_file()
+        import json
+
+        banked = json.loads(report_path.read_text())
+        assert banked["kind"].startswith("repro.diag.divergence/")
+        assert banked["classification"] != "none"
 
     def test_format_report_mentions_outcome(self):
         report = run_fuzz(seed=1, budget=1, workers=1, rnr=False)

@@ -1,0 +1,130 @@
+"""Diagnosis-plane properties.
+
+Two invariants:
+
+* **self-alignment identity** — diffing a run against a rerun of itself
+  reports zero divergences, across the whole internal-knob matrix
+  (scheduler implementation × fs caches × observe) and config pairs
+  that differ only in knobs the determinism contract says are
+  invisible;
+* **seeded-leak localization** — an injected host-RNG leak (the guest
+  consumes getrandom and the two sides run different container PRNG
+  seeds) is localized by bisection to exactly the tick window of the
+  leaking write, for every snapshot granularity.
+"""
+
+import pytest
+
+from repro.core.config import ContainerConfig
+from repro.core.image import Image
+from repro.cpu.machine import HostEnvironment
+from repro.diag import RunSpec, bisect_divergence, diff_captures
+from repro.diag.harness import leak_spec
+
+pytestmark = pytest.mark.diag
+
+SCHEDULERS = ("logical", "logical-ref")
+FS_CACHES = (True, False)
+OBSERVE = (True, False)
+
+
+def _spec(scheduler, fs_caches, label, seed=0):
+    return leak_spec(b"S" * 8, label,
+                     config=ContainerConfig(scheduler=scheduler,
+                                            fs_caches=fs_caches,
+                                            prng_seed=seed))
+
+
+class TestSelfAlignmentIdentity:
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    @pytest.mark.parametrize("fs_caches", FS_CACHES)
+    def test_self_diff_reports_zero_divergences(self, scheduler,
+                                                fs_caches):
+        spec_a = _spec(scheduler, fs_caches, "a")
+        spec_b = _spec(scheduler, fs_caches, "b")
+        report = diff_captures(spec_a.capture(), spec_b.capture())
+        assert not report.diverged, report.format()
+        assert report.counter_deltas == {}
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_cache_knob_is_invisible(self, scheduler):
+        """Configs differing only in fs_caches must still self-align:
+        the caches are an internal optimization, not config surface."""
+        report = diff_captures(_spec(scheduler, True, "cache").capture(),
+                               _spec(scheduler, False, "nocache").capture())
+        assert not report.diverged, report.format()
+
+    def test_scheduler_knob_is_invisible(self):
+        report = diff_captures(_spec("logical", True, "log").capture(),
+                               _spec("logical-ref", True, "ref").capture())
+        assert not report.diverged, report.format()
+
+    @pytest.mark.parametrize("observe", OBSERVE)
+    def test_observe_knob_invisible_on_shared_surface(self, observe):
+        """observe=False produces no trace, so compare the remaining
+        surface: a bare run equals an observed run everywhere else."""
+        spec = _spec("logical", True, "x")
+        bare = spec.run(observe=observe)
+        observed = spec.run(observe=True)
+        assert bare.stdout == observed.stdout
+        assert bare.output_tree == observed.output_tree
+        assert bare.exit_code == observed.exit_code
+
+
+def _rng_leak_spec(seed, label):
+    """A guest whose single nondeterministic input is getrandom: pre/post
+    padding writes flank one randomness-dependent write."""
+
+    def _main(sys_):
+        yield from sys_.mkdir_p("out")
+        for i in range(10):
+            yield from sys_.write_file("out/pre%02d" % i, b"p" * 8)
+        noise = yield from sys_.urandom(8)
+        yield from sys_.write_file("out/rng.bin", noise)
+        for i in range(10):
+            yield from sys_.write_file("out/post%02d" % i, b"q" * 8)
+        yield from sys_.println("done")
+        return 0
+
+    image = Image()
+    image.add_binary("/bin/main", _main)
+    return RunSpec(image_factory=lambda: image, command="/bin/main",
+                   config=ContainerConfig(prng_seed=seed),
+                   host=HostEnvironment(entropy_seed=7), label=label)
+
+
+class TestSeededLeakLocalization:
+    @pytest.fixture(scope="class")
+    def leak_tick(self):
+        """Ground truth: the tick of the rng-dependent write, read off a
+        maximally fine bisection."""
+        result = bisect_divergence(_rng_leak_spec(0, "a"),
+                                   _rng_leak_spec(5, "b"), coarse=4)
+        assert result.diverged and result.hi is not None
+        assert result.hi - result.lo == 1
+        return result.hi
+
+    @pytest.mark.parametrize("coarse", (4, 8, 16))
+    def test_bisection_localizes_to_leak_tick(self, coarse, leak_tick):
+        result = bisect_divergence(_rng_leak_spec(0, "a"),
+                                   _rng_leak_spec(5, "b"), coarse=coarse)
+        assert result.diverged
+        assert result.hi is not None
+        assert result.hi - result.lo == 1
+        assert result.hi == leak_tick
+        # The window brackets the leak strictly inside the run: padding
+        # writes exist on both flanks.
+        assert result.lo > 0
+
+    def test_same_seed_never_flagged(self):
+        result = bisect_divergence(_rng_leak_spec(3, "a"),
+                                   _rng_leak_spec(3, "b"), coarse=8)
+        assert not result.diverged
+
+    def test_leak_classified_as_fs_content(self):
+        """Same-length random payloads: trace-invisible, state-visible."""
+        report = diff_captures(_rng_leak_spec(0, "a").capture(),
+                               _rng_leak_spec(5, "b").capture())
+        assert report.diverged
+        assert report.classification == "fs-content"
+        assert report.first_path == "out/rng.bin"
