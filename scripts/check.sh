@@ -68,7 +68,8 @@ PLAN
     # Crashed run (exit 70 is the point), then resume, then the
     # uninterrupted reference; resumed trace/stdout must be identical.
     python -m repro run --checkpoint-dir "$ckpt_tmp/journal" \
-        --checkpoint-every 9 --faults "$ckpt_tmp/plan.json" \
+        --checkpoint-every 9 --checkpoint-full-every 3 \
+        --faults "$ckpt_tmp/plan.json" \
         --trace-out "$ckpt_tmp/crash.json" -- ls -l /bin \
         > "$ckpt_tmp/crash.out" 2> /dev/null && exit 1 || true
     python -m repro run --checkpoint-dir "$ckpt_tmp/journal" \
@@ -91,6 +92,18 @@ PLAN
     else
         echo "no committed BENCH_ckpt.json baseline; skipping regression gate"
     fi
+    echo "== delta-compression gate (interval 10: delta journal < 40% of full) =="
+    python - <<'GATE'
+import json
+report = json.load(open("BENCH_ckpt.json"))
+cell = report["intervals"]["10"]
+full = cell["full"]["journal_bytes"]
+delta = cell["delta"]["journal_bytes"]
+ratio = delta / full
+print("delta gate: interval-10 journal %d bytes vs full %d (%.1f%%)"
+      % (delta, full, 100 * ratio))
+raise SystemExit(0 if ratio < 0.40 else 1)
+GATE
 fi
 
 if [ "$stage" = "all" ] || [ "$stage" = "diag" ]; then

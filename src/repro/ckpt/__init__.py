@@ -23,21 +23,35 @@ Layout:
   the format version, the config fingerprint and a content checksum, so
   a torn write is always detectable and never shadows an older valid
   snapshot.
+* :mod:`repro.ckpt.merkle` — Merkle fingerprints over payloads:
+  per-inode leaves, directory interior nodes, maintained incrementally
+  along delta chains so verification and bisection hash O(changed).
 * :mod:`repro.ckpt.manager` — the barrier hook the kernel drives
   (``kernel.ckpt``) and the startup recovery scan.
+
+Snapshots come in two kinds since format 2: periodic **full** captures
+and **delta** records between them, carrying only the inodes the
+kernel's dirty-epoch tracking stamped plus the payload sections whose
+hashes moved — making checkpoint cost proportional to state *changed*,
+not state *held*.
 """
 
 from .journal import JournalError, SnapshotInfo, prune, scan, write_snapshot
 from .manager import CheckpointManager, RecoveryManager
+from .merkle import MerkleCursor, merkle_fingerprint
 from .snapshot import (
     FULL_SCOPE,
     GUEST_SCOPE,
     CheckpointUnsupported,
+    DeltaUnsupported,
     RestoreError,
     Snapshot,
     canonical_state,
     capture,
+    capture_delta,
+    materialize_delta,
     restore,
+    section_hashes,
     state_fingerprint,
 )
 from .tape import OPAQUE, encode_value, decode_value
@@ -45,9 +59,11 @@ from .tape import OPAQUE, encode_value, decode_value
 __all__ = [
     "CheckpointManager",
     "CheckpointUnsupported",
+    "DeltaUnsupported",
     "FULL_SCOPE",
     "GUEST_SCOPE",
     "JournalError",
+    "MerkleCursor",
     "OPAQUE",
     "RecoveryManager",
     "RestoreError",
@@ -55,11 +71,15 @@ __all__ = [
     "SnapshotInfo",
     "canonical_state",
     "capture",
+    "capture_delta",
     "decode_value",
     "encode_value",
+    "materialize_delta",
+    "merkle_fingerprint",
     "prune",
     "restore",
     "scan",
+    "section_hashes",
     "state_fingerprint",
     "write_snapshot",
 ]

@@ -13,6 +13,15 @@ by a directory fsync — so a crash mid-write leaves either the old state
 or a temp file the scan ignores, never a torn ``.snap``.  A torn or
 bit-rotted snapshot is *detected* (length/checksum mismatch) and the
 recovery scan falls back to the next-newest valid one.
+
+Format 2 adds **delta snapshots**: a file whose payload is a
+:data:`repro.ckpt.snapshot.DELTA_KIND` record encoding only the state
+changed since a *base* snapshot, named in the header by the base
+payload's sha256 (``base_sha256``).  A delta is only usable when its
+whole chain back to a full snapshot validates — the scan computes this
+transitively (``chain_valid``), recovery falls back past torn chains to
+the newest fully-valid one, and :func:`prune` keeps the transitive base
+closure of everything it retains so a kept delta is never orphaned.
 """
 
 from __future__ import annotations
@@ -24,7 +33,10 @@ import os
 from typing import Any, Dict, List, Optional, Tuple
 
 #: On-disk format version; bumped on any incompatible payload change.
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Older formats the reader still accepts (full snapshots only).
+_READABLE_FORMATS = (1, FORMAT_VERSION)
 
 _PREFIX = "ckpt-"
 _SUFFIX = ".snap"
@@ -45,6 +57,19 @@ class SnapshotInfo:
     payload_len: int = 0
     valid: bool = False
     error: str = ""
+    #: ``"full"`` or ``"delta"``.
+    snapshot_kind: str = "full"
+    #: For deltas: sha256 of the base snapshot's payload bytes.
+    base_sha256: str = ""
+    #: Number of deltas between this snapshot and its full base
+    #: (0 for a full snapshot).
+    chain_depth: int = 0
+    #: sha256 of this file's payload bytes (how deltas name their base).
+    payload_sha256: str = ""
+    #: True when this file *and every base under it* validate: the only
+    #: state a snapshot can actually be materialized from.  For a full
+    #: snapshot ``chain_valid == valid``.
+    chain_valid: bool = False
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -55,8 +80,20 @@ def snapshot_path(directory: str, barrier: int) -> str:
 
 
 def write_snapshot(directory: str, barrier: int, vclock: float,
-                   fingerprint: str, payload: bytes) -> str:
-    """Atomically persist *payload* as the snapshot for *barrier*."""
+                   fingerprint: str, payload: bytes,
+                   snapshot_kind: str = "full", base_sha256: str = "",
+                   chain_depth: int = 0, durable: bool = True) -> str:
+    """Atomically persist *payload* as the snapshot for *barrier*.
+
+    ``durable=False`` skips both fsyncs (group commit): the write is
+    still atomic-via-rename and checksummed, but a host crash may lose
+    it — the next durable snapshot's directory fsync retroactively
+    persists earlier renames.  The manager uses this for delta
+    snapshots, whose loss recovery already tolerates: a missing or torn
+    delta merely chain-breaks its descendants, and recovery falls back
+    to the newest chain-valid snapshot.  Full snapshots are always
+    durability barriers.
+    """
     os.makedirs(directory, exist_ok=True)
     header = json.dumps({
         "format": FORMAT_VERSION,
@@ -65,17 +102,22 @@ def write_snapshot(directory: str, barrier: int, vclock: float,
         "fingerprint": fingerprint,
         "payload_len": len(payload),
         "payload_sha256": hashlib.sha256(payload).hexdigest(),
+        "snapshot_kind": snapshot_kind,
+        "base_sha256": base_sha256,
+        "chain_depth": chain_depth,
     }, sort_keys=True).encode("utf-8")
     final = snapshot_path(directory, barrier)
     tmp = os.path.join(directory, ".tmp-%s%012d%s" % (_PREFIX, barrier, _SUFFIX))
     fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
     try:
         os.write(fd, header + b"\n" + payload)
-        os.fsync(fd)
+        if durable:
+            os.fsync(fd)
     finally:
         os.close(fd)
     os.rename(tmp, final)
-    _fsync_dir(directory)
+    if durable:
+        _fsync_dir(directory)
     return final
 
 
@@ -104,9 +146,14 @@ def read_header(path: str) -> Dict[str, Any]:
         raise JournalError("%s: unparsable header: %s" % (path, err))
     if not isinstance(header, dict):
         raise JournalError("%s: header is not an object" % path)
-    if header.get("format") != FORMAT_VERSION:
-        raise JournalError("%s: format %r, expected %d"
-                           % (path, header.get("format"), FORMAT_VERSION))
+    if header.get("format") not in _READABLE_FORMATS:
+        raise JournalError("%s: format %r, expected one of %s"
+                           % (path, header.get("format"),
+                              list(_READABLE_FORMATS)))
+    # Format-1 files predate delta snapshots: they are always full.
+    header.setdefault("snapshot_kind", "full")
+    header.setdefault("base_sha256", "")
+    header.setdefault("chain_depth", 0)
     return header
 
 
@@ -137,7 +184,13 @@ def load_snapshot(path: str,
 
 def scan(directory: str,
          fingerprint: Optional[str] = None) -> List[SnapshotInfo]:
-    """Scan the journal, newest barrier first, validating every file."""
+    """Scan the journal, newest barrier first, validating every file.
+
+    Per-file validation (length/checksum/fingerprint) fills ``valid``;
+    a second pass resolves every delta's base by ``base_sha256`` and
+    fills ``chain_valid`` transitively, so callers can tell a readable
+    delta from a *materializable* one.
+    """
     try:
         names = os.listdir(directory)
     except OSError:
@@ -155,6 +208,10 @@ def scan(directory: str,
             info.vclock = float(header.get("vclock", 0.0))
             info.fingerprint = str(header.get("fingerprint", ""))
             info.payload_len = int(header.get("payload_len", 0))
+            info.snapshot_kind = str(header.get("snapshot_kind", "full"))
+            info.base_sha256 = str(header.get("base_sha256", ""))
+            info.chain_depth = int(header.get("chain_depth", 0))
+            info.payload_sha256 = str(header.get("payload_sha256", ""))
             info.valid = True
         except JournalError as err:
             info.error = str(err)
@@ -162,30 +219,77 @@ def scan(directory: str,
                 header = read_header(path)
                 info.barrier = int(header.get("barrier", -1))
                 info.fingerprint = str(header.get("fingerprint", ""))
+                info.snapshot_kind = str(header.get("snapshot_kind", "full"))
+                info.base_sha256 = str(header.get("base_sha256", ""))
+                info.chain_depth = int(header.get("chain_depth", 0))
             except JournalError:
                 pass
         out.append(info)
+    # Chain validity, oldest first so a base is resolved before any
+    # delta that references it (a base always precedes its deltas).
+    by_sha: Dict[str, SnapshotInfo] = {}
+    for info in sorted(out, key=lambda i: i.barrier):
+        if info.valid:
+            if info.snapshot_kind != "delta":
+                info.chain_valid = True
+            else:
+                base = by_sha.get(info.base_sha256)
+                info.chain_valid = base is not None and base.chain_valid
+            if info.payload_sha256:
+                by_sha[info.payload_sha256] = info
     out.sort(key=lambda i: i.barrier, reverse=True)
     return out
 
 
+def base_of(infos: List[SnapshotInfo],
+            info: SnapshotInfo) -> Optional[SnapshotInfo]:
+    """The base snapshot a delta *info* references, if present+valid."""
+    if info.snapshot_kind != "delta":
+        return None
+    for cand in infos:
+        if cand.valid and cand.payload_sha256 == info.base_sha256:
+            return cand
+    return None
+
+
 def latest_valid(directory: str,
                  fingerprint: Optional[str] = None) -> Optional[SnapshotInfo]:
-    """The newest snapshot that passes validation, or None."""
+    """The newest *materializable* snapshot, or None.
+
+    For a full snapshot that means it validates; for a delta, that its
+    whole chain does — a readable delta over a torn base is skipped.
+    """
     for info in scan(directory, fingerprint=fingerprint):
-        if info.valid:
+        if info.chain_valid:
             return info
     return None
 
 
 def prune(directory: str, keep: int) -> List[str]:
-    """Remove all but the newest *keep* valid snapshots (invalid files
-    are always removed — they are unrecoverable dead weight)."""
-    removed: List[str] = []
+    """Remove all but the newest *keep* materializable snapshots.
+
+    Invalid and chain-broken files are always removed (they are
+    unrecoverable dead weight); for every kept delta the transitive
+    base closure is kept too, so pruning never orphans a delta it
+    retains.
+    """
+    infos = scan(directory)
+    by_sha = {i.payload_sha256: i for i in infos
+              if i.valid and i.payload_sha256}
+    keep_paths: set = set()
     kept = 0
-    for info in scan(directory):
-        if info.valid and kept < keep:
-            kept += 1
+    for info in infos:  # newest first
+        if not info.chain_valid or kept >= keep:
+            continue
+        kept += 1
+        node: Optional[SnapshotInfo] = info
+        while node is not None and node.path not in keep_paths:
+            keep_paths.add(node.path)
+            node = (by_sha.get(node.base_sha256)
+                    if node.snapshot_kind == "delta" else None)
+    removed: List[str] = []
+    for info in infos:
+        if info.path in keep_paths:
             continue
         try:
             os.remove(info.path)

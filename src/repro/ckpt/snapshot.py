@@ -45,6 +45,30 @@ from . import journal
 from .tape import OPAQUE, decode_value, encode_tape, encode_value
 
 PAYLOAD_KIND = "repro.ckpt.payload"
+DELTA_KIND = "repro.ckpt.delta"
+
+#: Every top-level payload key except the fs node table, the tape and the
+#: kind marker.  These sections are rebuilt wholesale at every barrier (in
+#: a deterministic discovery order, so an unchanged section is *pickle
+#: byte-equal* to its previous capture); a delta snapshot carries only the
+#: sections whose pickled hash moved since its base.
+SECTION_KEYS = (
+    "host", "clock_now", "stats", "obs", "network", "stdout", "stderr",
+    "timers", "pid_next", "tid_next", "nspid_next", "seq", "cores_busy",
+    "core_queue", "fs_meta", "pipes", "pipe_counter", "of_records",
+    "processes", "events", "parked", "sched", "tracer", "faults",
+)
+
+#: Sections that move at (virtually) every event — the clock, the event
+#: heap, counters, scheduler bookkeeping, thread det-clocks.  Hashing
+#: them per barrier to discover "changed" would burn a pickle only to
+#: answer "yes", so deltas include them unconditionally and skip the
+#: hash.  They are all small; the occasional genuinely-unchanged one
+#: costs a few hundred redundant bytes, not correctness (delta sections
+#: are wholesale replacements).
+VOLATILE_KEYS = frozenset((
+    "clock_now", "stats", "obs", "events", "sched", "tracer", "processes",
+))
 
 #: Fingerprint scopes (see :func:`state_fingerprint`).
 GUEST_SCOPE = "guest"
@@ -64,6 +88,12 @@ class CheckpointUnsupported(RuntimeError):
 class RestoreError(RuntimeError):
     """A snapshot could not be faithfully rehydrated (divergent replay,
     missing binary, unknown descriptor)."""
+
+
+class DeltaUnsupported(RuntimeError):
+    """The dirty set cannot be encoded against the cached base (e.g. a
+    dirty device inode with no cached path).  Internal signal: the
+    manager falls back to a full snapshot, never an error to the run."""
 
 
 # ----------------------------------------------------------------------
@@ -107,19 +137,48 @@ def _encode_call(call: Optional[Syscall]) -> Optional[Tuple]:
 # capture
 # ----------------------------------------------------------------------
 
-def capture(kernel) -> Dict[str, Any]:
-    """Serialize the complete deterministic state of *kernel*.
+def _node_record(node: Inode, path: Optional[str]) -> Dict[str, Any]:
+    """One inode as a picklable record.
 
-    Must be called at a barrier: between events, tracer not mid-pump.
-    Raises :class:`CheckpointUnsupported` for state that cannot cross a
-    snapshot.  Pure reads — the running kernel is never mutated.
+    ``path`` is recorded for device nodes only (restore grafts the live
+    read/write hooks from a freshly installed image by path); everything
+    else is path-free so a record never goes stale under rename.
+    Directory entries reference children by ``(ino, generation)`` key.
+    """
+    is_device = node.dev_read is not None or node.dev_write is not None
+    return {
+        "ino": node.ino, "kind": node.kind, "mode": node.mode,
+        "uid": node.uid, "gid": node.gid, "nlink": node.nlink,
+        "atime": node.atime, "mtime": node.mtime, "ctime": node.ctime,
+        "data": bytes(node.data), "symlink_target": node.symlink_target,
+        "generation": node.generation, "open_count": node.open_count,
+        "device": is_device, "path": path if is_device else None,
+        "proc_pos": _procfs_pos(node) if is_device else None,
+        "fifo": (node.fifo_pipe.pipe_id
+                 if node.fifo_pipe is not None else None),
+        "entries": ({name: (child.ino, child.generation)
+                     for name, child in node.entries.items()}
+                    if node.is_dir else None),
+    }
+
+
+def _capture_runtime(kernel) -> Tuple[
+        Dict[str, Any], Dict[Tuple[int, int], Tuple[Inode, Optional[str]]]]:
+    """Build every payload section except the fs node table and the tape.
+
+    Returns ``(sections, referenced)`` where *referenced* maps the
+    ``(ino, generation)`` key of every inode reachable through runtime
+    references (open descriptions, process cwds) to the live object and
+    a path hint — the capture paths use it to include unlinked-but-open
+    inodes the root walk cannot see.
+
+    Discovery order is deterministic (process list order, fd-table
+    insertion order, pipe ids sorted), so an unchanged section pickles
+    byte-identically barrier after barrier — the property the delta
+    encoder's section-hash comparison rests on.
     """
     tracer = kernel.tracer
-    mgr = kernel.ckpt
-    if mgr is None:
-        raise CheckpointUnsupported(
-            "capture requires tape recording enabled from boot "
-            "(ContainerConfig.checkpoint)")
+    fs = kernel.fs
 
     # -- channels & pipes ------------------------------------------------
     pipes: Dict[int, Pipe] = {}
@@ -137,41 +196,12 @@ def capture(kernel) -> Dict[str, Any]:
         chan_desc[proc.signal_channel] = ("proc_signal", proc.pid)
         for addr, ch in proc.futex_channels.items():
             chan_desc[ch] = ("futex", proc.pid, addr)
+    # FIFO-backing pipes are registered on the filesystem, so discovery
+    # needs no tree walk (the delta path never walks the tree).
+    for node in fs.fifo_inodes():
+        note_pipe(node.fifo_pipe)
 
-    # -- filesystem node table ------------------------------------------
-    nodes: List[Dict[str, Any]] = []
-    nid_of: Dict[int, int] = {}
-
-    def visit_node(node: Inode, path: str) -> int:
-        key = id(node)
-        nid = nid_of.get(key)
-        if nid is not None:
-            return nid
-        nid = len(nodes)
-        nid_of[key] = nid
-        is_device = node.dev_read is not None or node.dev_write is not None
-        rec: Dict[str, Any] = {
-            "ino": node.ino, "kind": node.kind, "mode": node.mode,
-            "uid": node.uid, "gid": node.gid, "nlink": node.nlink,
-            "atime": node.atime, "mtime": node.mtime, "ctime": node.ctime,
-            "data": bytes(node.data), "symlink_target": node.symlink_target,
-            "generation": node.generation, "open_count": node.open_count,
-            "device": is_device, "path": path,
-            "proc_pos": _procfs_pos(node) if is_device else None,
-            "fifo": None, "entries": None,
-        }
-        nodes.append(rec)
-        if node.fifo_pipe is not None:
-            note_pipe(node.fifo_pipe)
-            rec["fifo"] = node.fifo_pipe.pipe_id
-        if node.is_dir:
-            base = path.rstrip("/")
-            rec["entries"] = {
-                name: visit_node(child, base + "/" + name)
-                for name, child in node.entries.items()}
-        return nid
-
-    root_nid = visit_node(kernel.fs.root, "/")
+    referenced: Dict[Tuple[int, int], Tuple[Inode, Optional[str]]] = {}
 
     # -- open file descriptions (shared by identity across fdtables) ----
     of_records: Dict[int, Dict[str, Any]] = {}
@@ -185,21 +215,21 @@ def capture(kernel) -> Dict[str, Any]:
                     "(path %r)" % of.path)
             note_pipe(of.pipe)
             note_pipe(of.peer_pipe)
+            inode_key = None
+            if of.inode is not None:
+                inode_key = (of.inode.ino, of.inode.generation)
+                if inode_key not in referenced:
+                    referenced[inode_key] = (of.inode, of.path or None)
             of_records[key] = {
                 "kind": of.kind, "flags": of.flags, "offset": of.offset,
                 "path": of.path,
-                "inode": None if of.inode is None else visit_of_inode(of),
+                "inode": inode_key,
                 "pipe": of.pipe.pipe_id if of.pipe is not None else None,
                 "peer_pipe": (of.peer_pipe.pipe_id
                               if of.peer_pipe is not None else None),
                 "refcount": of.refcount, "counts_inode": of.counts_inode,
             }
         return key
-
-    def visit_of_inode(of: OpenFile) -> int:
-        # Unlinked-but-open inodes are unreachable from the root walk;
-        # entering through the description discovers them (dedup by id).
-        return visit_node(of.inode, of.path or "?")
 
     # -- processes & threads --------------------------------------------
     def chan_ref(ch: Channel) -> Tuple:
@@ -221,10 +251,12 @@ def capture(kernel) -> Dict[str, Any]:
             pos = plan_rules.index(armed.rule)
         return (pos, armed.pid, armed.index, armed.syscall)
 
-    threads_seen: Dict[int, Thread] = {}
     proc_records: List[Dict[str, Any]] = []
     for proc in kernel.processes:
         fdt = {fd: visit_of(of) for fd, of in proc.fdtable.items()}
+        cwd_key = (proc.cwd.ino, proc.cwd.generation)
+        if cwd_key not in referenced:
+            referenced[cwd_key] = (proc.cwd, proc.cwd_path)
         step_queue = None
         squeue = proc.memory.get("_step_queue")
         if squeue is not None:
@@ -233,7 +265,6 @@ def capture(kernel) -> Dict[str, Any]:
         token = getattr(proc, "_step_token", None)
         threads = []
         for th in proc.threads:
-            threads_seen[th.tid] = th
             threads.append({
                 "tid": th.tid, "state": th.state,
                 "cpu_time": th.cpu_time,
@@ -256,7 +287,7 @@ def capture(kernel) -> Dict[str, Any]:
             "pid": proc.pid, "nspid": proc.nspid,
             "parent": proc.parent.pid if proc.parent is not None else None,
             "children": [c.pid for c in proc.children],
-            "cwd_nid": visit_node(proc.cwd, proc.cwd_path),
+            "cwd": cwd_key,
             "cwd_path": proc.cwd_path,
             "uid": proc.uid, "gid": proc.gid, "aslr_base": proc.aslr_base,
             "exit_status": proc.exit_status, "reaped": proc.reaped,
@@ -287,14 +318,15 @@ def capture(kernel) -> Dict[str, Any]:
     parked = [(chan_ref(ch), [t.tid for t in ts])
               for ch, ts in kernel._parked.items()]
 
-    # -- pipes -----------------------------------------------------------
+    # -- pipes (sorted by id: deterministic regardless of discovery) ----
     pipe_records = {
         pid: {
-            "capacity": p.capacity, "buffer": bytes(p.buffer),
-            "readers": p.readers, "writers": p.writers,
-            "ever_had_reader": p.ever_had_reader,
-            "ever_had_writer": p.ever_had_writer,
-        } for pid, p in pipes.items()}
+            "capacity": pipes[pid].capacity,
+            "buffer": bytes(pipes[pid].buffer),
+            "readers": pipes[pid].readers, "writers": pipes[pid].writers,
+            "ever_had_reader": pipes[pid].ever_had_reader,
+            "ever_had_writer": pipes[pid].ever_had_writer,
+        } for pid in sorted(pipes)}
 
     # -- scheduler -------------------------------------------------------
     sched_rec = _capture_sched(tracer.sched) if tracer is not None else None
@@ -325,9 +357,7 @@ def capture(kernel) -> Dict[str, Any]:
             "transient_fired": inj.transient_fired,
         }
 
-    fs = kernel.fs
-    return {
-        "kind": PAYLOAD_KIND,
+    sections: Dict[str, Any] = {
         "host": kernel.host,
         "clock_now": kernel.clock.now,
         "stats": kernel.stats,
@@ -342,11 +372,10 @@ def capture(kernel) -> Dict[str, Any]:
         "seq": kernel._seq,
         "cores_busy": kernel.cores_busy,
         "core_queue": [(t.tid, d) for t, d in kernel._core_queue],
-        "fs_nodes": nodes,
-        "fs_root": root_nid,
         "fs_meta": {
             "alloc_next": fs._alloc._next,
             "alloc_free": list(fs._alloc._free),
+            "alloc_gens": dict(fs._alloc._gen),
             "device_id": fs.device_id,
             "bytes_written": fs._bytes_written,
             "resolve_hits": fs.resolve_hits,
@@ -363,8 +392,196 @@ def capture(kernel) -> Dict[str, Any]:
         "sched": sched_rec,
         "tracer": tracer_rec,
         "faults": faults_rec,
-        "tape": encode_tape(mgr.tape),
     }
+    return sections, referenced
+
+
+def capture(kernel, tape_encoded: Optional[List[Tuple]] = None,
+            ) -> Dict[str, Any]:
+    """Serialize the complete deterministic state of *kernel*.
+
+    Must be called at a barrier: between events, tracer not mid-pump.
+    Raises :class:`CheckpointUnsupported` for state that cannot cross a
+    snapshot.  Pure reads — the running kernel is never mutated.
+
+    The node table is keyed by ``(ino, generation)``: stable across
+    number recycling, so delta snapshots can reference base records
+    without positional coupling.
+
+    *tape_encoded* is the manager's incrementally-maintained encoding of
+    the whole tape (one ``encode_tape`` per entry ever, instead of
+    re-encoding the full history at every full snapshot); it is used
+    only when its length matches the live tape.
+    """
+    mgr = kernel.ckpt
+    if mgr is None:
+        raise CheckpointUnsupported(
+            "capture requires tape recording enabled from boot "
+            "(ContainerConfig.checkpoint)")
+    sections, referenced = _capture_runtime(kernel)
+    fs = kernel.fs
+    nodes: Dict[Tuple[int, int], Dict[str, Any]] = {}
+
+    def visit(node: Inode, path: str) -> None:
+        key = (node.ino, node.generation)
+        if key in nodes:
+            return
+        nodes[key] = _node_record(node, path)
+        if node.is_dir:
+            base = path.rstrip("/")
+            for name, child in node.entries.items():
+                visit(child, base + "/" + name)
+
+    visit(fs.root, "/")
+    for key, (node, path) in referenced.items():
+        if key not in nodes:
+            # Unlinked-but-open inodes (and rmdir'd cwds) are unreachable
+            # from the root walk; runtime references discover them.
+            visit(node, path or "?")
+
+    if tape_encoded is not None and len(tape_encoded) == len(mgr.tape):
+        tape = list(tape_encoded)
+    else:
+        tape = encode_tape(mgr.tape)
+    payload: Dict[str, Any] = {
+        "kind": PAYLOAD_KIND,
+        "fs_nodes": nodes,
+        "fs_root": (fs.root.ino, fs.root.generation),
+        "tape": tape,
+    }
+    payload.update(sections)
+    return payload
+
+
+def _section_digest(key: str, value: Any) -> str:
+    """Change-detection digest of one section value.
+
+    The host environment gets an O(1) special case: its only run-time
+    mutable state is its RNG streams, every draw bumps its
+    ``_state_version``, and pickling Mersenne state every barrier was
+    the single most expensive hash in a delta capture."""
+    if key == "host":
+        version = getattr(value, "_state_version", None)
+        if version is not None:
+            return "host-version-%d" % version
+    return hashlib.sha256(pickle.dumps(value, _FP_PROTOCOL)).hexdigest()
+
+
+def section_hashes(payload: Dict[str, Any]) -> Dict[str, str]:
+    """Per-section change-detection digests of *payload*'s sections.
+
+    :data:`VOLATILE_KEYS` are excluded — deltas carry them
+    unconditionally, so their hashes would never be consulted."""
+    return {key: _section_digest(key, payload[key])
+            for key in SECTION_KEYS if key not in VOLATILE_KEYS}
+
+
+def capture_delta(kernel, base_section_hashes: Dict[str, str],
+                  tape_base_len: int,
+                  device_paths: Dict[Tuple[int, int], str],
+                  tape_encoded: Optional[List[Tuple]] = None,
+                  ) -> Tuple[Dict[str, Any], Dict[str, str], int]:
+    """Serialize only the state changed since the last snapshot.
+
+    Returns ``(delta, new_section_hashes, dirty_count)``.  The delta
+    carries the sections whose pickled hash moved, the records of inodes
+    stamped dirty since the filesystem's last ``clear_dirty()``, the
+    keys of fully-released inodes, and the tape tail past
+    *tape_base_len*.  Raises :class:`DeltaUnsupported` when the dirty
+    set cannot be encoded against the base (the manager then takes a
+    full snapshot instead).
+    """
+    mgr = kernel.ckpt
+    if mgr is None:
+        raise CheckpointUnsupported(
+            "capture requires tape recording enabled from boot "
+            "(ContainerConfig.checkpoint)")
+    sections, referenced = _capture_runtime(kernel)
+    new_hashes: Dict[str, str] = {}
+    changed: Dict[str, Any] = {}
+    for key in SECTION_KEYS:
+        if key in VOLATILE_KEYS:
+            changed[key] = sections[key]
+            continue
+        digest = _section_digest(key, sections[key])
+        new_hashes[key] = digest
+        if base_section_hashes.get(key) != digest:
+            changed[key] = sections[key]
+
+    fs = kernel.fs
+
+    def delta_record(node: Inode, key: Tuple[int, int],
+                     path_hint: Optional[str]) -> Dict[str, Any]:
+        path = None
+        if node.dev_read is not None or node.dev_write is not None:
+            path = device_paths.get(key, path_hint)
+            if path is None:
+                raise DeltaUnsupported(
+                    "dirty device inode %r has no cached path" % (key,))
+        return _node_record(node, path)
+
+    dirty: Dict[Tuple[int, int], Dict[str, Any]] = {}
+    for key, node in fs.dirty_nodes().items():
+        # Inclusion rule: a dirty record enters the delta iff the node is
+        # still live — named, open, or held by a runtime reference (cwd /
+        # open description).  This makes the materialized node set equal
+        # to what a fresh full capture would enumerate.
+        if node.nlink > 0 or node.open_count > 0 or key in referenced:
+            dirty[key] = delta_record(node, key, None)
+    dead: List[Tuple[int, int]] = []
+    for key in fs.dead_keys():
+        if key in referenced:
+            # Released inode number, but a cwd/description still holds
+            # the object (e.g. a process inside an rmdir'd directory):
+            # resurrect the record instead of dropping it.
+            node, path_hint = referenced[key]
+            dirty[key] = delta_record(node, key, path_hint)
+        elif key not in dirty:
+            dead.append(key)
+
+    if tape_encoded is not None and len(tape_encoded) == len(mgr.tape):
+        tape_tail = list(tape_encoded[tape_base_len:])
+    else:
+        tape_tail = encode_tape(mgr.tape[tape_base_len:])
+    delta: Dict[str, Any] = {
+        "kind": DELTA_KIND,
+        "sections": changed,
+        "fs_dirty": dirty,
+        "fs_dead": dead,
+        "tape_from": tape_base_len,
+        "tape_tail": tape_tail,
+    }
+    return delta, new_hashes, len(dirty) + len(dead)
+
+
+def materialize_delta(base: Dict[str, Any],
+                      delta: Dict[str, Any]) -> Dict[str, Any]:
+    """Compose *delta* onto its materialized *base*.
+
+    Returns a payload equivalent to a full capture at the delta's
+    barrier: changed sections replace the base's wholesale, dead node
+    records drop, dirty records overlay, and the tape tail extends the
+    base tape.  The result feeds :func:`restore` unchanged.
+    """
+    if base.get("kind") != PAYLOAD_KIND:
+        raise RestoreError("delta base is not a checkpoint payload")
+    if delta.get("kind") != DELTA_KIND:
+        raise RestoreError("not a delta snapshot record")
+    if delta["tape_from"] != len(base["tape"]):
+        raise RestoreError(
+            "delta tape tail does not align with its base "
+            "(%d != %d taped entries)"
+            % (delta["tape_from"], len(base["tape"])))
+    payload = dict(base)
+    payload.update(delta["sections"])
+    nodes = dict(base["fs_nodes"])
+    for key in delta["fs_dead"]:
+        nodes.pop(key, None)
+    nodes.update(delta["fs_dirty"])
+    payload["fs_nodes"] = nodes
+    payload["tape"] = list(base["tape"]) + list(delta["tape_tail"])
+    payload["kind"] = PAYLOAD_KIND
+    return payload
 
 
 def _capture_sched(sched) -> Optional[Dict[str, Any]]:
@@ -618,8 +835,8 @@ def restore(kernel, payload: Dict[str, Any]) -> List[Tuple]:
         if node.dev_read is not None or node.dev_write is not None:
             fresh_devices[path] = node
     recs = payload["fs_nodes"]
-    objs: List[Inode] = []
-    for rec in recs:
+    objs: Dict[Tuple[int, int], Inode] = {}
+    for key, rec in recs.items():
         node = Inode(ino=rec["ino"], kind=rec["kind"], mode=rec["mode"],
                      uid=rec["uid"], gid=rec["gid"], nlink=rec["nlink"],
                      atime=rec["atime"], mtime=rec["mtime"],
@@ -640,15 +857,16 @@ def restore(kernel, payload: Dict[str, Any]) -> List[Tuple]:
             node.dev_write = fresh.dev_write
             if rec["proc_pos"] is not None:
                 _set_procfs_pos(node, rec["proc_pos"])
-        objs.append(node)
-    for nid, rec in enumerate(recs):
+        objs[key] = node
+    for key, rec in recs.items():
         if rec["entries"] is not None:
-            objs[nid].entries = {name: objs[cnid]
-                                 for name, cnid in rec["entries"].items()}
-    fs.root = objs[payload["fs_root"]]
+            objs[key].entries = {name: objs[tuple(ckey)]
+                                 for name, ckey in rec["entries"].items()}
+    fs.root = objs[tuple(payload["fs_root"])]
     meta = payload["fs_meta"]
     fs._alloc._next = meta["alloc_next"]
     fs._alloc._free = list(meta["alloc_free"])
+    fs._alloc._gen = dict(meta["alloc_gens"])
     fs.device_id = meta["device_id"]
     fs._bytes_written = meta["bytes_written"]
     fs.resolve_hits = meta["resolve_hits"]
@@ -658,6 +876,10 @@ def restore(kernel, payload: Dict[str, Any]) -> List[Tuple]:
     # Identity-keyed caches cannot survive object replacement.
     fs._namei_cache.clear()
     fs._namei_epoch_seen = Inode.namei_epoch
+    # Re-arm dirty tracking over the rebuilt objects: the resumed run's
+    # checkpoint manager starts from a full snapshot anyway, so the
+    # dirty set starts empty and FIFO registrations are rebuilt.
+    fs.reset_dirty_state(objs.values())
 
     # -- open file descriptions -----------------------------------------
     ofs_by_id: Dict[int, OpenFile] = {}
@@ -665,7 +887,8 @@ def restore(kernel, payload: Dict[str, Any]) -> List[Tuple]:
         ofs_by_id[ofid] = OpenFile(
             kind=rec["kind"], flags=rec["flags"], offset=rec["offset"],
             path=rec["path"],
-            inode=None if rec["inode"] is None else objs[rec["inode"]],
+            inode=(None if rec["inode"] is None
+                   else objs[tuple(rec["inode"])]),
             pipe=None if rec["pipe"] is None else pipes_by_id[rec["pipe"]],
             refcount=rec["refcount"],
             peer_pipe=(None if rec["peer_pipe"] is None
@@ -678,7 +901,7 @@ def restore(kernel, payload: Dict[str, Any]) -> List[Tuple]:
     kernel.processes = []
     for prec in payload["processes"]:
         proc = Process(pid=prec["pid"], nspid=prec["nspid"], parent=None,
-                       root=fs.root, cwd=objs[prec["cwd_nid"]],
+                       root=fs.root, cwd=objs[tuple(prec["cwd"])],
                        cwd_path=prec["cwd_path"], env={}, argv=[],
                        uid=prec["uid"], gid=prec["gid"],
                        aslr_base=prec["aslr_base"])
@@ -978,12 +1201,9 @@ _FULL_KEYS = ("host", "stats", "obs", "fs_meta", "sched", "tracer",
               "faults", "tape")
 
 
-def canonical_state(payload: Dict[str, Any],
-                    scope: str = GUEST_SCOPE) -> Dict[str, Any]:
-    """Reduce a capture payload to a canonical, comparison-safe form.
-
-    Two identity-dependent namespaces in the raw payload make naive
-    hashing lie:
+def _canonical_maps(payload: Dict[str, Any],
+                    ) -> Tuple[Dict[int, int], Dict[int, int]]:
+    """Identity-erasing remaps for the two unstable namespaces.
 
     * pipe ids come from a *process-global* counter
       (``Pipe._counter``), so the Nth run in one interpreter hands out
@@ -992,27 +1212,44 @@ def canonical_state(payload: Dict[str, Any],
 
     Both are remapped to dense, deterministic indices (pipes by sorted
     creation order, descriptions by capture order, which follows the
-    deterministic process/fd walk), and every reference to them —
-    fd tables, fifo inodes, pipe-channel descriptors in wait lists and
-    the parked map — is rewritten to match.
+    deterministic process/fd walk).
     """
-    if scope not in (GUEST_SCOPE, FULL_SCOPE):
-        raise ValueError("unknown fingerprint scope %r" % scope)
     pipe_map = {pid: i for i, pid in enumerate(sorted(payload["pipes"]))}
     of_map = {ofid: i for i, ofid in enumerate(payload["of_records"])}
+    return pipe_map, of_map
 
-    def chan(desc: Tuple) -> Tuple:
-        if desc and desc[0] == "pipe":
-            return ("pipe", pipe_map.get(desc[1], -1), desc[2])
-        return tuple(desc)
 
-    fs_nodes = []
-    for rec in payload["fs_nodes"]:
-        rec = dict(rec)
-        if rec.get("fifo") is not None:
-            rec["fifo"] = pipe_map.get(rec["fifo"], -1)
-        fs_nodes.append(rec)
+def _canonical_chan(desc: Tuple, pipe_map: Dict[int, int]) -> Tuple:
+    if desc and desc[0] == "pipe":
+        return ("pipe", pipe_map.get(desc[1], -1), desc[2])
+    return tuple(desc)
 
+
+def _canonical_node(rec: Dict[str, Any],
+                    pipe_map: Dict[int, int]) -> Dict[str, Any]:
+    """One node record with unstable identifiers erased.
+
+    Drops the device ``path`` hint (a restore-graft detail that a
+    rename would make stale — the live name lives in the parent's
+    ``entries``) and remaps the fifo pipe id.  Entries stay keyed by
+    ``(ino, generation)``, which the deterministic allocator makes
+    run-stable.
+    """
+    rec = dict(rec)
+    rec.pop("path", None)
+    if rec.get("fifo") is not None:
+        rec["fifo"] = pipe_map.get(rec["fifo"], -1)
+    return rec
+
+
+def _canonical_pipes(payload: Dict[str, Any],
+                     pipe_map: Dict[int, int]) -> List[Tuple]:
+    return [(pipe_map[pid], payload["pipes"][pid])
+            for pid in sorted(payload["pipes"])]
+
+
+def _canonical_of_records(payload: Dict[str, Any],
+                          pipe_map: Dict[int, int]) -> List[Dict[str, Any]]:
     of_records = []
     for rec in payload["of_records"].values():
         rec = dict(rec)
@@ -1020,7 +1257,11 @@ def canonical_state(payload: Dict[str, Any],
             if rec.get(key) is not None:
                 rec[key] = pipe_map.get(rec[key], -1)
         of_records.append(rec)
+    return of_records
 
+
+def _canonical_processes(payload: Dict[str, Any], pipe_map: Dict[int, int],
+                         of_map: Dict[int, int]) -> List[Dict[str, Any]]:
     processes = []
     for prec in payload["processes"]:
         prec = dict(prec)
@@ -1029,41 +1270,76 @@ def canonical_state(payload: Dict[str, Any],
         threads = []
         for trec in prec["threads"]:
             trec = dict(trec)
-            trec["wait_channels"] = [chan(d) for d in trec["wait_channels"]]
+            trec["wait_channels"] = [_canonical_chan(d, pipe_map)
+                                     for d in trec["wait_channels"]]
             threads.append(trec)
         prec["threads"] = threads
         processes.append(prec)
+    return processes
 
-    pipes = [(pipe_map[pid], payload["pipes"][pid])
-             for pid in sorted(payload["pipes"])]
-    parked = [(chan(d), list(tids)) for d, tids in payload["parked"]]
+
+def _canonical_parked(payload: Dict[str, Any],
+                      pipe_map: Dict[int, int]) -> List[Tuple]:
+    return [(_canonical_chan(d, pipe_map), list(tids))
+            for d, tids in payload["parked"]]
+
+
+def canonical_state(payload: Dict[str, Any],
+                    scope: str = GUEST_SCOPE) -> Dict[str, Any]:
+    """Reduce a capture payload to a canonical, comparison-safe form.
+
+    Every reference into the unstable namespaces (see
+    :func:`_canonical_maps`) — fd tables, fifo inodes, pipe-channel
+    descriptors in wait lists and the parked map — is rewritten to the
+    dense deterministic index.  The node table is emitted sorted by
+    ``(ino, generation)`` key so a payload materialized from a delta
+    chain canonicalizes identically to a fresh full capture of the
+    same state, whatever dict order composition produced.
+    """
+    if scope not in (GUEST_SCOPE, FULL_SCOPE):
+        raise ValueError("unknown fingerprint scope %r" % scope)
+    pipe_map, of_map = _canonical_maps(payload)
+
+    fs_nodes = [(key, _canonical_node(payload["fs_nodes"][key], pipe_map))
+                for key in sorted(payload["fs_nodes"])]
 
     state: Dict[str, Any] = {key: payload[key] for key in _GUEST_KEYS}
     state.update({
         "fs_nodes": fs_nodes,
-        "pipes": pipes,
-        "of_records": of_records,
-        "processes": processes,
-        "parked": parked,
+        "pipes": _canonical_pipes(payload, pipe_map),
+        "of_records": _canonical_of_records(payload, pipe_map),
+        "processes": _canonical_processes(payload, pipe_map, of_map),
+        "parked": _canonical_parked(payload, pipe_map),
         "scope": scope,
     })
     if scope == FULL_SCOPE:
         state.update({key: payload[key] for key in _FULL_KEYS})
+        # The tape is reduced to per-entry digests: pickling the list
+        # wholesale memoizes objects shared *across* entries, so a tape
+        # composed from delta-chain segments (where the journal
+        # round-trip severed cross-entry sharing) would compare unequal
+        # to a live capture of the very same entries.
+        state["tape"] = tuple(
+            hashlib.sha256(pickle.dumps(entry, _FP_PROTOCOL)).hexdigest()
+            for entry in payload["tape"])
         state["pipe_counter"] = len(pipe_map)
     return state
 
 
 def state_fingerprint(payload: Dict[str, Any],
                       scope: str = GUEST_SCOPE) -> str:
-    """sha256 hex digest of the canonical state of *payload*.
+    """Merkle-root sha256 of the canonical state of *payload*.
 
     Deterministic within a pinned pickle protocol: equal captured
     states — regardless of interpreter object identities or how many
     runs preceded them in this process — hash equal, and any
-    guest-visible difference hashes different.
+    guest-visible difference hashes different.  The digest is the root
+    of the Merkle tree :mod:`repro.ckpt.merkle` maintains incrementally
+    across delta chains, so chain cursors and from-scratch computation
+    agree byte-for-byte.
     """
-    blob = pickle.dumps(canonical_state(payload, scope), _FP_PROTOCOL)
-    return hashlib.sha256(blob).hexdigest()
+    from .merkle import merkle_fingerprint
+    return merkle_fingerprint(payload, scope=scope)
 
 
 @dataclasses.dataclass

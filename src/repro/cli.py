@@ -83,9 +83,11 @@ def _checkpoint_config(args) -> Optional[CheckpointConfig]:
         if getattr(args, "resume", False):
             raise SystemExit("repro: --resume requires --checkpoint-dir")
         return None
-    return CheckpointConfig(directory=directory,
-                            every=getattr(args, "checkpoint_every", 0),
-                            keep=getattr(args, "checkpoint_keep", 3))
+    return CheckpointConfig(
+        directory=directory,
+        every=getattr(args, "checkpoint_every", 0),
+        keep=getattr(args, "checkpoint_keep", 3),
+        full_every=getattr(args, "checkpoint_full_every", 4))
 
 
 def _install_sigterm(container):
@@ -385,6 +387,7 @@ def cmd_fuzz(args) -> int:
 
 def cmd_ckpt(args) -> int:
     """Inspect/verify/prune a checkpoint journal directory."""
+    from .ckpt import JournalError, RecoveryManager
     from .ckpt import prune as ckpt_prune
     from .ckpt import scan
 
@@ -396,34 +399,74 @@ def cmd_ckpt(args) -> int:
         return 0
     infos = scan(args.directory, fingerprint=args.fingerprint)
     for info in infos:
-        if info.valid:
-            print("barrier %8d  vclock %14.6f  %8d bytes  fp %s  %s"
-                  % (info.barrier, info.vclock, info.payload_len,
-                     info.fingerprint[:12] or "-", info.path))
-        else:
+        if not info.valid:
             print("INVALID  %s: %s" % (info.path, info.error))
+            continue
+        if info.snapshot_kind == "delta":
+            kind = "delta depth %d  base %s" % (
+                info.chain_depth, info.base_sha256[:12] or "?")
+            if not info.chain_valid:
+                kind += "  [chain broken]"
+        else:
+            kind = "full"
+        print("barrier %8d  vclock %14.6f  %8d bytes  fp %s  %s  %s"
+              % (info.barrier, info.vclock, info.payload_len,
+                 info.fingerprint[:12] or "-", kind, info.path))
     if args.action == "inspect":
         if not infos:
             print("no snapshots in %s" % args.directory)
+            return 0
+        # Per-delta detail: how much state actually moved per barrier.
+        import pickle as _pickle
+
+        from .ckpt.journal import load_snapshot
+
+        for info in reversed(infos):
+            if not info.valid or info.snapshot_kind != "delta":
+                continue
+            try:
+                _header, blob = load_snapshot(
+                    info.path, fingerprint=args.fingerprint)
+                delta = _pickle.loads(blob)
+            except Exception:
+                continue
+            print("  barrier %8d  delta: %d dirty inode(s), %d dead, "
+                  "%d changed section(s), %d tape entries"
+                  % (info.barrier, len(delta["fs_dirty"]),
+                     len(delta["fs_dead"]), len(delta["sections"]),
+                     len(delta["tape_tail"])))
         return 0
-    # verify: every file must validate and at least one must exist.
+    # verify: every file must validate, every delta's chain must reach a
+    # valid full base, and all materialized fingerprints must compute.
     bad = [info for info in infos if not info.valid]
-    good = [info for info in infos if info.valid]
+    broken = [info for info in infos if info.valid and not info.chain_valid]
+    good = [info for info in infos if info.chain_valid]
     if bad:
         print("verify: FAIL — %d torn/corrupt snapshot(s)" % len(bad))
         return 1
-    if not good:
-        print("verify: FAIL — no snapshots in %s" % args.directory)
+    if broken:
+        for info in broken:
+            print("  chain broken: %s (base %s... missing or invalid)"
+                  % (info.path, info.base_sha256[:12]))
+        print("verify: FAIL — %d delta snapshot(s) with a broken chain"
+              % len(broken))
         return 1
+    if not good:
+        print("verify: OK — journal is empty (%s)" % args.directory)
+        return 0
     # Deterministic guest-state fingerprints (repro.diag's bisection
     # coordinate): equal runs produce equal fingerprints barrier for
-    # barrier, so these lines diff cleanly across journals.
-    from .ckpt import Snapshot
-
-    for info in reversed(good):
-        snap = Snapshot.load(info.path, fingerprint=args.fingerprint)
+    # barrier, so these lines diff cleanly across journals.  Delta
+    # chains are fingerprinted with the incremental Merkle cursor.
+    recovery = RecoveryManager(args.directory, fingerprint=args.fingerprint)
+    try:
+        fps = recovery.chain_fingerprints()
+    except JournalError as err:
+        print("verify: FAIL — %s" % err)
+        return 1
+    for barrier in sorted(fps):
         print("  barrier %8d  guest-state %s"
-              % (snap.barrier, snap.fingerprint()[:16]))
+              % (barrier, fps[barrier][0][:16]))
     print("verify: OK — %d snapshot(s), newest barrier %d"
           % (len(good), good[0].barrier))
     return 0
@@ -637,6 +680,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--checkpoint-keep", type=int, default=3, metavar="K",
                      dest="checkpoint_keep",
                      help="valid snapshots to retain after each barrier")
+    run.add_argument("--checkpoint-full-every", type=int, default=4,
+                     metavar="N", dest="checkpoint_full_every",
+                     help="write a self-contained full snapshot every N "
+                          "snapshots and dirty-tracked deltas in between "
+                          "(1 = every snapshot full)")
     run.add_argument("--resume", action="store_true",
                      help="continue from the newest valid checkpoint in "
                           "--checkpoint-dir (falls back to a fresh run)")

@@ -40,11 +40,19 @@ class CheckpointConfig:
     events — every ``every`` event ticks (0 = only on request, e.g.
     SIGTERM) and journalled atomically under ``directory``.  ``keep``
     bounds how many valid snapshots survive pruning.
+
+    ``full_every`` controls the incremental-checkpoint cadence: one
+    self-contained full snapshot every N snapshots, dirty-tracked delta
+    records in between (1 = every snapshot full, the legacy layout).
+    It never affects guest execution — only journal layout — and is
+    deliberately excluded from the config fingerprint so a resumed run
+    may use a different cadence than the crashed one.
     """
 
     directory: str
     every: int = 0
     keep: int = 3
+    full_every: int = 4
 
 
 @dataclasses.dataclass

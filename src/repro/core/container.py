@@ -259,7 +259,8 @@ class DetTrace:
 
                 kernel.ckpt = CheckpointManager(
                     cfg.checkpoint.directory, every=cfg.checkpoint.every,
-                    keep=cfg.checkpoint.keep, fingerprint=cfg.fingerprint())
+                    keep=cfg.checkpoint.keep, fingerprint=cfg.fingerprint(),
+                    full_every=cfg.checkpoint.full_every)
                 self.active_ckpt = kernel.ckpt
 
             env = cfg.env_for(host.env)
@@ -340,7 +341,8 @@ class DetTrace:
             tracer = self._prepare(kernel, image, _attempt)
             mgr = CheckpointManager(
                 cfg.checkpoint.directory, every=cfg.checkpoint.every,
-                keep=cfg.checkpoint.keep, fingerprint=fingerprint)
+                keep=cfg.checkpoint.keep, fingerprint=fingerprint,
+                full_every=cfg.checkpoint.full_every)
             mgr.tape = restore(kernel, payload)
             mgr.last_barrier = info.barrier
             kernel.ckpt = mgr

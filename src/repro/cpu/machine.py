@@ -227,23 +227,37 @@ class HostEnvironment:
     def __post_init__(self) -> None:
         self._entropy = random.Random("entropy:%d" % self.entropy_seed)
         self._sched = random.Random("sched:%d" % self.entropy_seed)
+        #: Bumped by every mutating draw.  The only run-time mutable
+        #: state here is the two RNG streams, and every draw goes
+        #: through the methods below — so this counter is an exact,
+        #: O(1) change detector for the whole object (delta snapshots
+        #: use it in place of pickling the RNG states every barrier).
+        #: It advances deterministically with the guest schedule, so it
+        #: is fingerprint-stable across checkpoint cadences.
+        self._state_version = 0
 
     # -- entropy streams ----------------------------------------------------
 
     def entropy_bytes(self, n: int) -> bytes:
         """Draw *n* bytes from the host entropy pool (/dev/urandom, rdrand)."""
+        self._state_version += 1
         return bytes(self._entropy.getrandbits(8) for _ in range(n))
 
     def entropy_u64(self) -> int:
+        self._state_version += 1
         return self._entropy.getrandbits(64)
 
     def sched_jitter(self, scale: float = 1.0) -> float:
         """A small nonnegative timing perturbation for the native scheduler."""
+        self._state_version += 1
         return self._sched.random() * scale
 
     def sched_choice_index(self, n: int) -> int:
         """Break a scheduling tie among *n* equally-eligible threads."""
-        return self._sched.randrange(n) if n > 1 else 0
+        if n > 1:
+            self._state_version += 1
+            return self._sched.randrange(n)
+        return 0
 
     def aslr_base(self) -> int:
         """An address-space base for a new process."""
@@ -251,6 +265,7 @@ class HostEnvironment:
             return 0x5555_5555_0000
         page = 4096
         span = 1 << self.aslr_entropy_bits
+        self._state_version += 1
         return 0x5500_0000_0000 + (self._entropy.randrange(span) * page)
 
     @property

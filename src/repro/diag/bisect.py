@@ -149,11 +149,10 @@ def _barrier_fingerprints(spec: RunSpec, directory: str, every: int,
                                          every=every, keep=0))
     # fingerprint=None: the two sides may have different config
     # fingerprints (that difference is often the point), and the
-    # journal's own checksum already guards integrity.
-    out: Dict[int, Tuple[str, float]] = {}
-    for snap in RecoveryManager(directory).snapshots():
-        out[snap.barrier] = (snap.fingerprint(scope=scope), snap.vclock)
-    return out
+    # journal's own checksum already guards integrity.  The incremental
+    # Merkle cursor hashes each delta barrier in O(changed) instead of
+    # rebuilding the whole canonical state per snapshot.
+    return RecoveryManager(directory).chain_fingerprints(scope=scope)
 
 
 def bisect_divergence(side_a: RunSpec, side_b: RunSpec,

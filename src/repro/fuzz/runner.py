@@ -15,7 +15,7 @@ comparisons express that:
   entropy, boot epoch, pid/inode bases, getdents salt); the
   guest-visible surface (exit/stdout/stderr/tree) must match.
 
-Three further axes ride on top:
+Four further axes ride on top:
 
 * **serial vs parallel** — the exact cell list re-runs through
   ``repro.parallel.run_jobs`` on a worker pool; the records must equal
@@ -23,6 +23,11 @@ Three further axes ride on top:
 * **record/replay** — thread-free programs are recorded natively via
   ``repro.rnr`` and replayed on a different boot; a
   ``ReplayDivergence`` is a failure;
+* **crash/resume** — the program re-runs under checkpointing with a
+  kill injected mid-run (the newest surviving snapshot is usually a
+  dirty-tracked delta), resumes from the journal, and must reproduce
+  the straight base record byte for byte — the resume-identity
+  contract, fuzzed;
 * **guest oracle** — any ``VIOLATION`` line the in-guest POSIX auditor
   printed fails the program outright, even if every cell agrees.
 """
@@ -35,7 +40,7 @@ import json
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.config import ContainerConfig
-from ..core.container import DetTrace, OK
+from ..core.container import CRASHED, RESUMED, DetTrace, OK
 from ..cpu.machine import HostEnvironment
 from ..parallel import Job, run_jobs
 from ..repro_tools.hashing import tree_digest
@@ -106,6 +111,11 @@ COMPARED_FIELDS = ("status", "exit_code", "stdout", "stderr", "tree",
 #: cross-host property tests guarantee.
 HOST_INVARIANT_FIELDS = ("status", "exit_code", "stdout", "stderr", "tree")
 
+#: Fields a kill+resume run must reproduce from the straight base run.
+#: ``status`` is excluded by construction — a successful resume reports
+#: the more specific ``resumed`` — and checked separately.
+CKPT_INVARIANT_FIELDS = tuple(f for f in COMPARED_FIELDS if f != "status")
+
 
 def run_cell(spec_dict: Dict[str, Any], cell_dict: Dict[str, Any],
              host_index: int = 0) -> Dict[str, Any]:
@@ -120,8 +130,13 @@ def run_cell(spec_dict: Dict[str, Any], cell_dict: Dict[str, Any],
     host = _host_for(spec.seed, host_index)
     result = DetTrace(cell.config()).run(build_image(spec), "/bin/fuzz",
                                          host=host)
+    return _record(cell.name, result)
+
+
+def _record(cell_name: str, result) -> Dict[str, Any]:
+    """The comparable fingerprint record of one container result."""
     record: Dict[str, Any] = {
-        "cell": cell.name,
+        "cell": cell_name,
         "status": result.status,
         "exit_code": result.exit_code,
         "stdout": result.stdout,
@@ -201,8 +216,60 @@ def diagnose_pair(spec: ProgramSpec, cell_a: Cell, cell_b: Cell,
     return diff_captures(captures[0], captures[1])
 
 
+def _check_ckpt_resume(spec: ProgramSpec, cell: Cell,
+                       base: Dict[str, Any]) -> List[str]:
+    """Axis 4: crash on a mid-run delta checkpoint, resume, compare.
+
+    The straight base record doubles as the uninterrupted reference —
+    the resume-identity contract says kill + resume must be
+    indistinguishable from a run that was never interrupted (or even
+    checkpointed).  The kill lands at half the program's event count
+    with a barrier cadence that guarantees at least one snapshot first;
+    ``full_every=3`` keeps dirty-tracked deltas (and therefore the
+    chain-materialization path) on the fuzzed surface.
+    """
+    import shutil
+    import tempfile
+
+    from ..core.config import CheckpointConfig
+    from ..faults.plan import FaultPlan, FaultRule
+
+    events = int(base.get("totals", {}).get("events_processed", 0))
+    if events < 8:
+        return []  # too short to interrupt mid-run
+    tick = events // 2
+    directory = tempfile.mkdtemp(prefix="repro-fuzz-ckpt-")
+    try:
+        cfg = cell.config()
+        cfg.checkpoint = CheckpointConfig(directory=directory,
+                                          every=max(1, tick // 3), keep=0,
+                                          full_every=3)
+        cfg.fault_plan = FaultPlan(rules=(
+            FaultRule(fault="kill", at_tick=tick, transient=True),))
+        container = DetTrace(cfg)
+        crashed = container.run(build_image(spec), "/bin/fuzz",
+                                host=_host_for(spec.seed, 0))
+        if crashed.status != CRASHED:
+            return ["ckpt: kill at tick %d/%d did not crash (status=%s)"
+                    % (tick, events, crashed.status)]
+        try:
+            resumed = container.resume(build_image(spec), "/bin/fuzz")
+        except Exception as err:
+            return ["ckpt: resume raised: %s: %s"
+                    % (type(err).__name__, err)]
+        if resumed.status != RESUMED:
+            return ["ckpt: resumed run failed: status=%s exit=%r stderr=%r"
+                    % (resumed.status, resumed.exit_code,
+                       resumed.stderr[-200:])]
+        record = _record("ckpt-resume", resumed)
+        return ["ckpt: " + diff for diff in
+                _diff_records(base, record, CKPT_INVARIANT_FIELDS)]
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
 def check_program(spec: ProgramSpec, workers: int = 2,
-                  rnr: bool = True,
+                  rnr: bool = True, ckpt: bool = True,
                   matrix: Optional[Tuple[Cell, ...]] = None,
                   diagnose: bool = False) -> MatrixReport:
     """Run *spec* across every axis; return the full report.
@@ -273,6 +340,12 @@ def check_program(spec: ProgramSpec, workers: int = 2,
     # Axis 3: record natively, replay on a different boot.
     if rnr and not spec.uses_threads():
         failures.extend(_check_rnr(spec))
+
+    # Axis 4: kill mid-run on a delta checkpoint, resume, compare
+    # against the straight base record.  Only meaningful when the base
+    # run itself succeeded (a failing base already reported above).
+    if ckpt and base["status"] == OK:
+        failures.extend(_check_ckpt_resume(spec, matrix[0], base))
 
     divergence = None
     if diagnose and failures and first_pair is not None:

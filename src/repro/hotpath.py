@@ -23,7 +23,6 @@ down for CI via the ``scale`` argument.
 from __future__ import annotations
 
 import json
-import os
 import time
 from typing import Dict, List, Optional, Tuple
 
@@ -32,7 +31,7 @@ from .core.scheduler import SERVICE, WAIT, make_scheduler
 from .kernel.costs import SYSCALL_TICK
 from .kernel.ops import Syscall
 from .kernel.process import Process, Thread, ThreadState
-from .parallel import Job, run_jobs
+from .parallel import Job, effective_host_cores, run_jobs
 
 
 # ---------------------------------------------------------------------------
@@ -223,14 +222,13 @@ def bench_fanout(sample: int = 8, jobs: int = 4) -> Dict[str, object]:
     with per-run digest identity required.
 
     The speedup is physically bounded by ``host_cores`` (the builds are
-    CPU-bound simulations): on a single-core host the expected value is
-    ~1.0x and only the identity property is meaningful, so consumers
-    must gate throughput assertions on the reported core count.
+    CPU-bound simulations): on a single-core host :func:`run_jobs`
+    falls back to the serial loop (pool overhead only ever loses there),
+    the record reports ``"fallback": "serial"``, and only the identity
+    property is meaningful — consumers must gate throughput assertions
+    on the reported core count.
     """
-    try:
-        cores = len(os.sched_getaffinity(0))
-    except AttributeError:  # non-Linux
-        cores = os.cpu_count() or 1
+    cores = effective_host_cores()
     specs = _build_sample(sample, seed=47)
     job_list = [Job(key=i, fn=_fanout_build, args=(spec,))
                 for i, spec in enumerate(specs)]
@@ -249,6 +247,7 @@ def bench_fanout(sample: int = 8, jobs: int = 4) -> Dict[str, object]:
         "runs": len(specs),
         "jobs": jobs,
         "host_cores": cores,
+        "fallback": ("serial" if jobs > 1 and cores == 1 else None),
         "serial_wall_s": round(serial_s, 6),
         "parallel_wall_s": round(parallel_s, 6),
         "speedup": round(serial_s / parallel_s, 2) if parallel_s else None,

@@ -21,6 +21,7 @@ import hashlib
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..cpu.machine import HostEnvironment
+from .epoch import MutationClock
 from .errors import Errno, SyscallError
 from .inode import Inode, InodeAllocator, new_directory, new_file
 from .types import DEFAULT_DIR_MODE, DEFAULT_FILE_MODE, Dirent, FileKind, StatResult
@@ -51,7 +52,18 @@ class Filesystem:
     def __init__(self, host: HostEnvironment):
         self.host = host
         self._alloc = InodeAllocator(host.inode_start)
+        #: Dirty tracking for incremental checkpoints (repro.ckpt):
+        #: every mutation stamps the touched inode with the mutation
+        #: clock and registers it here, keyed by ``(ino, generation)``.
+        #: Purely observational — nothing below ever reads these.
+        self._mclock = MutationClock()
+        self._dirty: Dict[Tuple[int, int], Inode] = {}
+        self._dead: List[Tuple[int, int]] = []
+        #: Live FIFO inodes by pipe identity, so the snapshot layer can
+        #: find FIFO-backing pipes without walking the whole tree.
+        self._fifo_nodes: Dict[int, Inode] = {}
         self.root = new_directory(self._alloc.allocate(), now=host.boot_epoch)
+        self.register_new_inode(self.root)
         self.device_id = 0x801
         self._bytes_written = 0
         #: Deterministic fault plane consult point (repro.faults):
@@ -75,6 +87,67 @@ class Filesystem:
 
     def _new_ino(self) -> int:
         return self._alloc.allocate()
+
+    # -- dirty tracking (incremental checkpoints) ---------------------------
+    #
+    # The snapshot layer names every inode ``(ino, generation)`` — stable
+    # across number recycling — and only re-serializes the dirty set at a
+    # barrier.  ``note`` is called by every mutator below and by the
+    # syscall layer for direct inode mutations (truncate, chmod, atime).
+
+    def key_of(self, node: Inode) -> Tuple[int, int]:
+        """The ``(ino, generation)`` identity of *node*."""
+        return (node.ino, node.generation)
+
+    def register_new_inode(self, node: Inode) -> None:
+        """Stamp a freshly-allocated inode's generation and mark it dirty.
+
+        Every creation site must route here (or through the create_*
+        helpers, which do) so the ``(ino, generation)`` key is live
+        before the object can appear in a snapshot.
+        """
+        node.generation = self._alloc.generation_of(node.ino)
+        if node.kind is FileKind.FIFO and node.fifo_pipe is not None:
+            self._fifo_nodes[id(node.fifo_pipe)] = node
+        self.note(node)
+
+    def note(self, node: Inode) -> None:
+        """Stamp *node* as mutated in the current epoch."""
+        node.dirty_epoch = self._mclock.tick
+        self._dirty[(node.ino, node.generation)] = node
+
+    def dirty_nodes(self) -> Dict[Tuple[int, int], Inode]:
+        """Inodes mutated since the last ``clear_dirty()``."""
+        return self._dirty
+
+    def dead_keys(self) -> List[Tuple[int, int]]:
+        """Keys of inodes fully released since the last ``clear_dirty()``."""
+        return self._dead
+
+    def fifo_inodes(self) -> List[Inode]:
+        """All live FIFO inodes (for pipe discovery at capture)."""
+        return list(self._fifo_nodes.values())
+
+    def clear_dirty(self) -> None:
+        """Fence the epoch after a successful snapshot."""
+        self._dirty = {}
+        self._dead = []
+        self._mclock.advance()
+
+    def reset_dirty_state(self, nodes: Iterable[Inode]) -> None:
+        """Re-arm dirty tracking after a restore rebuilds the tree.
+
+        The restored run's first snapshot is always a full capture, so
+        the dirty set starts empty; only the FIFO registry (pipe
+        discovery for capture) needs rebuilding from *nodes*.
+        """
+        self._mclock = MutationClock()
+        self._dirty = {}
+        self._dead = []
+        self._fifo_nodes = {}
+        for node in nodes:
+            if node.kind is FileKind.FIFO and node.fifo_pipe is not None:
+                self._fifo_nodes[id(node.fifo_pipe)] = node
 
     def charge_disk(self, nbytes: int) -> None:
         """Account *nbytes* of new data; raise ENOSPC past the injection cap."""
@@ -187,6 +260,8 @@ class Filesystem:
         self.charge_disk(len(data))
         parent.add_entry(name, node)
         parent.mtime = parent.ctime = now
+        self.register_new_inode(node)
+        self.note(parent)
         return node
 
     def create_dir(self, parent: Inode, name: str, mode: int = DEFAULT_DIR_MODE,
@@ -197,6 +272,8 @@ class Filesystem:
         parent.add_entry(name, node)
         parent.nlink += 1
         parent.mtime = parent.ctime = now
+        self.register_new_inode(node)
+        self.note(parent)
         return node
 
     def create_symlink(self, parent: Inode, name: str, target: str, uid: int = 0,
@@ -207,6 +284,8 @@ class Filesystem:
                      gid=gid, atime=now, mtime=now, ctime=now, symlink_target=target)
         parent.add_entry(name, node)
         parent.mtime = parent.ctime = now
+        self.register_new_inode(node)
+        self.note(parent)
         return node
 
     def create_device(self, parent: Inode, name: str, dev_read=None, dev_write=None,
@@ -215,6 +294,8 @@ class Filesystem:
                      atime=now, mtime=now, ctime=now, dev_read=dev_read,
                      dev_write=dev_write)
         parent.add_entry(name, node)
+        self.register_new_inode(node)
+        self.note(parent)
         return node
 
     def hard_link(self, parent: Inode, name: str, target: Inode, now: float = 0.0) -> None:
@@ -226,6 +307,8 @@ class Filesystem:
         target.nlink += 1
         target.ctime = now
         parent.mtime = parent.ctime = now
+        self.note(target)
+        self.note(parent)
 
     # -- open-description accounting ----------------------------------------
     #
@@ -238,16 +321,23 @@ class Filesystem:
     def inode_opened(self, node: Inode) -> None:
         """An open file description now references *node*."""
         node.open_count += 1
+        self.note(node)
 
     def inode_closed(self, node: Inode) -> None:
         """The last descriptor on one description closed."""
         node.open_count -= 1
+        self.note(node)
         self._maybe_release(node)
 
     def _maybe_release(self, node: Inode) -> None:
         """Recycle the inode number once no name and no open fd keeps it."""
         if node.nlink <= 0 and node.open_count <= 0:
             self._alloc.release(node.ino)
+            key = (node.ino, node.generation)
+            self._dirty.pop(key, None)
+            self._dead.append(key)
+            if node.fifo_pipe is not None:
+                self._fifo_nodes.pop(id(node.fifo_pipe), None)
 
     def unlink(self, parent: Inode, name: str, now: float = 0.0) -> None:
         node = parent.lookup(name)
@@ -259,6 +349,8 @@ class Filesystem:
         node.nlink -= 1
         node.ctime = now
         parent.mtime = parent.ctime = now
+        self.note(node)
+        self.note(parent)
         self._maybe_release(node)
 
     def rmdir(self, parent: Inode, name: str, now: float = 0.0) -> None:
@@ -273,6 +365,8 @@ class Filesystem:
         parent.nlink -= 1
         node.nlink = 0  # the name and the self-referential "." both die
         parent.mtime = parent.ctime = now
+        self.note(node)
+        self.note(parent)
         self._maybe_release(node)
 
     def rename(self, old_parent: Inode, old_name: str, new_parent: Inode,
@@ -299,6 +393,7 @@ class Filesystem:
             else:
                 existing.nlink -= 1
                 existing.ctime = now
+            self.note(existing)
             self._maybe_release(existing)
         old_parent.remove_entry(old_name)
         new_parent.add_entry(new_name, node)
@@ -309,6 +404,9 @@ class Filesystem:
         node.ctime = now
         old_parent.mtime = old_parent.ctime = now
         new_parent.mtime = new_parent.ctime = now
+        self.note(node)
+        self.note(old_parent)
+        self.note(new_parent)
 
     # -- metadata --------------------------------------------------------------
 
@@ -386,6 +484,7 @@ class Filesystem:
         else:
             node.data = bytearray(data)
             node.mtime = node.ctime = now
+            self.note(node)
         return node
 
     def read_file(self, path: str) -> bytes:

@@ -70,9 +70,14 @@ class Inode:
     # inode: POSIX keeps an unlinked inode (and its number) alive until
     # the last close, so the allocator must not recycle the number while
     # any description is live (Filesystem.inode_opened/inode_closed).
+    #
+    # ``dirty_epoch`` is the incremental-checkpoint stamp: the mutation
+    # clock tick at which this inode last changed (Filesystem.note).
+    # Nothing in the kernel reads it — it only feeds snapshot capture.
     namei_epoch = 0
     _dirent_cache = None
     open_count = 0
+    dirty_epoch = 0
 
     @property
     def size(self) -> int:
@@ -129,17 +134,28 @@ class InodeAllocator:
     def __init__(self, start: int):
         self._next = start
         self._free: list = []
+        #: Per-number generation counters: bumped every time a number is
+        #: handed out, so ``(ino, generation)`` names one object for the
+        #: whole run even across recycling.  The checkpoint plane keys
+        #: delta records on this pair.
+        self._gen: Dict[int, int] = {}
 
     def allocate(self) -> int:
         if self._free:
             self._free.sort()
-            return self._free.pop(0)
-        ino = self._next
-        self._next += 1
+            ino = self._free.pop(0)
+        else:
+            ino = self._next
+            self._next += 1
+        self._gen[ino] = self._gen.get(ino, 0) + 1
         return ino
 
     def release(self, ino: int) -> None:
         self._free.append(ino)
+
+    def generation_of(self, ino: int) -> int:
+        """Current generation of *ino* (0 if never allocated here)."""
+        return self._gen.get(ino, 0)
 
     @property
     def outstanding_free(self) -> int:

@@ -197,6 +197,7 @@ class SyscallTable:
             if flags & O_TRUNC and (flags & ACCMODE_MASK) in (O_WRONLY, O_RDWR):
                 node.data = bytearray()
                 node.mtime = node.ctime = self._now
+                self._fs.note(node)
             of = OpenFile(kind=FdKind.FILE, flags=flags, path=abspath, inode=node)
         else:
             raise SyscallError(Errno.EINVAL, "open", path)
@@ -235,10 +236,14 @@ class SyscallTable:
             data = bytes(node.data[of.offset:of.offset + count])
             of.offset += len(data)
             node.atime = self._now
+            self._fs.note(node)
             self.kernel.charge_io(t, len(data))
             return data
         if of.kind is FdKind.DEVICE:
             if of.inode is not None and of.inode.dev_read is not None:
+                # Device reads advance internal cursors (procfs position),
+                # which the snapshot layer captures off the inode.
+                self._fs.note(of.inode)
                 return of.inode.dev_read(count)
             sock = getattr(of, "socket", None)
             if sock is not None:
@@ -275,10 +280,12 @@ class SyscallTable:
             node.data[of.offset:end] = data
             of.offset = end
             node.mtime = node.ctime = self._now
+            self._fs.note(node)
             self.kernel.charge_io(t, len(data))
             return len(data)
         if of.kind is FdKind.DEVICE:
             if of.inode is not None and of.inode.dev_write is not None:
+                self._fs.note(of.inode)
                 return of.inode.dev_write(data)
             sock = getattr(of, "socket", None)
             if sock is not None:
@@ -385,6 +392,8 @@ class SyscallTable:
         node.fifo_pipe = Pipe()
         parent.add_entry(name, node)
         parent.mtime = parent.ctime = self._now
+        self._fs.register_new_inode(node)
+        self._fs.note(parent)
         return 0
 
     def sys_mkdir(self, t: Thread, path: str, mode: int = 0o755):
@@ -435,12 +444,14 @@ class SyscallTable:
         node = self._resolve(t.process, path)
         node.mode = mode & 0o7777
         node.ctime = self._now
+        self._fs.note(node)
         return 0
 
     def sys_chown(self, t: Thread, path: str, uid: int, gid: int):
         node = self._resolve(t.process, path)
         node.uid, node.gid = uid, gid
         node.ctime = self._now
+        self._fs.note(node)
         return 0
 
     def sys_truncate(self, t: Thread, path: str, length: int):
@@ -453,6 +464,7 @@ class SyscallTable:
         else:
             del node.data[length:]
         node.mtime = node.ctime = self._now
+        self._fs.note(node)
         return 0
 
     def sys_utime(self, t: Thread, path: str, times=None):
@@ -462,6 +474,7 @@ class SyscallTable:
         else:
             node.atime, node.mtime = times
         node.ctime = self._now
+        self._fs.note(node)
         return 0
 
     def sys_fsync(self, t: Thread, fd: int):

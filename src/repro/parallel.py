@@ -119,6 +119,19 @@ def default_workers() -> int:
     return max(1, min(8, os.cpu_count() or 1))
 
 
+def effective_host_cores() -> int:
+    """Cores this process may actually run on.
+
+    Prefers the scheduler affinity mask (a cgroup/taskset-restricted
+    host may expose 64 CPUs but allow 1), falling back to the raw CPU
+    count where unavailable.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
 def _state_path(directory: str, key: Any) -> str:
     """The per-key completion file inside a resume-state directory."""
     return os.path.join(
@@ -191,6 +204,13 @@ def run_jobs(jobs: Sequence[Job], workers: int = 1,
         done = _load_completed(resume_state, ordered)
     pending = [job for job in ordered if repr(job.key) not in done]
     workers = max(1, min(int(workers), len(pending) or 1))
+    if timeout is None and workers > 1 and effective_host_cores() == 1:
+        # Forking a pool on a single effective core only adds process
+        # setup and context-switch overhead (speedup < 1 in practice);
+        # the serial loop produces identical, key-ordered results by
+        # contract, so fall back.  Timeouts still need the pool: a hung
+        # job can only be abandoned in a worker process.
+        workers = 1
     if timeout is None and workers == 1:
         # The plain in-process loop: serial-vs-parallel identity tests
         # compare genuinely different execution paths.

@@ -51,10 +51,12 @@ def kill_plan(tick: int) -> FaultPlan:
         FaultRule(fault="kill", at_tick=tick, transient=True),))
 
 
-def ckpt_config(directory: str, tick=None, every=7, **kwargs) -> ContainerConfig:
+def ckpt_config(directory: str, tick=None, every=7, full_every=4, keep=3,
+                **kwargs) -> ContainerConfig:
     return ContainerConfig(
         fault_plan=kill_plan(tick) if tick is not None else None,
-        checkpoint=CheckpointConfig(directory=directory, every=every),
+        checkpoint=CheckpointConfig(directory=directory, every=every,
+                                    keep=keep, full_every=full_every),
         **kwargs)
 
 

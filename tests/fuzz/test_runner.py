@@ -8,6 +8,7 @@ from repro.fuzz.runner import (
     COMPARED_FIELDS,
     MATRIX,
     Cell,
+    _check_ckpt_resume,
     check_program,
     run_cell,
 )
@@ -84,6 +85,25 @@ class TestCheckProgram:
         pooled = check_program(spec, workers=2, rnr=False)
         assert serial.ok and pooled.ok
         assert serial.records == pooled.records
+
+    def test_ckpt_resume_axis_clean_on_deterministic_program(self):
+        """The crash/resume axis kills the run on a mid-chain delta
+        checkpoint and resumes; a healthy program reproduces the
+        straight base record exactly."""
+        spec = generate_program(2)
+        base = run_cell(spec.to_dict(), MATRIX[0].to_dict())
+        assert base["totals"]["events_processed"] >= 8
+        assert _check_ckpt_resume(spec, MATRIX[0], base) == []
+
+    def test_ckpt_resume_axis_detects_divergence(self):
+        """Negative control: a resumed run that differs from the base
+        record on any compared field must be flagged."""
+        spec = generate_program(2)
+        base = run_cell(spec.to_dict(), MATRIX[0].to_dict())
+        tampered = dict(base)
+        tampered["stdout"] = base["stdout"] + "tampered\n"
+        failures = _check_ckpt_resume(spec, MATRIX[0], tampered)
+        assert failures and "stdout" in failures[0]
 
     def test_rnr_axis_runs_for_thread_free_programs(self):
         spec = _spec({"op": "write", "path": "f0", "data": "a"},
