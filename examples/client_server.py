@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Deterministic in-container networking: a loopback TCP-style echo
+pipeline whose trace, output tree and socket addresses are bitwise
+identical across boots and machines.
+
+The server binds 127.0.0.1:8080, the client connects from a
+deterministic ephemeral port (the per-container monotonic counter,
+§5.9's "container-internal resources stay inside the container"), and
+the two exchange several request/response rounds over the simulated
+stream — so checkpoints can land mid-connection and still resume to the
+identical result.
+
+Run:  python examples/client_server.py
+      python examples/client_server.py --dump DIR --boot-seed N
+                          # one boot; write stdout/logs/trace for cmp(1)
+"""
+
+from repro import DetTrace, Image
+from repro.core import ContainerConfig
+from repro.cpu.machine import BROADWELL_XEON, SKYLAKE_CLOUDLAB, HostEnvironment
+from repro.guest import libc
+from repro.repro_tools import tree_digest
+
+ADDRESS = "127.0.0.1:8080"
+ROUNDS = 5
+
+
+def server_main(sys):
+    """Accept one client and echo each request uppercased."""
+    lfd = yield from libc.sock_stream_server(sys, ADDRESS, backlog=4)
+    bound = yield from sys.getsockname(lfd)
+    pid = yield from sys.spawn("/bin/client", close_fds=[lfd])
+    conn, peer = yield from sys.accept(lfd)
+    yield from sys.println("server: %s accepted %s" % (bound, peer))
+    served = 0
+    while True:
+        head = yield from libc.recv_exact(sys, conn, 4)
+        if not head:
+            break                      # orderly shutdown from the client
+        body = yield from libc.recv_exact(sys, conn, int(head))
+        yield from libc.send_all(sys, conn, body.upper())
+        served += 1
+    yield from sys.close(conn)
+    yield from sys.close(lfd)
+    res = yield from sys.waitpid(pid)
+    yield from sys.write_file(
+        "server.log", b"served=%d client=%s exit=%d\n"
+        % (served, peer.encode(), res.status))
+    return res.status
+
+
+def client_main(sys):
+    fd = yield from libc.sock_stream_client(sys, ADDRESS)
+    local = yield from sys.getsockname(fd)
+    lines = []
+    for i in range(ROUNDS):
+        msg = b"round %d from %s" % (i, local.encode())
+        yield from libc.send_all(sys, fd, b"%04d" % len(msg) + msg)
+        reply = yield from libc.recv_exact(sys, fd, len(msg))
+        lines.append(reply)
+    yield from sys.shutdown(fd, 1)     # SHUT_WR: EOF to the server
+    tail = yield from sys.recv(fd, 64)
+    yield from sys.close(fd)
+    yield from sys.write_file("client.log",
+                              b"\n".join(lines) + b"\ntail=%r\n" % tail)
+    return 0
+
+
+def build_image() -> Image:
+    image = Image()
+    image.add_binary("/bin/server", server_main)
+    image.add_binary("/bin/client", client_main)
+    return image
+
+
+def boot(seed, machine=SKYLAKE_CLOUDLAB):
+    return HostEnvironment(machine=machine, entropy_seed=seed,
+                           boot_epoch=1.6e9 + seed * 1000.0,
+                           pid_start=1000 + seed * 17,
+                           inode_start=100_000 + seed * 999,
+                           dirent_hash_salt=seed)
+
+
+def run_once(seed, machine=SKYLAKE_CLOUDLAB, observe=False):
+    config = ContainerConfig(deterministic_loopback=True, observe=observe)
+    return DetTrace(config).run(build_image(), "/bin/server",
+                                host=boot(seed, machine))
+
+
+def dump(seed, out_dir):
+    """One boot's full observable surface as files, for cmp(1) gates."""
+    import json
+    import os
+
+    result = run_once(seed, observe=True)
+    assert result.exit_code == 0, (result.status, result.error)
+    os.makedirs(out_dir, exist_ok=True)
+    with open(os.path.join(out_dir, "stdout.txt"), "w") as fh:
+        fh.write(result.stdout)
+    for name in ("server.log", "client.log"):
+        with open(os.path.join(out_dir, name), "wb") as fh:
+            fh.write(result.output_tree[name])
+    with open(os.path.join(out_dir, "trace.json"), "w") as fh:
+        json.dump(result.trace.to_chrome(), fh, sort_keys=True, indent=1)
+    with open(os.path.join(out_dir, "digest.txt"), "w") as fh:
+        fh.write(tree_digest(result.output_tree) + "\n")
+
+
+def main():
+    print("== DetTrace: two boots, plus a different machine ==")
+    digests = []
+    for seed, machine in ((1, SKYLAKE_CLOUDLAB), (2, SKYLAKE_CLOUDLAB),
+                          (3, BROADWELL_XEON)):
+        result = run_once(seed, machine)
+        assert result.exit_code == 0, (result.status, result.error)
+        digest = tree_digest(result.output_tree)
+        digests.append(digest)
+        print("boot %d (%s) digest: %s" % (seed, machine.microarch,
+                                           digest[:16]))
+    print()
+    print(result.stdout, end="")
+    print(result.output_tree["client.log"].decode())
+    assert len(set(digests)) == 1, "socket runs must be bitwise identical"
+    print("all runs bitwise identical — ports, traffic and logs included.")
+
+
+if __name__ == "__main__":
+    import sys as _sys
+
+    if "--dump" in _sys.argv:
+        out = _sys.argv[_sys.argv.index("--dump") + 1]
+        seed = (int(_sys.argv[_sys.argv.index("--boot-seed") + 1])
+                if "--boot-seed" in _sys.argv else 1)
+        dump(seed, out)
+    else:
+        main()

@@ -9,6 +9,7 @@
 #   ./scripts/check.sh fuzz     # just the differential-fuzz smoke stage
 #   ./scripts/check.sh ckpt     # just the checkpoint/resume smoke stage
 #   ./scripts/check.sh diag     # just the divergence-diagnosis stage
+#   ./scripts/check.sh sockets  # just the deterministic-networking stage
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -20,7 +21,8 @@ obs_tmp=""
 perf_tmp=""
 ckpt_tmp=""
 diag_tmp=""
-trap 'rm -rf ${obs_tmp:+"$obs_tmp"} ${perf_tmp:+"$perf_tmp"} ${ckpt_tmp:+"$ckpt_tmp"} ${diag_tmp:+"$diag_tmp"}' EXIT
+sock_tmp=""
+trap 'rm -rf ${obs_tmp:+"$obs_tmp"} ${perf_tmp:+"$perf_tmp"} ${ckpt_tmp:+"$ckpt_tmp"} ${diag_tmp:+"$diag_tmp"} ${sock_tmp:+"$sock_tmp"}' EXIT
 
 if [ "$stage" = "all" ]; then
     echo "== compileall =="
@@ -128,6 +130,22 @@ if [ "$stage" = "all" ] || [ "$stage" = "diag" ]; then
         [ $? -eq 1 ]
     grep -q '"classification": "stream-content"' "$diag_tmp/divergence.json"
     echo "cross-seed divergence localized and banked"
+fi
+
+if [ "$stage" = "all" ] || [ "$stage" = "sockets" ]; then
+    echo "== deterministic-networking stage (kernel socket tests) =="
+    python -m pytest -x -q tests/kernel/test_sockets.py tests/ckpt/test_sockets_ckpt.py
+    echo "== two-boot byte-identity gate (client/server example) =="
+    # Two different boots (entropy, boot epoch, pid/inode bases) of the
+    # echo pipeline: stdout, both logs, the tree digest and the full
+    # Chrome trace must all be byte-identical.
+    sock_tmp="$(mktemp -d)"
+    python examples/client_server.py --dump "$sock_tmp/a" --boot-seed 1
+    python examples/client_server.py --dump "$sock_tmp/b" --boot-seed 2
+    for f in stdout.txt server.log client.log digest.txt trace.json; do
+        cmp "$sock_tmp/a/$f" "$sock_tmp/b/$f"
+    done
+    echo "client/server runs byte-identical across boots (incl. trace JSON)"
 fi
 
 if [ "$stage" = "all" ] || [ "$stage" = "perf" ]; then

@@ -45,6 +45,7 @@ from .snapshot import (
     _canonical_parked,
     _canonical_pipes,
     _canonical_processes,
+    _canonical_sockets,
     materialize_delta,
 )
 
@@ -60,6 +61,7 @@ def _hash(obj: Any) -> str:
 #: (The pipe/of identity maps are handled separately — see ``advance``.)
 _SECTION_ITEMS: Dict[str, Tuple[str, ...]] = {
     "pipes": ("pipes",),
+    "sockets": ("sockets",),
     "of_records": ("of_records",),
     "processes": ("processes",),
     "parked": ("parked",),
@@ -120,7 +122,7 @@ class MerkleCursor:
 
     def _item_names(self) -> List[str]:
         names = list(_GUEST_KEYS)
-        names += ["pipes", "of_records", "processes", "parked",
+        names += ["pipes", "sockets", "of_records", "processes", "parked",
                   "scope", "fs_nodes"]
         if self.scope == FULL_SCOPE:
             names += list(_FULL_KEYS)
@@ -135,6 +137,8 @@ class MerkleCursor:
             return self._fs_digest()
         elif name == "pipes":
             value = _canonical_pipes(payload, self._pipe_map)
+        elif name == "sockets":
+            value = _canonical_sockets(payload, self._pipe_map)
         elif name == "of_records":
             value = _canonical_of_records(payload, self._pipe_map)
         elif name == "processes":
@@ -212,8 +216,8 @@ class MerkleCursor:
                     stale.add(name)
         fifo_stale: Set[Key] = set()
         if self._pipe_map != old_pipe_map:
-            stale.update(n for n in ("pipes", "of_records", "processes",
-                                     "parked", "pipe_counter")
+            stale.update(n for n in ("pipes", "sockets", "of_records",
+                                     "processes", "parked", "pipe_counter")
                          if n in self._items)
             fifo_stale = set(self._fifo_keys)
         if self._of_map != old_of_map and "processes" in self._items:

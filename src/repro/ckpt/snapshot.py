@@ -55,8 +55,9 @@ DELTA_KIND = "repro.ckpt.delta"
 SECTION_KEYS = (
     "host", "clock_now", "stats", "obs", "network", "stdout", "stderr",
     "timers", "pid_next", "tid_next", "nspid_next", "seq", "cores_busy",
-    "core_queue", "fs_meta", "pipes", "pipe_counter", "of_records",
-    "processes", "events", "parked", "sched", "tracer", "faults",
+    "core_queue", "fs_meta", "pipes", "pipe_counter", "sockets",
+    "of_records", "processes", "events", "parked", "sched", "tracer",
+    "faults",
 )
 
 #: Sections that move at (virtually) every event — the clock, the event
@@ -200,6 +201,17 @@ def _capture_runtime(kernel) -> Tuple[
     # needs no tree walk (the delta path never walks the tree).
     for node in fs.fifo_inodes():
         note_pipe(node.fifo_pipe)
+    # Socket listeners: rendezvous channels keyed by their deterministic
+    # (family, address) identity, plus the pipes of queued-but-unaccepted
+    # connections (reachable through no fd table yet).
+    for (family, addr), listener in sorted(kernel.sockets.listeners.items()):
+        chan_desc[listener.accept_ready] = ("sock", family, addr,
+                                            "accept_ready")
+        chan_desc[listener.accept_slot] = ("sock", family, addr,
+                                           "accept_slot")
+        for to_server, to_client, _peer in listener.pending:
+            note_pipe(to_server)
+            note_pipe(to_client)
 
     referenced: Dict[Tuple[int, int], Tuple[Inode, Optional[str]]] = {}
 
@@ -210,9 +222,12 @@ def _capture_runtime(kernel) -> Tuple[
         key = id(of)
         if key not in of_records:
             if getattr(of, "socket", None) is not None:
+                # In-guest loopback/unix sockets are plain pipe-backed
+                # descriptions and snapshot fine; only the fake
+                # *external* network peer carries live host state.
                 raise CheckpointUnsupported(
-                    "open loopback socket fds cannot cross a snapshot "
-                    "(path %r)" % of.path)
+                    "open external-network socket fds cannot cross a "
+                    "snapshot (peer %r)" % (of.sock_peer or of.path))
             note_pipe(of.pipe)
             note_pipe(of.peer_pipe)
             inode_key = None
@@ -228,6 +243,11 @@ def _capture_runtime(kernel) -> Tuple[
                 "peer_pipe": (of.peer_pipe.pipe_id
                               if of.peer_pipe is not None else None),
                 "refcount": of.refcount, "counts_inode": of.counts_inode,
+                "sock_local": of.sock_local, "sock_peer": of.sock_peer,
+                "sock_family": of.sock_family, "sock_bound": of.sock_bound,
+                "listener": ((of.listener.family, of.listener.address)
+                             if of.listener is not None else None),
+                "shut_rd": of.shut_rd, "shut_wr": of.shut_wr,
             }
         return key
 
@@ -385,6 +405,7 @@ def _capture_runtime(kernel) -> Tuple[
         },
         "pipes": pipe_records,
         "pipe_counter": Pipe._counter,
+        "sockets": _capture_sockets(kernel.sockets),
         "of_records": of_records,
         "processes": proc_records,
         "events": events,
@@ -464,6 +485,10 @@ def _section_digest(key: str, value: Any) -> str:
         version = getattr(value, "_state_version", None)
         if version is not None:
             return "host-version-%d" % version
+    if key == "sockets":
+        # Same O(1) trick: the registry stamps a dirty epoch on every
+        # mutation, so deltas stay O(changed) for socket-free stretches.
+        return "sockets-version-%d" % value["version"]
     return hashlib.sha256(pickle.dumps(value, _FP_PROTOCOL)).hexdigest()
 
 
@@ -582,6 +607,42 @@ def materialize_delta(base: Dict[str, Any],
     payload["tape"] = list(base["tape"]) + list(delta["tape_tail"])
     payload["kind"] = PAYLOAD_KIND
     return payload
+
+
+def _capture_sockets(reg) -> Dict[str, Any]:
+    """The socket registry as a plain section: addresses, the port
+    counter and listener queues (pipes by id — their contents live in
+    the ``pipes`` section).  Listener iteration is sorted by the
+    deterministic (family, address) key, so an unchanged registry
+    pickles byte-identically."""
+    return {
+        "version": reg.version,
+        "port_next": reg.port_next,
+        "bound": sorted(reg.bound),
+        "listeners": [
+            {"family": family, "address": addr, "backlog": l.backlog,
+             "pending": [(ts.pipe_id, tc.pipe_id, peer)
+                         for ts, tc, peer in l.pending]}
+            for (family, addr), l in sorted(reg.listeners.items())],
+    }
+
+
+def _restore_sockets(srec: Optional[Dict[str, Any]],
+                     pipes_by_id: Dict[int, Pipe]):
+    from ..kernel.sockets import Listener, SocketRegistry
+
+    reg = SocketRegistry()
+    if srec is None:  # pre-sockets snapshot
+        return reg
+    reg.version = srec["version"]
+    reg.port_next = srec["port_next"]
+    reg.bound = {tuple(key): True for key in srec["bound"]}
+    for lrec in srec["listeners"]:
+        listener = Listener(lrec["family"], lrec["address"], lrec["backlog"])
+        listener.pending = [(pipes_by_id[ts], pipes_by_id[tc], peer)
+                            for ts, tc, peer in lrec["pending"]]
+        reg.listeners[(lrec["family"], lrec["address"])] = listener
+    return reg
 
 
 def _capture_sched(sched) -> Optional[Dict[str, Any]]:
@@ -828,6 +889,9 @@ def restore(kernel, payload: Dict[str, Any]) -> List[Tuple]:
         pipes_by_id[pid_] = p
     Pipe._counter = payload["pipe_counter"]
 
+    # -- socket registry (before of_records: listener identity) ---------
+    kernel.sockets = _restore_sockets(payload.get("sockets"), pipes_by_id)
+
     # -- filesystem ------------------------------------------------------
     fs = kernel.fs
     fresh_devices: Dict[str, Inode] = {}
@@ -884,7 +948,7 @@ def restore(kernel, payload: Dict[str, Any]) -> List[Tuple]:
     # -- open file descriptions -----------------------------------------
     ofs_by_id: Dict[int, OpenFile] = {}
     for ofid, rec in payload["of_records"].items():
-        ofs_by_id[ofid] = OpenFile(
+        of = OpenFile(
             kind=rec["kind"], flags=rec["flags"], offset=rec["offset"],
             path=rec["path"],
             inode=(None if rec["inode"] is None
@@ -893,7 +957,20 @@ def restore(kernel, payload: Dict[str, Any]) -> List[Tuple]:
             refcount=rec["refcount"],
             peer_pipe=(None if rec["peer_pipe"] is None
                        else pipes_by_id[rec["peer_pipe"]]),
-            counts_inode=rec["counts_inode"])
+            counts_inode=rec["counts_inode"],
+            sock_local=rec.get("sock_local", ""),
+            sock_peer=rec.get("sock_peer", ""),
+            sock_family=rec.get("sock_family", 0),
+            sock_bound=rec.get("sock_bound", False),
+            shut_rd=rec.get("shut_rd", False),
+            shut_wr=rec.get("shut_wr", False))
+        lkey = rec.get("listener")
+        if lkey is not None:
+            of.listener = kernel.sockets.lookup(lkey[0], lkey[1])
+            if of.listener is None:
+                raise RestoreError(
+                    "listening fd %r has no registry entry" % rec["path"])
+        ofs_by_id[ofid] = of
 
     # -- processes & threads (shells first; frames come from replay) ----
     procs_by_pid: Dict[int, Process] = {}
@@ -969,6 +1046,11 @@ def restore(kernel, payload: Dict[str, Any]) -> List[Tuple]:
             return procs_by_pid[desc[1]].futex_channel(desc[2])
         if k0 == "pipe":
             return getattr(pipes_by_id[desc[1]], desc[2])
+        if k0 == "sock":
+            listener = kernel.sockets.lookup(desc[1], desc[2])
+            if listener is None:
+                raise RestoreError("no restored listener for %r" % (desc,))
+            return getattr(listener, desc[3])
         raise RestoreError("unknown channel descriptor %r" % (desc,))
 
     # -- thread scalar overlays -----------------------------------------
@@ -1284,6 +1366,26 @@ def _canonical_parked(payload: Dict[str, Any],
             for d, tids in payload["parked"]]
 
 
+def _canonical_sockets(payload: Dict[str, Any],
+                       pipe_map: Dict[int, int]) -> Optional[Dict[str, Any]]:
+    """The sockets section with unstable identifiers erased: pending
+    pipe ids remapped, the internal dirty epoch dropped (it counts
+    mutations, not guest-visible state)."""
+    srec = payload.get("sockets")
+    if srec is None:  # pre-sockets payload
+        return None
+    return {
+        "port_next": srec["port_next"],
+        "bound": [tuple(key) for key in srec["bound"]],
+        "listeners": [
+            {"family": lrec["family"], "address": lrec["address"],
+             "backlog": lrec["backlog"],
+             "pending": [(pipe_map.get(ts, -1), pipe_map.get(tc, -1), peer)
+                         for ts, tc, peer in lrec["pending"]]}
+            for lrec in srec["listeners"]],
+    }
+
+
 def canonical_state(payload: Dict[str, Any],
                     scope: str = GUEST_SCOPE) -> Dict[str, Any]:
     """Reduce a capture payload to a canonical, comparison-safe form.
@@ -1307,6 +1409,7 @@ def canonical_state(payload: Dict[str, Any],
     state.update({
         "fs_nodes": fs_nodes,
         "pipes": _canonical_pipes(payload, pipe_map),
+        "sockets": _canonical_sockets(payload, pipe_map),
         "of_records": _canonical_of_records(payload, pipe_map),
         "processes": _canonical_processes(payload, pipe_map, of_map),
         "parked": _canonical_parked(payload, pipe_map),

@@ -142,6 +142,13 @@ class ContainerConfig:
     #: e.g., as interprocess communication within our container, that can
     #: be rendered reproducible").
     allow_container_ipc_sockets: bool = True
+    #: Allow loopback AF_INET stream sockets between container processes
+    #: (repro.kernel.sockets).  Rendered reproducible the same way as
+    #: pipes: deterministic ephemeral ports, serialized rendezvous,
+    #: virtual-time blocking.  Off by default so the strict §5.9 posture
+    #: ("reject network communication") stays the baseline; the sockets
+    #: fuzz axis and the client-server example turn it on explicitly.
+    deterministic_loopback: bool = False
     #: Debug verbosity (the artifact's ``--debug N``): 0 = off, 1 = log
     #: serviced syscalls, 2 = also instruction traps and probes.  Lines
     #: are collected on ``ContainerResult.debug_log``.

@@ -20,9 +20,12 @@ def _is_pipe_fd(ctx: HandlerContext, thread, fd) -> bool:
     never seen such partial operations on regular files"); retrying only
     there keeps regular-file EOF semantics a single syscall."""
     try:
-        return thread.process.fdtable.get(fd).is_pipe
+        of = thread.process.fdtable.get(fd)
     except Exception:
         return False
+    # External fake-peer sockets answer one datagram per read; the
+    # accumulate-until-full retry loop is for stream kinds only.
+    return of.is_pipe and getattr(of, "socket", None) is None
 
 
 def _procfs_path(ctx: HandlerContext, thread, fd) -> str:
@@ -120,4 +123,8 @@ def handle_write(ctx: HandlerContext, thread, call) -> Outcome:
 HANDLERS = {
     "read": handle_read,
     "write": handle_write,
+    # recv/send are read/write on a socket fd: same partial-transfer
+    # hiding, same accumulate-and-retry state machine (§5.5).
+    "recv": handle_read,
+    "send": handle_write,
 }

@@ -57,15 +57,47 @@ def handle_socketpair(ctx: HandlerContext, thread, call) -> Outcome:
 
 
 def handle_socket(ctx: HandlerContext, thread, call) -> Outcome:
-    if ctx.config.reject_sockets:
+    """Family-aware gate: AF_UNIX sockets are container-internal IPC
+    (the socketpair carve-out); AF_INET is only admitted when the
+    deterministic-loopback subsystem is enabled or sockets pass through
+    wholesale (reject_sockets ablated)."""
+    from ...kernel import sockets as socklib
+
+    family = call.args.get("family", socklib.AF_INET)
+    if family == socklib.AF_UNIX:
+        if not ctx.config.allow_container_ipc_sockets:
+            raise UnsupportedSyscallError("socket", "sockets disabled")
+    elif ctx.config.reject_sockets and not ctx.config.deterministic_loopback:
         raise UnsupportedSyscallError("socket", "network communication")
     return passthrough(ctx, thread, call)
 
 
 def handle_connect(ctx: HandlerContext, thread, call) -> Outcome:
-    if ctx.config.reject_sockets:
+    """Address-aware gate: in-container rendezvous (AF_UNIX paths,
+    loopback AF_INET) is deterministic; anything naming an external host
+    is network communication and keeps the §5.9 rejection."""
+    from ...kernel import sockets as socklib
+
+    address = call.args.get("address", "")
+    if socklib.is_unix_address(address):
+        if not ctx.config.allow_container_ipc_sockets:
+            raise UnsupportedSyscallError("connect", "sockets disabled")
+    elif socklib.is_loopback_address(address):
+        if ctx.config.reject_sockets and not ctx.config.deterministic_loopback:
+            raise UnsupportedSyscallError("connect", "network communication")
+    elif ctx.config.reject_sockets:
         raise UnsupportedSyscallError("connect", "network communication")
-    return passthrough(ctx, thread, call)
+    outcome = passthrough(ctx, thread, call)
+    if outcome[0] == "value":
+        ctx.counters.socket_connects += 1
+    return outcome
+
+
+def handle_accept(ctx: HandlerContext, thread, call) -> Outcome:
+    outcome = passthrough(ctx, thread, call)
+    if outcome[0] == "value":
+        ctx.counters.socket_accepts += 1
+    return outcome
 
 
 def _unsupported(name: str, reason: str):
@@ -94,6 +126,14 @@ HANDLERS = {
     "download": handle_download,
     "socketpair": handle_socketpair,
     "connect": handle_connect,
+    # The rest of the deterministic socket surface only needs the
+    # serialized-syscall discipline: addresses, backlogs and the
+    # ephemeral-port counter are already pure container state.
+    "bind": passthrough,
+    "listen": passthrough,
+    "accept": handle_accept,
+    "shutdown": passthrough,
+    "getsockname": passthrough,
     "setuid": passthrough,
     "setgid": passthrough,
     "getrandom_unused": passthrough,

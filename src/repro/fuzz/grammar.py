@@ -28,6 +28,11 @@ PATH_POOL = DIR_POOL + FILE_POOL
 
 DATA_POOL = ("alpha", "bravo", "charlie-charlie", "x" * 64)
 
+#: Stream-socket endpoints the ``sock`` op binds: AF_UNIX paths plus
+#: loopback AF_INET, including port 0 (deterministic ephemeral draw).
+SOCK_ADDR_POOL = ("/fuzz/a.sock", "/fuzz/b.sock",
+                  "127.0.0.1:7070", "127.0.0.1:0")
+
 #: fd-slot names the open/close/readfd/writefd/fstat ops share.
 SLOT_POOL = (0, 1, 2, 3)
 
@@ -39,7 +44,7 @@ _MAIN_MENU = (
     ("fstat", 4), ("stat", 5), ("listdir", 6), ("readfile", 3),
     ("time", 4), ("random", 4), ("pipe", 3), ("sleep", 2),
     ("compute", 3), ("threads", 5), ("alarm", 2), ("killself", 2),
-    ("audit", 4),
+    ("audit", 4), ("sock", 5), ("dup2pipe", 2), ("sigpipe", 2),
 )
 
 #: Restricted menu for thread bodies: no nested threads, no slot ops
@@ -85,6 +90,19 @@ class ProgramSpec:
         """Multi-threaded programs are excluded from the rnr axis (the
         recorder predates the thread story, mirroring the paper)."""
         return any(op["op"] == "threads" for op in self.ops)
+
+    def rnr_compatible(self) -> bool:
+        """Whether the rnr record/replay axis can reproduce this program.
+
+        Pure-injection replay feeds recorded results to trapped syscalls
+        without executing them, so it cannot reproduce (a) kernel-side
+        signal delivery — an injected EPIPE write never raises SIGPIPE,
+        so handler-dependent control flow diverges — or (b) pass-through
+        fd aliasing — ``dup2`` executes natively against fds that were
+        never really opened.  Mirrors rr's own partial syscall coverage
+        (the paper's §7.1.3 crash on 46 of 81 packages)."""
+        return not any(op["op"] in ("sigpipe", "dup2pipe")
+                       for op in self.ops)
 
     def with_ops(self, ops) -> "ProgramSpec":
         return ProgramSpec(seed=self.seed, ops=tuple(dict(op) for op in ops))
@@ -158,6 +176,14 @@ def _gen_op(rng: random.Random, name: str) -> Dict[str, Any]:
         return {"op": "killself"}
     if name == "audit":
         return {"op": "audit"}
+    if name == "sock":
+        return {"op": "sock", "address": rng.choice(SOCK_ADDR_POOL),
+                "data": rng.choice(DATA_POOL),
+                "backlog": rng.choice((1, 2, 8))}
+    if name == "dup2pipe":
+        return {"op": "dup2pipe", "data": rng.choice(DATA_POOL)}
+    if name == "sigpipe":
+        return {"op": "sigpipe"}
     if name == "threads":
         bodies = []
         for _ in range(rng.randint(1, 3)):

@@ -41,6 +41,7 @@ from ..kernel.types import (
     S_IFLNK,
     S_IFMT,
     SIGALRM,
+    SIGPIPE,
 )
 
 SPEC_PATH = "/fuzz/program.json"
@@ -197,6 +198,12 @@ def _interpret(sys, op, slots, tag, who):
             return (yield from _threads(sys, op, tag))
         if kind == "audit":
             return (yield from _audit(sys, slots))
+        if kind == "sock":
+            return (yield from _sock(sys, op))
+        if kind == "dup2pipe":
+            return (yield from _dup2pipe(sys, op))
+        if kind == "sigpipe":
+            return (yield from _sigpipe(sys))
         return "unknown-op"
     except SyscallError as err:
         return _errname(err)
@@ -224,6 +231,99 @@ def _rename_with_oracle(sys, op):
     if new_st is not None and not old_st.is_dir() and new_st.is_dir():
         return "VIOLATION rename-nondir-onto-dir-succeeded want=EISDIR"
     return "ok"
+
+
+def _sock(sys, op):
+    """One full stream-socket exchange: listen, connect (the backlog
+    queues it), accept, echo, half-close.  Single-threaded on purpose —
+    connect completes before accept per TCP backlog semantics, so the
+    whole connect/accept/send/recv/shutdown surface runs without any
+    scheduler dependence.  Oracles: the echo must round-trip uppercased
+    and the client's SHUT_WR must read back as EOF on the server."""
+    from ..guest import libc
+
+    data = op["data"].encode()
+    lfd = yield from libc.sock_stream_server(sys, op["address"],
+                                             op.get("backlog", 8))
+    address = yield from sys.getsockname(lfd)   # resolves ":0" draws
+    cfd = yield from libc.sock_stream_client(sys, address)
+    conn, peer = yield from sys.accept(lfd)
+    yield from libc.send_all(sys, cfd, data)
+    got = yield from libc.recv_exact(sys, conn, len(data))
+    yield from libc.send_all(sys, conn, got.upper())
+    echo = yield from libc.recv_exact(sys, cfd, len(data))
+    yield from sys.shutdown(cfd, 1)             # SHUT_WR
+    eof = yield from sys.recv(conn, 8)
+    for fd in (conn, cfd, lfd):
+        yield from sys.close(fd)
+    if echo != data.upper():
+        return "VIOLATION sock-echo-mismatch got=%r" % (bytes(echo),)
+    if eof != b"":
+        return "VIOLATION sock-shutdown-not-eof got=%r" % (bytes(eof),)
+    return "ok:%d addr=%s peer=%s" % (len(echo), address, peer or "unnamed")
+
+
+def _dup2pipe(sys, op):
+    """dup2 over a pipe's last write fd: the displaced fd must go
+    through full close teardown, so the reader drains the buffer and
+    then sees EOF instead of blocking forever (FDTable.dup2 fix)."""
+    data = op["data"].encode()
+    r, w = yield from sys.pipe()
+    spare = yield from sys.open("/fuzz/dup2-spare", _OPEN_MODES["w"])
+    yield from sys.write_all(w, data)
+    yield from sys.dup2(spare, w)               # implicit close of w
+    got = yield from sys.read(r, len(data))
+    eof = yield from sys.read(r, 8)
+    for fd in (r, w, spare):
+        try:
+            yield from sys.close(fd)
+        except SyscallError:
+            pass
+    if eof != b"":
+        return "VIOLATION dup2-missing-eof got=%r" % (bytes(eof),)
+    return "ok:%d" % len(got)
+
+
+def _sigpipe(sys):
+    """Write to a reader-less pipe twice: once with a counting handler
+    (SIGPIPE must be *delivered*, not just mapped to EPIPE) and once
+    with SIG_IGN (plain EPIPE, no death).  Restores SIG_IGN before
+    returning so later ops can't be killed by a stray SIGPIPE."""
+    fired_key = "sigpipe_fired"
+
+    def on_sigpipe(hsys, signum):
+        hsys.mem[fired_key] = hsys.mem.get(fired_key, 0) + 1
+        yield from hsys.compute(1e-6)
+
+    outcomes = []
+    before = sys.mem.get(fired_key, 0)      # a program may run this twice
+    yield from sys.sigaction(SIGPIPE, on_sigpipe)
+    r, w = yield from sys.pipe()
+    yield from sys.close(r)
+    try:
+        yield from sys.write_all(w, b"x")
+        outcomes.append("wrote")
+    except SyscallError as err:
+        outcomes.append(_errname(err))
+    yield from sys.sched_yield()                # drain the handler frame
+    yield from sys.close(w)
+
+    yield from sys.sigaction(SIGPIPE, "ignore")
+    r, w = yield from sys.pipe()
+    yield from sys.close(r)
+    try:
+        yield from sys.write_all(w, b"y")
+        outcomes.append("wrote")
+    except SyscallError as err:
+        outcomes.append(_errname(err))
+    yield from sys.close(w)
+
+    fired = sys.mem.get(fired_key, 0) - before
+    if outcomes != ["EPIPE", "EPIPE"]:
+        return "VIOLATION sigpipe-not-epipe outcomes=%s" % ",".join(outcomes)
+    if fired != 1:
+        return "VIOLATION sigpipe-not-delivered fired=%d want=1" % fired
+    return "ok:fired=%d" % fired
 
 
 def _alarm(sys, seconds):

@@ -62,10 +62,15 @@ class Cell:
     prng_seed: int = 0
 
     def config(self) -> ContainerConfig:
+        # deterministic_loopback is on in every cell: the sock ops bind
+        # loopback AF_INET endpoints, which the policy layer otherwise
+        # rejects (§5.9).  Constant across the matrix, so it is part of
+        # the shared config surface, not a compared knob.
         return ContainerConfig(scheduler=self.scheduler,
                                fs_caches=self.fs_caches,
                                observe=self.observe,
-                               prng_seed=self.prng_seed)
+                               prng_seed=self.prng_seed,
+                               deterministic_loopback=True)
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -338,7 +343,7 @@ def check_program(spec: ProgramSpec, workers: int = 2,
                                     % serial_rec["cell"])
 
     # Axis 3: record natively, replay on a different boot.
-    if rnr and not spec.uses_threads():
+    if rnr and not spec.uses_threads() and spec.rnr_compatible():
         failures.extend(_check_rnr(spec))
 
     # Axis 4: kill mid-run on a delta checkpoint, resume, compare

@@ -82,6 +82,46 @@ def mkstemp(sys, template_prefix: str = "/tmp/tmp") -> Generator:
                 raise
 
 
+def sock_stream_server(sys, address: str, backlog: int = 8) -> Generator:
+    """socket/bind/listen boilerplate: returns the listening fd.
+
+    *address* is an AF_UNIX path (``/run/app.sock``) or a loopback
+    AF_INET endpoint (``127.0.0.1:8080``; port 0 draws a deterministic
+    ephemeral port — read it back with ``sys.getsockname``)."""
+    family = 1 if address.startswith("/") else 2
+    fd = yield from sys.socket(family=family)
+    yield from sys.bind(fd, address)
+    yield from sys.listen(fd, backlog)
+    return fd
+
+
+def sock_stream_client(sys, address: str) -> Generator:
+    """socket/connect boilerplate: returns the connected fd."""
+    family = 1 if address.startswith("/") else 2
+    fd = yield from sys.socket(family=family)
+    yield from sys.connect(fd, address)
+    return fd
+
+
+def send_all(sys, fd: int, data: bytes) -> Generator:
+    """Loop send until every byte is queued (partial sends are real)."""
+    sent = 0
+    while sent < len(data):
+        sent += yield from sys.send(fd, data[sent:])
+    return sent
+
+
+def recv_exact(sys, fd: int, count: int) -> Generator:
+    """Loop recv until *count* bytes or EOF; returns what arrived."""
+    acc = b""
+    while len(acc) < count:
+        chunk = yield from sys.recv(fd, count - len(acc))
+        if not chunk:
+            break
+        acc += chunk
+    return acc
+
+
 def gnu_hash(data: bytes) -> int:
     """The classic djb2-style hash used for stable symbol buckets."""
     h = 5381

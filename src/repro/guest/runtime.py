@@ -361,10 +361,13 @@ class Sys:
         while self.mem.get(key) != value:
             yield Compute(spin_work)
 
-    # -- sockets (unsupported inside DetTrace) ----------------------------------------------------
+    # -- sockets ----------------------------------------------------------------------------------
+    # In-container rendezvous (AF_UNIX paths, loopback AF_INET) is served
+    # by repro.kernel.sockets and is determinizable; external addresses
+    # hit the fake network peer and are rejected inside DetTrace (§5.9).
 
-    def socket(self):
-        return (yield Syscall("socket", {}))
+    def socket(self, family: int = 2, type: int = 1):
+        return (yield Syscall("socket", {"family": family, "type": type}))
 
     def download(self, url: str):
         """Fetch a URL; returns (body, headers).  Inside DetTrace only
@@ -376,8 +379,31 @@ class Sys:
         network sockets)."""
         return (yield Syscall("socketpair", {}))
 
-    def connect(self, fd: int, address: str = "127.0.0.1:80"):
+    def connect(self, fd: int, address: str = "example.com:80"):
         return (yield Syscall("connect", {"fd": fd, "address": address}))
+
+    def bind(self, fd: int, address: str):
+        return (yield Syscall("bind", {"fd": fd, "address": address}))
+
+    def listen(self, fd: int, backlog: int = 128):
+        return (yield Syscall("listen", {"fd": fd, "backlog": backlog}))
+
+    def accept(self, fd: int):
+        """Returns ``(connfd, peer_address)``; blocks until a client
+        connects."""
+        return (yield Syscall("accept", {"fd": fd}))
+
+    def send(self, fd: int, data: bytes):
+        return (yield Syscall("send", {"fd": fd, "data": data}))
+
+    def recv(self, fd: int, count: int):
+        return (yield Syscall("recv", {"fd": fd, "count": count}))
+
+    def shutdown(self, fd: int, how: int = 2):
+        return (yield Syscall("shutdown", {"fd": fd, "how": how}))
+
+    def getsockname(self, fd: int):
+        return (yield Syscall("getsockname", {"fd": fd}))
 
     def ioctl(self, fd: int, request: str):
         return (yield Syscall("ioctl", {"fd": fd, "request": request}))

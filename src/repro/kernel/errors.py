@@ -48,6 +48,10 @@ class Errno(enum.IntEnum):
     ENOTSOCK = 88
     EOPNOTSUPP = 95
     EAFNOSUPPORT = 97
+    EADDRINUSE = 98
+    EADDRNOTAVAIL = 99
+    EISCONN = 106
+    ENOTCONN = 107
     ECONNREFUSED = 111
     ETIMEDOUT = 110
 
@@ -87,6 +91,10 @@ _MESSAGES = {
     Errno.ENOTSOCK: "Socket operation on non-socket",
     Errno.EOPNOTSUPP: "Operation not supported",
     Errno.EAFNOSUPPORT: "Address family not supported by protocol",
+    Errno.EADDRINUSE: "Address already in use",
+    Errno.EADDRNOTAVAIL: "Cannot assign requested address",
+    Errno.EISCONN: "Transport endpoint is already connected",
+    Errno.ENOTCONN: "Transport endpoint is not connected",
     Errno.ECONNREFUSED: "Connection refused",
     Errno.ETIMEDOUT: "Connection timed out",
 }

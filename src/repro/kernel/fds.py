@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from .errors import Errno, SyscallError
 from .inode import Inode
@@ -20,6 +20,10 @@ class FdKind(enum.Enum):
     #: One end of an AF_UNIX socketpair (bidirectional; peer_pipe is the
     #: send direction, pipe the receive direction).
     SOCKETPAIR = "socketpair"
+    #: A stream socket (repro.kernel.sockets): unbound, listening, or
+    #: connected (then pipe/peer_pipe carry the two directions, exactly
+    #: like SOCKETPAIR).
+    SOCKET = "socket"
 
 
 @dataclasses.dataclass
@@ -39,7 +43,8 @@ class OpenFile:
     pipe: Optional[Pipe] = None
     refcount: int = 1
 
-    #: Send-direction pipe for SOCKETPAIR descriptions.
+    #: Send-direction pipe for SOCKETPAIR and connected SOCKET
+    #: descriptions.
     peer_pipe: Optional[Pipe] = None
 
     #: True when this description was counted in its inode's
@@ -48,10 +53,27 @@ class OpenFile:
     #: recycled only after the final descriptor goes away.
     counts_inode: bool = False
 
+    # -- SOCKET state (repro.kernel.sockets) ---------------------------
+    #: Local address ("127.0.0.1:32768" or an AF_UNIX path; "" unbound).
+    sock_local: str = ""
+    #: Peer address once connected.
+    sock_peer: str = ""
+    #: Address family (sockets.AF_UNIX / AF_INET) for SOCKET kinds.
+    sock_family: int = 0
+    #: True when this description claimed its address via bind (close
+    #: must release it back to the registry).
+    sock_bound: bool = False
+    #: The registry Listener this description owns (listening sockets).
+    listener: Optional[object] = None
+    #: shutdown(2) state: directions already torn down (close must not
+    #: double-close the underlying pipe ends).
+    shut_rd: bool = False
+    shut_wr: bool = False
+
     @property
     def is_pipe(self) -> bool:
         return self.kind in (FdKind.PIPE_READ, FdKind.PIPE_WRITE,
-                             FdKind.SOCKETPAIR)
+                             FdKind.SOCKETPAIR, FdKind.SOCKET)
 
 
 class FDTable:
@@ -98,7 +120,18 @@ class FDTable:
         of.refcount += 1
         return self.install(of, minimum)
 
-    def dup2(self, oldfd: int, newfd: int) -> int:
+    def dup2(self, oldfd: int, newfd: int,
+             dropper: Optional[Callable[[OpenFile], None]] = None) -> int:
+        """dup2(2): *newfd* becomes another name for *oldfd*'s description.
+
+        A displaced *newfd* is implicitly closed.  That close must be a
+        *full* close when it was the description's last reference —
+        pipe reader/writer teardown, deferred inode-number release — so
+        callers pass the kernel's drop hook as *dropper*.  A bare
+        refcount decrement (the pre-fix behaviour, kept as the fallback
+        for hookless unit-test tables) leaks reader/writer counts and
+        EOF/EPIPE are never delivered on the other end.
+        """
         of = self.get(oldfd)
         if oldfd == newfd:
             return newfd
@@ -106,7 +139,10 @@ class FDTable:
         of.refcount += 1
         self._fds[newfd] = of
         if existing is not None:
-            existing.refcount -= 1
+            if dropper is not None:
+                dropper(existing)
+            else:
+                existing.refcount -= 1
         return newfd
 
     def items(self):

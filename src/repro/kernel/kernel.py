@@ -36,6 +36,7 @@ from .ops import Compute, Instr, Syscall, VdsoCall, VvarRead
 from .process import Process, Thread, ThreadState
 from .syscalls import ExecveReplace, ExitProcess, ExitThread, Sleep, SyscallTable
 from .signals import Disposition, classify
+from .sockets import SocketRegistry
 from .timers import TimerTable
 from .types import make_exit_status, make_signal_status, SIGCHLD, CLOCK_MONOTONIC
 from .vdso import Vdso
@@ -106,6 +107,9 @@ class Kernel:
         from .procfs import install_procfs
         install_procfs(self)
         self.table = SyscallTable(self)
+        #: Per-container socket namespace: listeners, bound addresses and
+        #: the deterministic ephemeral-port counter (repro.kernel.sockets).
+        self.sockets = SocketRegistry()
         #: Registry of executable paths -> program factories.
         self.binaries: Dict[str, Callable] = {}
         #: The simulated internet: url -> body bytes (set by images).
@@ -343,7 +347,7 @@ class Kernel:
         child.fdtable = parent.fdtable.fork_copy()
         for target_fd, parent_fd in (stdio or {}).items():
             if parent_fd is not None:
-                child.fdtable.dup2(parent_fd, target_fd)
+                child.fdtable.dup2(parent_fd, target_fd, self.drop_open_file)
         for fd in close_fds or []:
             if child.fdtable.has(fd):
                 self.drop_open_file(child.fdtable.remove(fd))

@@ -26,6 +26,7 @@ from .inode import Inode
 from .ops import Syscall
 from .pipes import Pipe
 from .process import Process, Thread
+from . import sockets as socklib
 from .types import (
     CLOCK_MONOTONIC,
     StatfsResult,
@@ -36,6 +37,7 @@ from .types import (
     O_APPEND,
     O_CREAT,
     O_EXCL,
+    O_NONBLOCK,
     O_TRUNC,
     O_WRONLY,
     ACCMODE_MASK,
@@ -46,6 +48,7 @@ from .types import (
     SEEK_SET,
     SIGALRM,
     SIGCHLD,
+    SIGPIPE,
     SysInfo,
     UtsName,
     WaitResult,
@@ -53,6 +56,11 @@ from .types import (
     FileKind,
 )
 from .waiting import WouldBlock
+
+#: fcntl(F_SETFL) may change only the *file status* flags; access mode
+#: (O_RDONLY/O_WRONLY/O_RDWR) and creation flags (O_CREAT/O_EXCL/O_TRUNC)
+#: are fixed at open time and must be masked out of the argument (POSIX).
+SETFL_MASK = O_APPEND | O_NONBLOCK
 
 
 class Sleep(Exception):
@@ -223,11 +231,54 @@ class SyscallTable:
             self.kernel.notify(of.pipe.close_reader())
         elif of.kind is FdKind.PIPE_WRITE and of.pipe is not None:
             self.kernel.notify(of.pipe.close_writer())
-        elif of.kind is FdKind.SOCKETPAIR:
-            self.kernel.notify(of.pipe.close_reader())
+        elif of.kind in (FdKind.SOCKETPAIR, FdKind.SOCKET):
+            listener = of.listener
+            if listener is not None:
+                # Closing a listener refuses every queued-but-unaccepted
+                # connection: the client sees EOF on read and EPIPE on
+                # the next write, like a RST-free orderly close.
+                for to_server, to_client, _peer in listener.pending:
+                    self.kernel.notify(to_server.close_reader())
+                    self.kernel.notify(to_client.close_writer())
+                listener.pending.clear()
+                # Wake connecters parked on a full backlog; their retry
+                # finds no listener and fails with ECONNREFUSED.
+                self.kernel.notify(listener.accept_slot)
+                self.kernel.sockets.release(of.sock_family, of.sock_local)
+                of.listener = None
+            elif of.sock_bound:
+                self.kernel.sockets.release(of.sock_family, of.sock_local)
+            # shutdown(2) already closed a direction: don't double-close.
+            if of.pipe is not None and not of.shut_rd:
+                self.kernel.notify(of.pipe.close_reader())
             peer = getattr(of, "peer_pipe", None)
-            if peer is not None:
+            if peer is not None and not of.shut_wr:
                 self.kernel.notify(peer.close_writer())
+
+    def _broken_pipe(self, t: Thread, name: str) -> None:
+        """Writing with no reader: POSIX delivers SIGPIPE *and* fails the
+        write with EPIPE.  The signal honors the writer's sigmask here;
+        ``deliver_signal``'s disposition logic honors SIG_IGN/handlers.
+        The default disposition terminates the process — which is why
+        ``Errno.EPIPE`` alone (the pre-fix behaviour) was a conformance
+        bug: guests that never install a handler survived writes that
+        must kill them."""
+        proc = t.process
+        if SIGPIPE not in proc.memory.get("_sigmask", ()):
+            self.kernel.deliver_signal(proc, SIGPIPE)
+        raise SyscallError(Errno.EPIPE, name)
+
+    def _pipe_write(self, t: Thread, pipe: Pipe, data: bytes, name: str) -> int:
+        try:
+            n = pipe.write(data)
+        except SyscallError as err:
+            if err.errno == Errno.EPIPE:
+                self._broken_pipe(t, name)
+            raise
+        if n:
+            self.kernel.notify(pipe.readable)
+        self.kernel.charge_io(t, n)
+        return n
 
     def sys_read(self, t: Thread, fd: int, count: int):
         of = t.process.fdtable.get(fd)
@@ -256,7 +307,22 @@ class SyscallTable:
             self.kernel.charge_io(t, len(data))
             return data
         if of.kind is FdKind.SOCKETPAIR:
+            if of.shut_rd:
+                return b""               # SHUT_RD: immediate EOF
             data = of.pipe.read(count)   # our receive direction
+            if data:
+                self.kernel.notify(of.pipe.writable)
+            self.kernel.charge_io(t, len(data))
+            return data
+        if of.kind is FdKind.SOCKET:
+            sock = getattr(of, "socket", None)
+            if sock is not None:         # external fake peer (§5.9)
+                return sock.read(count)
+            if of.shut_rd:
+                return b""               # SHUT_RD: immediate EOF
+            if of.pipe is None:
+                raise SyscallError(Errno.ENOTCONN, "read")
+            data = of.pipe.read(count)
             if data:
                 self.kernel.notify(of.pipe.writable)
             self.kernel.charge_io(t, len(data))
@@ -292,23 +358,27 @@ class SyscallTable:
                 return sock.write(data)
             return len(data)
         if of.kind is FdKind.PIPE_WRITE:
-            n = of.pipe.write(data)
-            if n:
-                self.kernel.notify(of.pipe.readable)
-            self.kernel.charge_io(t, n)
-            return n
+            return self._pipe_write(t, of.pipe, data, "write")
         if of.kind is FdKind.SOCKETPAIR:
-            peer = of.peer_pipe      # our send direction
-            n = peer.write(data)
-            if n:
-                self.kernel.notify(peer.readable)
-            self.kernel.charge_io(t, n)
-            return n
+            if of.shut_wr:
+                self._broken_pipe(t, "write")
+            return self._pipe_write(t, of.peer_pipe, data, "write")
+        if of.kind is FdKind.SOCKET:
+            sock = getattr(of, "socket", None)
+            if sock is not None:         # external fake peer (§5.9)
+                return sock.write(data)
+            if of.shut_wr:
+                self._broken_pipe(t, "write")
+            if of.peer_pipe is None:
+                raise SyscallError(Errno.ENOTCONN, "write")
+            return self._pipe_write(t, of.peer_pipe, data, "write")
         raise SyscallError(Errno.EBADF, "write")
 
     def sys_lseek(self, t: Thread, fd: int, offset: int, whence: int = SEEK_SET):
         of = t.process.fdtable.get(fd)
-        if of.is_pipe:
+        # Every non-seekable kind: pipes, FIFOs, socketpairs and sockets
+        # (including legacy DEVICE-kind fds carrying a fake network peer).
+        if of.is_pipe or getattr(of, "socket", None) is not None:
             raise SyscallError(Errno.ESPIPE, "lseek")
         if whence == SEEK_SET:
             of.offset = offset
@@ -336,7 +406,9 @@ class SyscallTable:
         return t.process.fdtable.dup(fd)
 
     def sys_dup2(self, t: Thread, oldfd: int, newfd: int):
-        return t.process.fdtable.dup2(oldfd, newfd)
+        # The displaced newfd's implicit close must run full teardown
+        # (EOF/EPIPE delivery, inode-number release), not a bare decref.
+        return t.process.fdtable.dup2(oldfd, newfd, self._drop_open_file)
 
     def sys_stat(self, t: Thread, path: str):
         node = self._resolve(t.process, path)
@@ -613,7 +685,9 @@ class SyscallTable:
         if cmd == "F_GETFL":
             return of.flags
         if cmd == "F_SETFL":
-            of.flags = arg
+            # Only file-status flags are settable; the access mode and
+            # creation flags from open time must survive (POSIX).
+            of.flags = (of.flags & ~SETFL_MASK) | (arg & SETFL_MASK)
             return 0
         if cmd == "F_DUPFD":
             return t.process.fdtable.dup(fd, minimum=arg)
@@ -773,16 +847,177 @@ class SyscallTable:
         fd_b = t.process.fdtable.install(end_b)
         return (fd_a, fd_b)
 
-    def sys_socket(self, t: Thread, family: int = 2, type: int = 1):
-        of = OpenFile(kind=FdKind.DEVICE, path="socket:[loopback]")
-        of.socket = _LoopbackSocket(self.kernel)
+    def sys_socket(self, t: Thread, family: int = socklib.AF_INET,
+                   type: int = socklib.SOCK_STREAM):
+        if family not in (socklib.AF_UNIX, socklib.AF_INET):
+            raise SyscallError(Errno.EAFNOSUPPORT, "socket")
+        if type != socklib.SOCK_STREAM:
+            raise SyscallError(Errno.EOPNOTSUPP, "socket")
+        of = OpenFile(kind=FdKind.SOCKET, path="socket:[unbound]",
+                      sock_family=family)
         return t.process.fdtable.install(of)
 
-    def sys_connect(self, t: Thread, fd: int, address: str = "127.0.0.1:0"):
+    def _sock(self, t: Thread, fd: int, name: str) -> OpenFile:
         of = t.process.fdtable.get(fd)
-        if getattr(of, "socket", None) is None:
-            raise SyscallError(Errno.ENOTSOCK, "connect")
+        if of.kind is not FdKind.SOCKET:
+            raise SyscallError(Errno.ENOTSOCK, name)
+        return of
+
+    @staticmethod
+    def _sock_family_for(address: str) -> Optional[int]:
+        """The in-container family for *address*, or None if it names an
+        external host (only the fake, irreproducible peer can serve it)."""
+        if socklib.is_unix_address(address):
+            return socklib.AF_UNIX
+        if socklib.is_loopback_address(address):
+            return socklib.AF_INET
+        return None
+
+    @staticmethod
+    def _canon_inet(address: str) -> str:
+        """Normalize loopback spellings so bind("localhost:80") and
+        connect("127.0.0.1:80") meet in the same registry slot."""
+        host, _, port = address.rpartition(":")
+        if host in socklib.LOOPBACK_HOSTS:
+            return "127.0.0.1:%s" % port
+        return address
+
+    def sys_bind(self, t: Thread, fd: int, address: str):
+        of = self._sock(t, fd, "bind")
+        if of.sock_bound or of.pipe is not None:
+            raise SyscallError(Errno.EINVAL, "bind")
+        family = self._sock_family_for(address)
+        if family is None:
+            raise SyscallError(Errno.EADDRNOTAVAIL, "bind", address)
+        if family != of.sock_family:
+            raise SyscallError(Errno.EAFNOSUPPORT, "bind", address)
+        if family == socklib.AF_INET:
+            address = self._canon_inet(address)
+        of.sock_local = self.kernel.sockets.bind(family, address)
+        of.sock_bound = True
         return 0
+
+    def sys_listen(self, t: Thread, fd: int, backlog: int = socklib.SOMAXCONN):
+        of = self._sock(t, fd, "listen")
+        if of.pipe is not None:
+            raise SyscallError(Errno.EISCONN, "listen")
+        if not of.sock_bound:
+            # Linux autobinds an unbound INET listener to an ephemeral
+            # port; ours comes off the deterministic counter.
+            if of.sock_family != socklib.AF_INET:
+                raise SyscallError(Errno.EINVAL, "listen")
+            of.sock_local = self.kernel.sockets.bind(
+                socklib.AF_INET, "127.0.0.1:0")
+            of.sock_bound = True
+        of.listener = self.kernel.sockets.listen(
+            of.sock_family, of.sock_local, backlog)
+        of.path = "socket:[%s]" % of.sock_local
+        return 0
+
+    def sys_accept(self, t: Thread, fd: int):
+        """Returns ``(connfd, peer_address)``; blocks on virtual time
+        while the backlog is empty, exactly like a pipe read."""
+        of = self._sock(t, fd, "accept")
+        listener = of.listener
+        if listener is None:
+            raise SyscallError(Errno.EINVAL, "accept")
+        if not listener.pending:
+            raise WouldBlock([listener.accept_ready])
+        to_server, to_client, peer = listener.pending.pop(0)
+        self.kernel.sockets.touch()
+        self.kernel.notify(listener.accept_slot)
+        conn = OpenFile(kind=FdKind.SOCKET,
+                        path="socket:[%s]" % of.sock_local,
+                        pipe=to_server, peer_pipe=to_client,
+                        sock_family=of.sock_family,
+                        sock_local=of.sock_local, sock_peer=peer)
+        return (t.process.fdtable.install(conn), peer)
+
+    def sys_connect(self, t: Thread, fd: int, address: str = "example.com:80"):
+        of = t.process.fdtable.get(fd)
+        if of.kind is not FdKind.SOCKET:
+            # Legacy DEVICE-kind fake sockets count as connected.
+            if getattr(of, "socket", None) is None:
+                raise SyscallError(Errno.ENOTSOCK, "connect")
+            return 0
+        if of.pipe is not None or getattr(of, "socket", None) is not None:
+            raise SyscallError(Errno.EISCONN, "connect")
+        if of.listener is not None:
+            raise SyscallError(Errno.EINVAL, "connect")
+        family = self._sock_family_for(address)
+        if family is None:
+            # External host: attach the fake network peer so packages
+            # still *build* natively (and embed its irreproducible
+            # answers); DetTrace's policy layer rejects this path.
+            of.socket = _LoopbackSocket(self.kernel)
+            of.sock_peer = address
+            return 0
+        if family != of.sock_family:
+            raise SyscallError(Errno.EAFNOSUPPORT, "connect", address)
+        if family == socklib.AF_INET:
+            address = self._canon_inet(address)
+        listener = self.kernel.sockets.lookup(family, address)
+        if listener is None:
+            raise SyscallError(Errno.ECONNREFUSED, "connect", address)
+        if listener.full:
+            # Bounded backlog: park until an accept frees a slot.  This
+            # check precedes every side effect because a retry re-runs
+            # the whole body.
+            raise WouldBlock([listener.accept_slot])
+        to_server, to_client = Pipe(), Pipe()
+        for pipe in (to_server, to_client):
+            pipe.open_reader()
+            pipe.open_writer()
+        if family == socklib.AF_INET:
+            local = "127.0.0.1:%d" % self.kernel.sockets.alloc_port()
+        else:
+            local = ""  # unnamed AF_UNIX client end (autobind)
+        of.sock_local = local
+        of.sock_peer = address
+        of.pipe = to_client          # receive direction
+        of.peer_pipe = to_server     # send direction
+        of.path = "socket:[%s->%s]" % (local or "unnamed", address)
+        listener.pending.append((to_server, to_client, local))
+        self.kernel.sockets.touch()
+        self.kernel.notify(listener.accept_ready)
+        return 0
+
+    def sys_send(self, t: Thread, fd: int, data: bytes):
+        of = t.process.fdtable.get(fd)
+        if (of.kind not in (FdKind.SOCKET, FdKind.SOCKETPAIR)
+                and getattr(of, "socket", None) is None):
+            raise SyscallError(Errno.ENOTSOCK, "send")
+        return self.sys_write(t, fd, data)
+
+    def sys_recv(self, t: Thread, fd: int, count: int):
+        of = t.process.fdtable.get(fd)
+        if (of.kind not in (FdKind.SOCKET, FdKind.SOCKETPAIR)
+                and getattr(of, "socket", None) is None):
+            raise SyscallError(Errno.ENOTSOCK, "recv")
+        return self.sys_read(t, fd, count)
+
+    def sys_shutdown(self, t: Thread, fd: int, how: int = socklib.SHUT_RDWR):
+        of = t.process.fdtable.get(fd)
+        if of.kind not in (FdKind.SOCKET, FdKind.SOCKETPAIR):
+            raise SyscallError(Errno.ENOTSOCK, "shutdown")
+        if of.pipe is None or of.peer_pipe is None:
+            raise SyscallError(Errno.ENOTCONN, "shutdown")
+        if how not in (socklib.SHUT_RD, socklib.SHUT_WR, socklib.SHUT_RDWR):
+            raise SyscallError(Errno.EINVAL, "shutdown")
+        if how in (socklib.SHUT_RD, socklib.SHUT_RDWR) and not of.shut_rd:
+            of.shut_rd = True
+            self.kernel.notify(of.pipe.close_reader())
+        if how in (socklib.SHUT_WR, socklib.SHUT_RDWR) and not of.shut_wr:
+            of.shut_wr = True
+            # The peer's pending reads drain the buffer, then see EOF.
+            self.kernel.notify(of.peer_pipe.close_writer())
+        if self.kernel.sockets is not None:
+            self.kernel.sockets.touch()
+        return 0
+
+    def sys_getsockname(self, t: Thread, fd: int):
+        of = self._sock(t, fd, "getsockname")
+        return of.sock_local
 
     def sys_ioctl(self, t: Thread, fd: int, request: str):
         of = t.process.fdtable.get(fd)

@@ -28,6 +28,10 @@ class TraceCounters:
     faults_injected: int = 0
     signals_injected: int = 0
     short_io_injected: int = 0
+    #: Deterministic in-container sockets (repro.kernel.sockets):
+    #: completed connects and accepts serviced under the tracer.
+    socket_connects: int = 0
+    socket_accepts: int = 0
 
     def add(self, other: "TraceCounters") -> None:
         for field in dataclasses.fields(self):
@@ -46,4 +50,6 @@ class TraceCounters:
             ("read retries", self.read_retries),
             ("/dev/urandom opens", self.urandom_opens),
             ("write retries", self.write_retries),
+            ("Socket connects (in-container)", self.socket_connects),
+            ("Socket accepts (in-container)", self.socket_accepts),
         ]

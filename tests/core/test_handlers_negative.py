@@ -103,7 +103,11 @@ class TestWriteEdges:
         assert dettrace_run(main).exit_code == 0
 
     def test_epipe_after_reader_closes(self):
+        # With SIGPIPE ignored the write fails with plain EPIPE (the
+        # default disposition would terminate the writer instead — see
+        # test_sigpipe_* in tests/kernel/test_sockets.py).
         def main(sys):
+            yield from sys.sigaction(13, "ignore")  # SIGPIPE
             r, w = yield from sys.pipe()
             yield from sys.close(r)
             try:

@@ -7,7 +7,10 @@ class TestTraceCounters:
         rows = c.as_table2_rows()
         assert rows[0] == ("System call events", 10)
         assert ("read retries", 2) in rows
-        assert len(rows) == 9
+        # The paper's nine Table-2 rows plus the in-container socket pair.
+        assert len(rows) == 11
+        assert ("Socket connects (in-container)", 0) in rows
+        assert ("Socket accepts (in-container)", 0) in rows
 
     def test_add_accumulates(self):
         a = TraceCounters(syscall_events=5, rdtsc_intercepted=1)
