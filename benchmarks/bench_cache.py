@@ -1,0 +1,220 @@
+"""Run-cache payoff: cold package sweep vs warm memoized sweep.
+
+The cache's one number that matters: a warm sweep over N already-built
+packages must re-execute **zero** guests — every job resolves to a
+``hit`` with ``executed=False`` — and finish at least 5x faster than the
+cold sweep that populated the store.  Both sweeps run the same N
+distinct "package" images through :func:`repro.parallel.run_jobs`
+sharing one cache directory, exactly the §7 package-sweep shape, and the
+warm results must be byte-identical to the cold ones (a hit reproduces
+every deterministic surface).  A third sweep in ``--cache=verify`` mode
+re-executes everything and must come back all ``verify_ok`` — the
+store's contents agree with reality.
+
+The warm-lookup rate (keys resolved per second, load-normalized the same
+way as the hotpath bench) is the trend-tracked number: it prices the
+fingerprint + CAS read path, which is pure overhead on every hit.
+
+Run as a module with a baseline path to apply the regression gate::
+
+    python -m benchmarks.bench_cache /path/to/baseline.json
+"""
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+import pytest
+
+from repro.core import CacheConfig, ContainerConfig, DetTrace, Image
+from repro.cpu.machine import HostEnvironment
+from repro.parallel import Job, cache_tally, run_jobs
+from repro.repro_tools.hashing import tree_digest
+
+from .conftest import scaled
+
+ROUNDS = scaled(5)
+#: Distinct package images per sweep; each gets its own run key.
+PACKAGES = scaled(6)
+#: Files each "package build" writes — enough guest work that execution
+#: dwarfs the key computation the warm path still pays.
+FILES = 100
+OUT_PATH = os.path.join(os.path.dirname(os.path.dirname(__file__)),
+                        "BENCH_cache.json")
+
+
+def _pkg_guest(sys_):
+    name = yield from sys_.read_file("/etc/package")
+    tag = name.strip()
+    yield from sys_.mkdir_p("out")
+    for i in range(FILES):
+        yield from sys_.write_file("out/f%d.txt" % i,
+                                   tag + b":" + b"x" * (10 + i))
+    for i in range(0, FILES, 9):
+        data = yield from sys_.read_file("out/f%d.txt" % i)
+        yield from sys_.write_file("out/c%d.bin" % i, data)
+    names = yield from sys_.listdir("out")
+    yield from sys_.println("%s built %d entries"
+                            % (tag.decode("utf-8"), len(names)))
+    return 0
+
+
+def _pkg_image(index: int) -> Image:
+    image = Image()
+    image.add_binary("/bin/build", _pkg_guest)
+    image.add_file("/etc/package", "pkg-%03d\n" % index)
+    return image
+
+
+def _build_package(index: int, cache_dir: str, mode: str):
+    """Module-level (picklable) worker: one package build, reduced to a
+    record the pool can ship home."""
+    cfg = ContainerConfig(cache=CacheConfig(directory=cache_dir, mode=mode))
+    result = DetTrace(cfg).run(_pkg_image(index), "/bin/build",
+                               host=HostEnvironment(entropy_seed=11))
+    assert result.exit_code == 0, (result.status, result.error)
+    return {
+        "index": index,
+        "tree": tree_digest(result.output_tree),
+        "stdout": result.stdout,
+        "syscalls": result.syscall_count,
+        "cache": ({"outcome": result.cache["outcome"],
+                   "key": result.cache["key"],
+                   "executed": result.cache["executed"]}
+                  if result.cache else None),
+    }
+
+
+def _sweep(cache_dir: str, mode: str):
+    """One fan-out over every package; returns (wall_s, records)."""
+    jobs = [Job(key=i, fn=_build_package, args=(i, cache_dir, mode))
+            for i in range(PACKAGES)]
+    t0 = time.perf_counter()
+    results = run_jobs(jobs, workers=1)
+    wall = time.perf_counter() - t0
+    return wall, [record for _key, record in results]
+
+
+def _calibration_ops_per_sec() -> float:
+    """Throughput of a fixed pure-Python loop on this machine right now;
+    dividing by it cancels machine-load swings in the trend gate."""
+    best = 0.0
+    for _ in range(3):
+        t0 = time.perf_counter()
+        x = 0
+        for i in range(200_000):
+            x += i & 7
+        best = max(best, 200_000 / (time.perf_counter() - t0))
+    return best
+
+
+def measure_cache_payoff():
+    cold_walls, warm_walls = [], []
+    cold_tally = warm_tally = verify_tally = {}
+    warm_executed = 0
+    syscalls = 0
+    for _ in range(ROUNDS):
+        directory = tempfile.mkdtemp(prefix="bench-cache-")
+        try:
+            cold_wall, cold = _sweep(directory, "write")
+            warm_wall, warm = _sweep(directory, "write")
+            cold_walls.append(cold_wall)
+            warm_walls.append(warm_wall)
+            cold_tally = cache_tally(cold)
+            warm_tally = cache_tally(warm)
+            warm_executed = sum(1 for rec in warm if rec["cache"]["executed"])
+            syscalls = sum(rec["syscalls"] for rec in cold)
+            # A hit reproduces every deterministic surface bytewise.
+            for a, b in zip(cold, warm):
+                assert (a["tree"], a["stdout"], a["syscalls"]) \
+                    == (b["tree"], b["stdout"], b["syscalls"]), a["index"]
+            _wall, verified = _sweep(directory, "verify")
+            verify_tally = cache_tally(verified)
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+    # min() is the least-noise estimator for a deterministic run.
+    cold_wall = min(cold_walls)
+    warm_wall = min(warm_walls)
+    calibration = _calibration_ops_per_sec()
+    lookups_per_sec = PACKAGES / warm_wall
+    return {
+        "rounds": ROUNDS,
+        "packages": PACKAGES,
+        "workload_syscalls": syscalls,
+        "calibration_ops_per_sec": round(calibration, 1),
+        "cold_wall_s": round(cold_wall, 6),
+        "warm_wall_s": round(warm_wall, 6),
+        "speedup": round(cold_wall / warm_wall, 2),
+        "warm_reexecutions": warm_executed,
+        "warm_lookups_per_sec": round(lookups_per_sec, 1),
+        "warm_normalized": round(lookups_per_sec / calibration, 6),
+        "cold_tally": cold_tally,
+        "warm_tally": warm_tally,
+        "verify_tally": verify_tally,
+    }
+
+
+@pytest.mark.cache
+def test_cache_payoff(benchmark, capsys):
+    report = benchmark.pedantic(measure_cache_payoff, rounds=1, iterations=1)
+    with open(OUT_PATH, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    with capsys.disabled():
+        print()
+        print("cache: %d packages cold %.3fs -> warm %.3fs (%.1fx), "
+              "%d re-executions"
+              % (report["packages"], report["cold_wall_s"],
+                 report["warm_wall_s"], report["speedup"],
+                 report["warm_reexecutions"]))
+        print("  cold %r  warm %r  verify %r"
+              % (report["cold_tally"], report["warm_tally"],
+                 report["verify_tally"]))
+        print("-> %s" % os.path.basename(OUT_PATH))
+    # The memoization contract, as hard gates:
+    assert report["cold_tally"] == {"store": PACKAGES}
+    assert report["warm_tally"] == {"hit": PACKAGES}
+    assert report["warm_reexecutions"] == 0, \
+        "warm sweep re-executed a guest"
+    assert report["verify_tally"] == {"verify_ok": PACKAGES}
+    assert report["speedup"] >= 5.0, report
+
+
+def gate_against_baseline(baseline_path: str, tolerance: float = 0.40) -> int:
+    """Compare a fresh BENCH_cache.json against the committed baseline.
+
+    Two gates: the absolute memoization contract (warm sweep >= 5x with
+    zero re-executions — same bar as the pytest gate), and a trend gate
+    on the load-normalized warm-lookup rate, wide for the same reason as
+    the ckpt gate: it exists to catch a grossly regressed hit path (e.g.
+    re-executing on hits), not single-digit drift.
+    """
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    with open(OUT_PATH) as fh:
+        fresh = json.load(fh)
+    print("cache gate: speedup %.2fx, %d warm re-executions"
+          % (fresh["speedup"], fresh["warm_reexecutions"]))
+    if fresh["speedup"] < 5.0 or fresh["warm_reexecutions"] != 0:
+        print("cache gate: FAIL — memoization contract broken")
+        return 1
+    base = baseline["warm_normalized"]
+    now = fresh["warm_normalized"]
+    floor = base * (1.0 - tolerance)
+    print("cache gate: warm_normalized %.6g vs baseline %.6g (floor %.6g)"
+          % (now, base, floor))
+    if now < floor:
+        print("cache gate: FAIL — warm-lookup regression > %d%%"
+              % int(tolerance * 100))
+        return 1
+    print("cache gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        raise SystemExit("usage: python -m benchmarks.bench_cache "
+                         "<baseline BENCH_cache.json>")
+    raise SystemExit(gate_against_baseline(sys.argv[1]))

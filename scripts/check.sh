@@ -10,6 +10,7 @@
 #   ./scripts/check.sh ckpt     # just the checkpoint/resume smoke stage
 #   ./scripts/check.sh diag     # just the divergence-diagnosis stage
 #   ./scripts/check.sh sockets  # just the deterministic-networking stage
+#   ./scripts/check.sh cache    # just the run-cache stage
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -22,7 +23,8 @@ perf_tmp=""
 ckpt_tmp=""
 diag_tmp=""
 sock_tmp=""
-trap 'rm -rf ${obs_tmp:+"$obs_tmp"} ${perf_tmp:+"$perf_tmp"} ${ckpt_tmp:+"$ckpt_tmp"} ${diag_tmp:+"$diag_tmp"} ${sock_tmp:+"$sock_tmp"}' EXIT
+cache_tmp=""
+trap 'rm -rf ${obs_tmp:+"$obs_tmp"} ${perf_tmp:+"$perf_tmp"} ${ckpt_tmp:+"$ckpt_tmp"} ${diag_tmp:+"$diag_tmp"} ${sock_tmp:+"$sock_tmp"} ${cache_tmp:+"$cache_tmp"}' EXIT
 
 if [ "$stage" = "all" ]; then
     echo "== compileall =="
@@ -146,6 +148,62 @@ if [ "$stage" = "all" ] || [ "$stage" = "sockets" ]; then
         cmp "$sock_tmp/a/$f" "$sock_tmp/b/$f"
     done
     echo "client/server runs byte-identical across boots (incl. trace JSON)"
+fi
+
+if [ "$stage" = "all" ] || [ "$stage" = "cache" ]; then
+    echo "== run-cache stage (-m cache) =="
+    python -m pytest -x -q -m cache tests/cache
+    echo "== cold/warm sweep identity gate =="
+    cache_tmp="$(mktemp -d)"
+    python -m repro run --cache-dir "$cache_tmp/cas" -- ls -l /bin \
+        > "$cache_tmp/cold.out" 2> "$cache_tmp/cold.err"
+    python -m repro run --cache-dir "$cache_tmp/cas" -- ls -l /bin \
+        > "$cache_tmp/warm.out" 2> "$cache_tmp/warm.err"
+    cmp "$cache_tmp/cold.out" "$cache_tmp/warm.out"
+    grep -q '\[cache store ' "$cache_tmp/cold.err"
+    grep -q '\[cache hit ' "$cache_tmp/warm.err"
+    echo "warm run served from cache, stdout byte-identical to cold run"
+    python -m repro cache stats "$cache_tmp/cas"
+    python -m repro cache verify "$cache_tmp/cas"
+    echo "== verify-mode gate (re-execute and compare against the entry) =="
+    python -m repro run --cache-dir "$cache_tmp/cas" --cache verify \
+        -- ls -l /bin > /dev/null 2> "$cache_tmp/verify.err"
+    grep -q '\[cache verify_ok ' "$cache_tmp/verify.err"
+    echo "== perturbed-entry divergence gate (tampered outcome -> exit 70) =="
+    # Re-store a validly-checksummed but mutated outcome through the
+    # repro.cache API (a byte-flip would just read as torn -> miss; a
+    # *plausible* wrong entry is the case verify mode exists for).
+    python - "$cache_tmp/cas" <<'PERTURB'
+import os
+import sys
+
+from repro.cache import CacheStore, RunKey
+
+store = CacheStore(sys.argv[1])
+names = [n for n in os.listdir(store.keys_dir) if n.endswith(".key")]
+assert len(names) == 1, names
+key = RunKey(digest=names[0][: -len(".key")])
+outcome = store.get(key)
+assert outcome is not None
+outcome.stdout += "tampered line\n"
+store.put(key, outcome)
+print("perturbed entry %s..." % key.digest[:16])
+PERTURB
+    python -m repro run --cache-dir "$cache_tmp/cas" --cache verify \
+        -- ls -l /bin > /dev/null 2> "$cache_tmp/tamper.err" && exit 1 || \
+        [ $? -eq 70 ]
+    grep -q 'verify_mismatch' "$cache_tmp/tamper.err"
+    echo "tampered entry detected as divergence (exit 70)"
+    echo "== cache payoff bench + warm-lookup regression gate =="
+    if [ -f BENCH_cache.json ]; then
+        cp BENCH_cache.json "$cache_tmp/baseline.json"
+    fi
+    python -m pytest -x -q benchmarks/bench_cache.py
+    if [ -f "$cache_tmp/baseline.json" ]; then
+        python -m benchmarks.bench_cache "$cache_tmp/baseline.json"
+    else
+        echo "no committed BENCH_cache.json baseline; skipping regression gate"
+    fi
 fi
 
 if [ "$stage" = "all" ] || [ "$stage" = "perf" ]; then

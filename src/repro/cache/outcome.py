@@ -1,0 +1,138 @@
+"""The cached outcome of one run: everything a hit must reproduce.
+
+A :class:`CachedOutcome` is the plain-data reduction of a successful
+:class:`~repro.core.container.ContainerResult` — artifact tree, stream
+bytes, exit status, deterministic metrics, content digests and the
+optional Chrome trace JSON.  ``capture`` reduces a live result;
+``to_result`` rebuilds a result a caller cannot tell from a fresh run
+on every reproducible surface (jitter-bearing fields — host wall time,
+fs-cache hit counts — are deliberately *not* reproduced; they were
+never part of the deterministic contract).
+
+Only ``status == "ok"`` runs are cacheable: a classified failure is
+reproducible too, but memoizing failures turns every transient
+environment problem into a sticky one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any, Dict, List, Optional
+
+from ..repro_tools.hashing import tree_digest
+
+#: Payload schema version inside cache objects.
+OUTCOME_VERSION = 1
+
+
+def _sha(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclasses.dataclass
+class CachedOutcome:
+    """Plain-data image of one successful run."""
+
+    status: str
+    exit_code: Optional[int]
+    error: str
+    stdout: str
+    stderr: str
+    output_tree: Dict[str, bytes]
+    syscall_count: int
+    wall_time: float
+    #: ``Metrics.to_dict()`` with the ``cache/`` disposition counters
+    #: stripped (they describe the *lookup*, not the run).
+    metrics: Optional[Dict[str, Any]] = None
+    #: Chrome trace JSON when the producing run observed; None otherwise.
+    trace_json: Optional[str] = None
+    #: Content digests, precomputed so verify mode and stats never need
+    #: to rehash the payload: tree digest + per-stream sha256.
+    digests: Dict[str, str] = dataclasses.field(default_factory=dict)
+    version: int = OUTCOME_VERSION
+
+    @classmethod
+    def capture(cls, result) -> "CachedOutcome":
+        """Reduce a ContainerResult (pure observation, never mutates)."""
+        metrics = None
+        if result.metrics is not None:
+            metrics = result.metrics.to_dict()
+            metrics["counters"] = {
+                name: n for name, n in metrics.get("counters", {}).items()
+                if not name.startswith("cache/")}
+        trace_json = None
+        if result.trace is not None:
+            trace_json = result.trace.to_json()
+        return cls(
+            status=result.status,
+            exit_code=result.exit_code,
+            error=result.error,
+            stdout=result.stdout,
+            stderr=result.stderr,
+            output_tree={path: bytes(data)
+                         for path, data in sorted(result.output_tree.items())},
+            syscall_count=result.syscall_count,
+            wall_time=result.wall_time,
+            metrics=metrics,
+            trace_json=trace_json,
+            digests={
+                "tree": tree_digest(result.output_tree),
+                "stdout_sha256": _sha(result.stdout.encode()),
+                "stderr_sha256": _sha(result.stderr.encode()),
+            })
+
+    def to_result(self, host):
+        """Rebuild a ContainerResult for a cache hit.
+
+        ``counters`` and ``trace`` are not rehydrated (the tracer
+        objects belong to a live run); deterministic metrics are.
+        """
+        from ..core.container import ContainerResult
+        from ..obs.metrics import Metrics
+
+        metrics = (Metrics.from_dict(self.metrics)
+                   if self.metrics is not None else None)
+        return ContainerResult(
+            status=self.status,
+            exit_code=self.exit_code,
+            error=self.error,
+            stdout=self.stdout,
+            stderr=self.stderr,
+            output_tree={path: bytes(data)
+                         for path, data in self.output_tree.items()},
+            counters=None,
+            syscall_count=self.syscall_count,
+            wall_time=self.wall_time,
+            host=host,
+            metrics=metrics,
+        )
+
+    # -- verify-mode comparison ----------------------------------------
+
+    def compare_surfaces(self, result) -> List[str]:
+        """Byte-compare the cached entry against a fresh *result*.
+
+        Returns the names of the surfaces that differ (empty = clean):
+        the independent-rebuild check of verify mode.
+        """
+        differing: List[str] = []
+        if (self.status, self.exit_code) != (result.status, result.exit_code):
+            differing.append("exit")
+        fresh_tree = {path: bytes(data)
+                      for path, data in result.output_tree.items()}
+        if self.output_tree != fresh_tree:
+            differing.append("tree")
+        if self.stdout != result.stdout:
+            differing.append("stdout")
+        if self.stderr != result.stderr:
+            differing.append("stderr")
+        return differing
+
+    def to_payload(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "CachedOutcome":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})

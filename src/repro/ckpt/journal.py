@@ -121,7 +121,12 @@ def write_snapshot(directory: str, barrier: int, vclock: float,
     return final
 
 
-def _fsync_dir(directory: str) -> None:
+def fsync_dir(directory: str) -> None:
+    """Best-effort directory fsync: persists completed renames.
+
+    Shared with :mod:`repro.cache.store`, whose entries use the same
+    tmp + fsync + rename discipline as snapshot files.
+    """
     try:
         dfd = os.open(directory, os.O_RDONLY)
     except OSError:
@@ -132,6 +137,10 @@ def _fsync_dir(directory: str) -> None:
         pass
     finally:
         os.close(dfd)
+
+
+#: Backward-compatible alias (pre-cache name).
+_fsync_dir = fsync_dir
 
 
 def read_header(path: str) -> Dict[str, Any]:

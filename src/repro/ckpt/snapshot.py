@@ -309,7 +309,8 @@ def _capture_runtime(kernel) -> Tuple[
             "children": [c.pid for c in proc.children],
             "cwd": cwd_key,
             "cwd_path": proc.cwd_path,
-            "uid": proc.uid, "gid": proc.gid, "aslr_base": proc.aslr_base,
+            "uid": proc.uid, "gid": proc.gid, "umask": proc.umask,
+            "aslr_base": proc.aslr_base,
             "exit_status": proc.exit_status, "reaped": proc.reaped,
             "exe_path": proc.exe_path, "vdso_patched": proc.vdso_patched,
             "syscall_index": proc.syscall_index,
@@ -986,6 +987,9 @@ def restore(kernel, payload: Dict[str, Any]) -> List[Tuple]:
         proc.reaped = prec["reaped"]
         proc.vdso_patched = prec["vdso_patched"]
         proc.syscall_index = prec["syscall_index"]
+        # Pre-umask snapshots carry no mask; the kernel default matches
+        # what every process effectively had then.
+        proc.umask = prec.get("umask", 0o022)
         proc.fdtable = FDTable()
         for fd, ofid in prec["fdtable"].items():
             proc.fdtable._fds[fd] = ofs_by_id[ofid]

@@ -77,6 +77,34 @@ def _wants_obs(args) -> bool:
                 or getattr(args, "trace_out", None))
 
 
+def _cache_config(args) -> "Optional[object]":
+    directory = getattr(args, "cache_dir", None)
+    if not directory:
+        return None
+    from .core import CacheConfig
+
+    return CacheConfig(directory=directory,
+                       mode=getattr(args, "cache_mode", "write"))
+
+
+def _report_cache(result) -> Optional[int]:
+    """Surface the run-cache disposition; 70 on a verify mismatch."""
+    record = getattr(result, "cache", None)
+    if record is None:
+        return None
+    _sys.stderr.write("[cache %s %s]\n"
+                      % (record["outcome"], record["key"][:16]))
+    if record["outcome"] != "verify_mismatch":
+        return None
+    report = record.get("report")
+    if report is not None:
+        _sys.stderr.write(report.format() + "\n")
+    _sys.stderr.write("repro: cached entry does not match re-execution "
+                      "(surfaces: %s)\n"
+                      % ", ".join(record.get("differs", [])))
+    return 70
+
+
 def _checkpoint_config(args) -> Optional[CheckpointConfig]:
     directory = getattr(args, "checkpoint_dir", None)
     if not directory:
@@ -112,7 +140,8 @@ def _run_container(args, image, path, argv) -> "object":
     plan = _load_faults(args)
     config = ContainerConfig(prng_seed=args.seed, fault_plan=plan,
                              observe=bool(getattr(args, "trace_out", None)),
-                             checkpoint=_checkpoint_config(args))
+                             checkpoint=_checkpoint_config(args),
+                             cache=_cache_config(args))
     container = DetTrace(config)
     restore_sigterm = (_install_sigterm(container)
                        if config.checkpoint is not None else None)
@@ -202,6 +231,11 @@ def _parallel_run_worker(payload) -> dict:
     args = argparse.Namespace(**payload["args"])
     result = _run_container(args, base_image(), payload["path"],
                             payload["argv"])
+    cache = None
+    if result.cache is not None:
+        cache = {"outcome": result.cache["outcome"],
+                 "key": result.cache["key"],
+                 "executed": result.cache["executed"]}
     return {
         "status": result.status,
         "exit_code": result.exit_code,
@@ -210,6 +244,7 @@ def _parallel_run_worker(payload) -> dict:
         "tree_digest": tree_digest(result.output_tree),
         "virtual_wall": result.wall_time,
         "syscalls": result.syscall_count,
+        "cache": cache,
     }
 
 
@@ -220,7 +255,7 @@ def _cmd_run_parallel(args, path: str, argv: List[str]) -> int:
     records must come back byte-identical; any divergence is a
     determinism bug and exits 70.
     """
-    from .parallel import Job, default_workers, run_jobs
+    from .parallel import Job, cache_tally, default_workers, run_jobs
 
     repeat = max(args.repeat, 1)
     workers = args.jobs if args.jobs > 0 else default_workers()
@@ -237,11 +272,22 @@ def _cmd_run_parallel(args, path: str, argv: List[str]) -> int:
     first = records[0]
     _sys.stdout.write(first["stdout"])
     _sys.stderr.write(first["stderr"])
-    identical = all(rec == first for rec in records[1:])
+
+    # The cache disposition legitimately differs across repeats (the
+    # first run stores, later ones hit) — it is operational, not part of
+    # the reproducible surface, so it is excluded from the identity check.
+    def _surface(rec):
+        return {k: v for k, v in rec.items() if k != "cache"}
+
+    identical = all(_surface(rec) == _surface(first) for rec in records[1:])
     _sys.stderr.write(
         "[%d runs on %d workers: outputs %s, tree digest %s]\n"
         % (repeat, min(workers, repeat),
            "identical" if identical else "DIVERGENT", first["tree_digest"][:16]))
+    tally = cache_tally(records)
+    if tally:
+        _sys.stderr.write("[cache: %s]\n" % ", ".join(
+            "%d %s" % (n, outcome) for outcome, n in sorted(tally.items())))
     if not identical:
         return 70
     if first["status"] not in (OK, RETRIED, RESUMED):
@@ -277,8 +323,9 @@ def cmd_run(args) -> int:
     else:
         result = _run_container(args, image, path, argv)
     status = _report(result, args.verbose)
+    cache_status = _report_cache(result)
     _emit_obs(args, result)
-    return status
+    return cache_status if cache_status is not None else status
 
 
 def cmd_script(args) -> int:
@@ -298,6 +345,9 @@ def cmd_script(args) -> int:
     else:
         result = _run_container(args, image, "/bin/sh", argv)
     status = _report(result, args.verbose)
+    cache_status = _report_cache(result)
+    if cache_status is not None:
+        status = cache_status
     _emit_obs(args, result)
     if args.show_tree:
         for rel_path in sorted(result.output_tree):
@@ -469,6 +519,47 @@ def cmd_ckpt(args) -> int:
               % (barrier, fps[barrier][0][:16]))
     print("verify: OK — %d snapshot(s), newest barrier %d"
           % (len(good), good[0].barrier))
+    return 0
+
+
+def cmd_cache(args) -> int:
+    """Inspect/verify/collect a run-cache directory (repro.cache)."""
+    from .cache import CacheStore
+
+    store = CacheStore(args.directory)
+    if args.action == "stats":
+        stats = store.stats()
+        print("cache %s" % stats.directory)
+        print("  keys:                  %d" % stats.keys)
+        print("  objects:               %d (%d bytes)"
+              % (stats.objects, stats.object_bytes))
+        print("  deduplicated keys:     %d" % stats.deduplicated_keys)
+        print("  torn keys/objects:     %d/%d"
+              % (stats.torn_keys, stats.torn_objects))
+        print("  dangling keys:         %d" % stats.missing_objects)
+        print("  unreferenced objects:  %d" % stats.unreferenced_objects)
+        return 0
+    if args.action == "gc":
+        removed = store.gc()
+        print("gc %s: removed %d torn/dangling, %d unreferenced"
+              % (args.directory, len(removed["torn"]),
+                 len(removed["unreferenced"])))
+        for bucket in ("torn", "unreferenced"):
+            for path in removed[bucket]:
+                print("  removed %s" % path)
+        return 0
+    # verify: every entry must checksum-validate and reference a live
+    # object; dedup sharing is fine, torn or dangling state is not.
+    problems = store.verify_store()
+    if problems:
+        for problem in problems:
+            print("  %s" % problem)
+        print("verify: FAIL — %d problem(s) in %s"
+              % (len(problems), args.directory))
+        return 1
+    stats = store.stats()
+    print("verify: OK — %d key(s), %d object(s), %d bytes (%s)"
+          % (stats.keys, stats.objects, stats.object_bytes, args.directory))
     return 0
 
 
@@ -667,6 +758,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--metrics-out", metavar="FILE", dest="metrics_out",
                        help="write --export-metrics output to FILE "
                             "instead of stderr")
+        p.add_argument("--cache-dir", metavar="DIR", dest="cache_dir",
+                       help="content-addressed run cache (repro.cache): "
+                            "identical runs are served from DIR with zero "
+                            "guest execution")
+        p.add_argument("--cache", dest="cache_mode", default="write",
+                       choices=["off", "read", "write", "verify"],
+                       help="cache policy: read = consult only, write = "
+                            "consult + store (default), verify = always "
+                            "re-execute and byte-compare against the entry "
+                            "(mismatch exits 70 with a divergence report)")
 
     run = sub.add_parser("run", help="run a toolbox command in a container")
     common(run)
@@ -845,6 +946,14 @@ def build_parser() -> argparse.ArgumentParser:
     ckpt.add_argument("--fingerprint", default=None,
                       help="additionally require this config fingerprint")
     ckpt.set_defaults(fn=cmd_ckpt)
+
+    cache = sub.add_parser("cache",
+                           help="inspect/verify/collect a run-cache "
+                                "directory (repro.cache)")
+    cache.add_argument("action", choices=["stats", "gc", "verify"])
+    cache.add_argument("directory", help="cache directory "
+                                         "(the run's --cache-dir)")
+    cache.set_defaults(fn=cmd_cache)
     return parser
 
 

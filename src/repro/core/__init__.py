@@ -2,6 +2,7 @@
 
 from .config import (
     CANONICAL_ENV,
+    CacheConfig,
     CheckpointConfig,
     ContainerConfig,
     ablated,
@@ -37,6 +38,7 @@ __all__ = [
     "BusyWaitError",
     "CANONICAL_ENV",
     "CRASHED",
+    "CacheConfig",
     "CheckpointConfig",
     "RESUMED",
     "RETRIED",

@@ -55,6 +55,30 @@ class CheckpointConfig:
     full_every: int = 4
 
 
+@dataclasses.dataclass(frozen=True)
+class CacheConfig:
+    """Content-addressed run memoization (repro.cache).
+
+    ``directory`` is the cache root (``keys/`` + ``objects/`` CAS);
+    ``mode`` is the consult/store policy:
+
+    * ``"off"``    — never consult or store (as if no cache were set).
+    * ``"read"``   — consult only; never writes (shared read-only cache).
+    * ``"write"``  — consult, and store clean ``ok`` runs on miss
+      (the default for ``--cache-dir``).
+    * ``"verify"`` — always execute; byte-compare against the entry and
+      report any mismatch as a divergence; store when absent.
+
+    Like ``checkpoint``, this is operational — it never changes what a
+    run computes, only whether it executes — so it is excluded from the
+    config fingerprint (and hence from run keys: a cached entry is
+    reachable regardless of the cache policy that stored it).
+    """
+
+    directory: str
+    mode: str = "write"
+
+
 @dataclasses.dataclass
 class ContainerConfig:
     """Knobs for one DetTrace container."""
@@ -188,6 +212,11 @@ class ContainerConfig:
     #: the kernel's tape hooks stay a single attribute test).
     checkpoint: Optional[CheckpointConfig] = None
 
+    # -- memoization: the content-addressed run cache (repro.cache) ----------
+
+    #: Run-cache configuration; None = no cache consulted or written.
+    cache: Optional[CacheConfig] = None
+
     def env_for(self, host_env: Dict[str, str]) -> Dict[str, str]:
         if self.canonical_env:
             return dict(CANONICAL_ENV)
@@ -197,14 +226,15 @@ class ContainerConfig:
         """Stable digest of every determinism-relevant knob.
 
         Stamped into snapshot headers so a resume refuses state from a
-        differently-configured world.  ``checkpoint`` itself is excluded:
-        where/how often you snapshot does not change what the run
-        computes (the zero-perturbation invariant the identity tests
-        enforce).
+        differently-configured world.  ``checkpoint`` and ``cache`` are
+        excluded: where you snapshot or memoize does not change what the
+        run computes (the zero-perturbation invariant the identity tests
+        enforce) — and the cache *key* hashing this fingerprint must not
+        depend on the cache policy consulting it.
         """
         spec: Dict[str, object] = {}
         for field in dataclasses.fields(self):
-            if field.name == "checkpoint":
+            if field.name in ("checkpoint", "cache"):
                 continue
             value = getattr(self, field.name)
             if field.name == "fault_plan":

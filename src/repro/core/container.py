@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..cpu.machine import HostEnvironment
 from ..faults.report import AttemptRecord, CrashReport
@@ -103,6 +103,13 @@ class ContainerResult:
     #: for perf tracking; purely diagnostic, never part of the
     #: reproducible output surface.
     fs_cache_stats: Dict[str, int] = dataclasses.field(default_factory=dict)
+    #: Run-cache disposition (repro.cache), None when no cache was in
+    #: play: {"outcome": "hit"|"miss"|"store"|"verify_ok"|
+    #: "verify_mismatch"|"uncacheable", "key": <run-key digest>,
+    #: "executed": bool, ...}; verify mismatches also carry "report"
+    #: (a DivergenceReport) and "differs" (the differing surfaces).
+    #: Purely operational — never part of the reproducible surface.
+    cache: Optional[Dict[str, Any]] = None
 
     @property
     def succeeded(self) -> bool:
@@ -239,9 +246,94 @@ class DetTrace:
         Never raises: every failure mode degrades to a classified
         :class:`ContainerResult` (status CRASHED at worst), carrying the
         partial output tree and a crash report.
+
+        When ``config.cache`` is set the run is memoized by its content
+        address (:mod:`repro.cache`): a hit returns the stored outcome
+        with zero guest execution; ``verify`` mode executes anyway and
+        byte-compares.  Retry attempts (``_attempt > 0``) bypass the
+        cache — their fault coordinates differ from the keyed run.
         """
         cfg = self.config
         host = host or HostEnvironment()
+        if cfg.cache is not None and cfg.cache.mode != "off" and _attempt == 0:
+            return self._run_cached(image, command, argv, host)
+        return self._execute(image, command, argv, host, _attempt)
+
+    def _run_cached(self, image: Image, command: str,
+                    argv: Optional[List[str]],
+                    host: HostEnvironment) -> ContainerResult:
+        """The cache-aware run path (``config.cache`` set, attempt 0)."""
+        from ..cache import RunCache
+
+        cfg = self.config
+        cache_cfg = cfg.cache
+        rc = RunCache(cache_cfg.directory)
+        key = rc.key_for(image, cfg, command, argv, host)
+        cached = rc.lookup(key)
+
+        if cache_cfg.mode in ("read", "write") and cached is not None:
+            result = cached.to_result(host)
+            self._stamp_cache(result, "hit", key, executed=False)
+            return result
+
+        result = self._execute(image, command, argv, host, 0)
+
+        if cache_cfg.mode == "verify" and cached is not None:
+            differs = cached.compare_surfaces(result)
+            if differs:
+                self._stamp_cache(result, "verify_mismatch", key,
+                                  executed=True, differs=differs,
+                                  report=self._divergence(result, cached, host))
+            else:
+                self._stamp_cache(result, "verify_ok", key, executed=True)
+        elif cache_cfg.mode in ("write", "verify"):
+            sha256 = rc.store_result(key, result)
+            if sha256 is not None:
+                self._stamp_cache(result, "store", key, executed=True,
+                                  object_sha256=sha256)
+            else:
+                self._stamp_cache(result, "uncacheable", key, executed=True)
+        else:  # read-mode miss: executed, nothing written
+            self._stamp_cache(result, "miss", key, executed=True)
+        return result
+
+    @staticmethod
+    def _stamp_cache(result: ContainerResult, outcome: str, key,
+                     executed: bool, **extra) -> None:
+        """Attach the cache disposition + its metrics counters.
+
+        The counters land on the *returned* result only — stored
+        outcomes strip ``cache/`` counters, so a lookup can never
+        poison the deterministic metrics of a future hit.
+        """
+        record: Dict[str, Any] = {"outcome": outcome, "key": key.digest,
+                                  "executed": executed}
+        record.update(extra)
+        result.cache = record
+        if result.metrics is not None:
+            counters = result.metrics.counters
+            counter = {"hit": "cache/hit", "store": "cache/store",
+                       "miss": "cache/miss", "uncacheable": "cache/miss",
+                       "verify_ok": "cache/verify_ok",
+                       "verify_mismatch": "cache/verify_mismatch"}[outcome]
+            counters[counter] = counters.get(counter, 0) + 1
+
+    @staticmethod
+    def _divergence(fresh: ContainerResult, cached,
+                    host: HostEnvironment):
+        """Diff a fresh verify run against the cached outcome (repro.diag)."""
+        from ..diag import RunCapture, diff_captures
+
+        return diff_captures(
+            RunCapture.from_result(fresh, label="fresh-run"),
+            RunCapture.from_result(cached.to_result(host),
+                                   label="cached-entry"))
+
+    def _execute(self, image: Image, command: str,
+                 argv: Optional[List[str]], host: HostEnvironment,
+                 _attempt: int) -> ContainerResult:
+        """One real (uncached) container execution."""
+        cfg = self.config
         kernel = Kernel(host)
         # The collector exists before anything can fail, so every exit
         # path — including a crash before the tracer is even built —

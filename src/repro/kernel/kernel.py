@@ -344,6 +344,7 @@ class Kernel:
             env=env if env is not None else dict(parent.env),
             argv=argv or [path], uid=parent.uid, gid=parent.gid,
             aslr_base=self._aslr_base())
+        child.umask = parent.umask
         child.fdtable = parent.fdtable.fork_copy()
         for target_fd, parent_fd in (stdio or {}).items():
             if parent_fd is not None:

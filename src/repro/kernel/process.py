@@ -112,6 +112,10 @@ class Process:
         self.argv = list(argv)
         self.uid = uid
         self.gid = gid
+        #: File-mode creation mask, applied at every creation choke point
+        #: (open(O_CREAT)/mkdir/mkfifo — symlinks exempt, per POSIX).
+        #: Inherited across fork/exec; the Linux default for init.
+        self.umask = 0o022
         self.aslr_base = aslr_base
         self.fdtable = FDTable()
         self.threads: List[Thread] = []

@@ -176,8 +176,10 @@ class SyscallTable:
             raise SyscallError(Errno.EEXIST, "open", path)
         if node is None:
             parent, name = self._resolve_parent(proc, path)
-            node = self._fs.create_file(parent, name, mode=mode, uid=proc.uid,
-                                        gid=proc.gid, now=self._now)
+            node = self._fs.create_file(parent, name,
+                                        mode=mode & ~proc.umask & 0o7777,
+                                        uid=proc.uid, gid=proc.gid,
+                                        now=self._now)
         if node.kind is FileKind.DIRECTORY:
             if (flags & ACCMODE_MASK) != O_RDONLY:
                 raise SyscallError(Errno.EISDIR, "open", path)
@@ -459,7 +461,8 @@ class SyscallTable:
         if parent.lookup(name) is not None:
             raise SyscallError(Errno.EEXIST, "mkfifo", path)
         node = Inode(ino=self._fs._new_ino(), kind=FileKind.FIFO,
-                     mode=mode, uid=proc.uid, gid=proc.gid,
+                     mode=mode & ~proc.umask & 0o7777,
+                     uid=proc.uid, gid=proc.gid,
                      atime=self._now, mtime=self._now, ctime=self._now)
         node.fifo_pipe = Pipe()
         parent.add_entry(name, node)
@@ -471,8 +474,8 @@ class SyscallTable:
     def sys_mkdir(self, t: Thread, path: str, mode: int = 0o755):
         proc = t.process
         parent, name = self._resolve_parent(proc, path)
-        self._fs.create_dir(parent, name, mode=mode, uid=proc.uid, gid=proc.gid,
-                            now=self._now)
+        self._fs.create_dir(parent, name, mode=mode & ~proc.umask & 0o7777,
+                            uid=proc.uid, gid=proc.gid, now=self._now)
         return 0
 
     def sys_rmdir(self, t: Thread, path: str):
@@ -527,7 +530,13 @@ class SyscallTable:
         return 0
 
     def sys_truncate(self, t: Thread, path: str, length: int):
+        # Linux checks the length before the file type: a negative length
+        # is EINVAL even on a directory.
+        if length < 0:
+            raise SyscallError(Errno.EINVAL, "truncate", path)
         node = self._resolve(t.process, path)
+        if node.is_dir:
+            raise SyscallError(Errno.EISDIR, "truncate", path)
         if not node.is_regular:
             raise SyscallError(Errno.EINVAL, "truncate", path)
         if length > len(node.data):
@@ -550,7 +559,15 @@ class SyscallTable:
         return 0
 
     def sys_fsync(self, t: Thread, fd: int):
-        t.process.fdtable.get(fd)
+        # POSIX: fsync on a descriptor with no backing store — pipes,
+        # FIFOs, sockets — fails with EINVAL.  Regular files, directories
+        # and devices succeed as a no-op (all writes are immediately
+        # durable in the simulated fs).  The verdict depends only on
+        # per-process fd state, so fsync stays on the seccomp
+        # NATURALLY_REPRODUCIBLE allow-list.
+        of = t.process.fdtable.get(fd)
+        if of.is_pipe:
+            raise SyscallError(Errno.EINVAL, "fsync", "fd %d" % fd)
         return 0
 
     def sys_getcwd(self, t: Thread):
@@ -576,7 +593,10 @@ class SyscallTable:
         return 0
 
     def sys_umask(self, t: Thread, mask: int = 0o022):
-        return 0o022
+        proc = t.process
+        previous = proc.umask
+        proc.umask = mask & 0o777
+        return previous
 
     # ------------------------------------------------------------------
     # identity

@@ -255,3 +255,24 @@ def fan_out(fn: Callable, arg_tuples: Sequence[Tuple], workers: int = 1) -> List
     jobs = [Job(key=i, fn=fn, args=tuple(args))
             for i, args in enumerate(arg_tuples)]
     return [result for _key, result in run_jobs(jobs, workers=workers)]
+
+
+def cache_tally(records: Sequence[Any]) -> Dict[str, int]:
+    """Run-cache disposition counts across fan-out *records*.
+
+    Accepts the record shapes the sweeps produce — dicts carrying a
+    ``"cache"`` sub-record or objects with a ``.cache`` attribute
+    (:class:`~repro.core.container.ContainerResult` included) — and
+    ignores records that carried no cache at all, so callers can apply
+    it unconditionally.  Shared by ``repro run --repeat`` and the cache
+    benchmark to report hit/store breakdowns.
+    """
+    tally: Dict[str, int] = {}
+    for rec in records:
+        cache = (rec.get("cache") if isinstance(rec, dict)
+                 else getattr(rec, "cache", None))
+        if not cache:
+            continue
+        outcome = cache.get("outcome", "?")
+        tally[outcome] = tally.get(outcome, 0) + 1
+    return tally

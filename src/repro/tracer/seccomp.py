@@ -24,11 +24,15 @@ from ..kernel.costs import (
 #: ``fsync``/``sync`` look like shared-filesystem calls but are safe to
 #: skip: durability is meaningless in the simulated VFS (there is no
 #: volatile cache between the inode store and "disk"), so both are
-#: result-only no-ops — ``sys_fsync`` validates the fd and returns 0,
-#: ``sys_sync`` returns 0 — that read no shared state and mutate nothing
-#: (no mtime updates, no write-back ordering another process could
-#: observe).  A no-stop pass-through therefore cannot perturb any other
-#: thread's view; ``tests/core/test_seccomp_audit.py`` pins this down.
+#: result-only — ``sys_fsync`` validates the fd, fails with EINVAL on
+#: fd kinds with no backing store (pipes, FIFOs, sockets) and otherwise
+#: returns 0; ``sys_sync`` returns 0.  The verdict is a pure function of
+#: the calling process's own descriptor table: no shared state is read
+#: and nothing is mutated (no mtime updates, no write-back ordering
+#: another process could observe), so a no-stop pass-through cannot
+#: perturb any other thread's view.  ``umask`` likewise touches only the
+#: caller's own creation mask.  ``tests/core/test_seccomp_audit.py``
+#: pins this down.
 NATURALLY_REPRODUCIBLE: FrozenSet[str] = frozenset({
     "getpid", "getppid", "gettid", "getuid", "getgid",
     "getcwd", "sched_yield", "lseek", "dup", "dup2",

@@ -3,9 +3,11 @@
 Every name in NATURALLY_REPRODUCIBLE skips the tracer entirely, so the
 list is load-bearing for determinism: a syscall that reads shared state
 or mutates anything another process can observe must never appear here.
-This file pins the two scariest members — ``fsync`` and ``sync`` — as
-result-only no-ops, and checks the compiled verdict table agrees with
-the raw membership rule.
+This file pins the two scariest members — ``fsync`` and ``sync`` — whose
+verdicts are pure functions of the caller's own descriptor table
+(``fsync`` fails EINVAL on fds with no backing store — pipes, FIFOs,
+sockets — and otherwise returns 0 with no observable mutation), and
+checks the compiled verdict table agrees with the raw membership rule.
 """
 from repro.core import ContainerConfig
 from repro.cpu.machine import HostEnvironment
@@ -56,8 +58,10 @@ def test_stop_cost_compiled_per_kernel_version():
 
 
 def test_fsync_is_a_result_only_noop():
-    """fsync validates the fd and returns 0 — no data, metadata, or
-    timestamp mutation another process could observe."""
+    """fsync on a regular file validates the fd and returns 0 — no data,
+    metadata, or timestamp mutation another process could observe.  (On
+    pipes/FIFOs/sockets it fails EINVAL instead — still a pure function
+    of per-process fd state; tests/kernel/test_posix_conformance.py.)"""
     def main(sys):
         fd = yield from sys.open("/build/f", O_WRONLY | O_CREAT | O_TRUNC)
         yield from sys.write(fd, b"payload")

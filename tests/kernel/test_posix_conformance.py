@@ -1,0 +1,259 @@
+"""POSIX conformance: umask creation semantics, truncate argument
+validation order, fsync on descriptors without a backing store.
+
+These pin the bugfix set shipped with the run cache: creation modes were
+previously stored unmasked, ``truncate`` accepted negative lengths, and
+``fsync`` succeeded on pipes.  Each behaviour is nailed to what Linux
+does, including the error-precedence corners."""
+import pytest
+
+from repro.core import ContainerConfig, DetTrace
+from repro.core.config import CheckpointConfig
+from repro.cpu.machine import HostEnvironment
+from repro.faults.plan import FaultPlan, FaultRule
+from repro.kernel.errors import Errno, SyscallError
+from repro.kernel.types import O_CREAT, O_WRONLY
+from tests.conftest import image_of, run_guest
+
+from .test_syscalls import returns
+
+
+class TestUmaskCreationModes:
+    def test_open_create_applies_umask(self):
+        def prog(sys):
+            yield from sys.syscall("umask", mask=0o077)
+            fd = yield from sys.open("f", O_WRONLY | O_CREAT, mode=0o666)
+            yield from sys.close(fd)
+            st = yield from sys.stat("f")
+            return st.st_mode & 0o777
+
+        value, _ = returns(prog)
+        assert value == 0o600
+
+    def test_open_existing_ignores_umask(self):
+        # The mask applies at *creation*; opening an existing file never
+        # rewrites its mode.
+        def prog(sys):
+            yield from sys.write_file("f", b"x")
+            yield from sys.chmod("f", 0o644)
+            yield from sys.syscall("umask", mask=0o777)
+            fd = yield from sys.open("f", O_WRONLY | O_CREAT, mode=0o666)
+            yield from sys.close(fd)
+            st = yield from sys.stat("f")
+            return st.st_mode & 0o777
+
+        value, _ = returns(prog)
+        assert value == 0o644
+
+    def test_mkdir_applies_umask(self):
+        def prog(sys):
+            yield from sys.syscall("umask", mask=0o077)
+            yield from sys.mkdir("d", mode=0o777)
+            st = yield from sys.stat("d")
+            return st.st_mode & 0o777
+
+        value, _ = returns(prog)
+        assert value == 0o700
+
+    def test_mkfifo_applies_umask(self):
+        def prog(sys):
+            yield from sys.syscall("umask", mask=0o027)
+            yield from sys.mkfifo("p", mode=0o666)
+            st = yield from sys.stat("p")
+            return st.st_mode & 0o777
+
+        value, _ = returns(prog)
+        assert value == 0o640
+
+    def test_symlink_mode_exempt_from_umask(self):
+        # POSIX: the mask never applies to symlinks — their mode is
+        # always 0777 regardless of umask.
+        def prog(sys):
+            yield from sys.syscall("umask", mask=0o777)
+            yield from sys.symlink("target", "l")
+            st = yield from sys.syscall("lstat", path="l")
+            return st.st_mode & 0o777
+
+        value, _ = returns(prog)
+        assert value == 0o777
+
+    def test_umask_returns_previous_mask(self):
+        def prog(sys):
+            first = yield from sys.syscall("umask", mask=0o077)
+            second = yield from sys.syscall("umask", mask=0o022)
+            return (first, second)
+
+        value, _ = returns(prog)
+        assert value == (0o022, 0o077)  # Linux's default init mask, then ours
+
+    def test_umask_only_keeps_permission_bits(self):
+        def prog(sys):
+            yield from sys.syscall("umask", mask=0o7777)
+            return (yield from sys.syscall("umask", mask=0o022))
+
+        value, _ = returns(prog)
+        assert value == 0o777
+
+    def test_child_inherits_umask(self):
+        def child(sys):
+            fd = yield from sys.open("child-file", O_WRONLY | O_CREAT,
+                                     mode=0o666)
+            yield from sys.close(fd)
+            return 0
+
+        def prog(sys):
+            yield from sys.syscall("umask", mask=0o027)
+            res = yield from sys.run("/bin/child")
+            assert res.status == 0
+            st = yield from sys.stat("child-file")
+            return st.st_mode & 0o777
+
+        value, _ = returns(prog, binaries={"/bin/child": child})
+        assert value == 0o640
+
+    def test_child_umask_change_does_not_leak_to_parent(self):
+        def child(sys):
+            yield from sys.syscall("umask", mask=0o777)
+            return 0
+
+        def prog(sys):
+            yield from sys.syscall("umask", mask=0o022)
+            res = yield from sys.run("/bin/child")
+            assert res.status == 0
+            # The parent's mask is untouched by the child's umask call.
+            return (yield from sys.syscall("umask", mask=0o022))
+
+        value, _ = returns(prog, binaries={"/bin/child": child})
+        assert value == 0o022
+
+
+class TestTruncateValidation:
+    def test_negative_length_is_einval(self):
+        def prog(sys):
+            yield from sys.write_file("f", b"data")
+            try:
+                yield from sys.syscall("truncate", path="f", length=-1)
+            except SyscallError as err:
+                return err.errno
+            return None
+
+        value, _ = returns(prog)
+        assert value == Errno.EINVAL
+
+    def test_negative_length_beats_directory_check(self):
+        # Linux validates the length before the file type: a negative
+        # length on a *directory* is EINVAL, not EISDIR.
+        def prog(sys):
+            yield from sys.mkdir("d")
+            try:
+                yield from sys.syscall("truncate", path="d", length=-5)
+            except SyscallError as err:
+                return err.errno
+            return None
+
+        value, _ = returns(prog)
+        assert value == Errno.EINVAL
+
+    def test_directory_is_eisdir(self):
+        def prog(sys):
+            yield from sys.mkdir("d")
+            try:
+                yield from sys.syscall("truncate", path="d", length=0)
+            except SyscallError as err:
+                return err.errno
+            return None
+
+        value, _ = returns(prog)
+        assert value == Errno.EISDIR
+
+    def test_zero_length_still_works(self):
+        def prog(sys):
+            yield from sys.write_file("f", b"data")
+            yield from sys.syscall("truncate", path="f", length=0)
+            return (yield from sys.read_file("f"))
+
+        value, _ = returns(prog)
+        assert value == b""
+
+
+class TestFsyncBackingStore:
+    def test_fsync_regular_file_ok(self):
+        def prog(sys):
+            yield from sys.write_file("f", b"x")
+            fd = yield from sys.open("f")
+            rc = yield from sys.syscall("fsync", fd=fd)
+            yield from sys.close(fd)
+            return rc
+
+        value, _ = returns(prog)
+        assert value == 0
+
+    def test_fsync_pipe_is_einval(self):
+        def prog(sys):
+            r, w = yield from sys.pipe()
+            try:
+                yield from sys.syscall("fsync", fd=w)
+            except SyscallError as err:
+                return err.errno
+            return None
+
+        value, _ = returns(prog)
+        assert value == Errno.EINVAL
+
+    def test_fsync_socketpair_is_einval(self):
+        def prog(sys):
+            a, b = yield from sys.socketpair()
+            try:
+                yield from sys.syscall("fsync", fd=a)
+            except SyscallError as err:
+                return err.errno
+            return None
+
+        value, _ = returns(prog)
+        assert value == Errno.EINVAL
+
+    def test_fsync_bad_fd_is_ebadf(self):
+        def prog(sys):
+            try:
+                yield from sys.syscall("fsync", fd=99)
+            except SyscallError as err:
+                return err.errno
+            return None
+
+        value, _ = returns(prog)
+        assert value == Errno.EBADF
+
+
+class TestUmaskCheckpointRoundTrip:
+    def test_umask_survives_crash_and_resume(self, tmp_path):
+        """A mask set before the kill must govern creations after resume."""
+
+        def main(sys):
+            yield from sys.syscall("umask", mask=0o077)
+            # Filler work so a snapshot barrier lands after the umask
+            # call and before the kill tick.
+            for i in range(20):
+                yield from sys.write_file("pad%d" % i, b"x" * i)
+            fd = yield from sys.open("masked", O_WRONLY | O_CREAT,
+                                     mode=0o666)
+            yield from sys.close(fd)
+            st = yield from sys.stat("masked")
+            yield from sys.println("mode=%o" % (st.st_mode & 0o777))
+            return 0
+
+        cfg = ContainerConfig(
+            fault_plan=FaultPlan(rules=(
+                FaultRule(fault="kill", at_tick=60, transient=True),)),
+            checkpoint=CheckpointConfig(directory=str(tmp_path), every=7))
+        image = image_of(main)
+        host = HostEnvironment(entropy_seed=7)
+        crashed = DetTrace(cfg).run(image, "/bin/main", host=host)
+        assert crashed.status == "crashed", (crashed.status, crashed.error)
+        resumed = DetTrace(cfg).resume(image, "/bin/main")
+        assert resumed.status == "resumed", (resumed.status, resumed.error)
+        assert resumed.exit_code == 0
+        assert "mode=600" in resumed.stdout
+
+        baseline = DetTrace(ContainerConfig()).run(image, "/bin/main",
+                                                   host=host)
+        assert resumed.stdout == baseline.stdout
